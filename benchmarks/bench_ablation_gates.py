@@ -1,0 +1,116 @@
+"""Experiment A3 — ablation: the gate-all-entries rule.
+
+The paper makes *every* inter-segment CALL respect the gate list, even
+same-ring, buying accidental-entry detection at the price that "if any
+externally defined entry point in a procedure segment is a gate for a
+higher numbered ring, then all are" (p. 29).  The promised escape hatch
+is using a plain transfer for same-ring control flow.  This ablation
+measures both paths and demonstrates the consequence of the rule.
+"""
+
+import pytest
+
+from repro.core.acl import AclEntry, RingBracketSpec
+from repro.cpu.faults import Fault, FaultCode
+from repro.sim.machine import Machine
+
+USER_ACL = [AclEntry("*", RingBracketSpec.procedure(4))]
+
+
+def _machine(caller_src, callee_gates):
+    machine = Machine(services=False)
+    user = machine.add_user("u")
+    machine.store_program(
+        ">b>callee",
+        f"""
+        .seg    callee
+        .gates  {callee_gates}
+entry:: tra     back_out
+inner:: tra     back_out       ; a second external entry
+back_out: return pr4|0
+""",
+        acl=USER_ACL,
+    )
+    machine.store_program(">b>caller", caller_src, acl=USER_ACL)
+    process = machine.login(user)
+    machine.initiate(process, ">b>caller")
+    machine.initiate(process, ">b>callee")
+    return machine, process
+
+
+CALL_LOOP = """
+        .seg    caller
+main::  lda     =16
+loop:   eap4    back
+        call    l_entry,*
+back:   sba     =1
+        tnz     loop
+        halt
+l_entry: .its   callee$ENTRY
+"""
+
+TRA_THERE_AND_BACK = """
+        .seg    caller
+main::  lda     =16
+loop:   tra     l_inner,*      ; plain transfer: gate list bypassed
+back::  sba     =1
+        tnz     loop
+        halt
+l_inner: .its   callee$inner
+"""
+
+
+def test_a3_gated_same_ring_call(benchmark):
+    def run():
+        machine, process = _machine(
+            CALL_LOOP.replace("ENTRY", "entry"), callee_gates=2
+        )
+        result = machine.run(process, "caller$main", ring=4)
+        assert result.halted
+        return result.cycles
+
+    benchmark.extra_info["cycles"] = benchmark(run)
+
+
+def test_a3_call_to_non_gate_entry_refused(benchmark):
+    """With only word 0 gated, CALLing the second external entry faults:
+    the all-or-nothing consequence of the compressed gate list."""
+
+    def run():
+        machine, process = _machine(
+            CALL_LOOP.replace("ENTRY", "inner"), callee_gates=1
+        )
+        with pytest.raises(Fault) as excinfo:
+            machine.run(process, "caller$main", ring=4)
+        return excinfo.value.code
+
+    assert benchmark(run) is FaultCode.ACV_NOT_GATE
+
+
+def test_a3_plain_transfer_bypasses_gate_list(benchmark):
+    """The paper's escape hatch: same-ring TRA ignores gates."""
+
+    def run():
+        machine = Machine(services=False)
+        user = machine.add_user("u")
+        machine.store_program(
+            ">b>callee",
+            """
+        .seg    callee
+        .gates  1
+entry:: tra     out
+inner:: tra     out
+out:    tra     l_back,*
+l_back: .its    caller$back
+""",
+            acl=USER_ACL,
+        )
+        machine.store_program(">b>caller", TRA_THERE_AND_BACK, acl=USER_ACL)
+        process = machine.login(user)
+        machine.initiate(process, ">b>caller")
+        machine.initiate(process, ">b>callee")
+        result = machine.run(process, "caller$main", ring=4)
+        assert result.halted
+        return result.cycles
+
+    benchmark.extra_info["cycles"] = benchmark(run)

@@ -1,0 +1,44 @@
+"""Experiment A4 — ablation: transparent paging (paper p. 7).
+
+"Paging, if appropriately implemented, need not affect access control."
+The same cross-ring call workload runs unpaged and paged; architectural
+results must be identical, and the cost difference must be exactly the
+page-table-word fetches (one extra cycle per virtual reference).
+"""
+
+from conftest import build_call_loop_machine
+
+
+def _run(paged):
+    machine, process = build_call_loop_machine(
+        target_ring=0, count=16, paged=paged
+    )
+    result = machine.run(process, "caller$main", ring=4)
+    assert result.halted
+    return result
+
+
+def test_a4_unpaged(benchmark):
+    benchmark.extra_info["cycles"] = benchmark(lambda: _run(False).cycles)
+
+
+def test_a4_paged(benchmark):
+    benchmark.extra_info["cycles"] = benchmark(lambda: _run(True).cycles)
+
+
+def test_a4_paging_transparent_to_protection(benchmark):
+    def run():
+        return _run(False), _run(True)
+
+    plain, paged = benchmark(run)
+    # identical architectural behaviour
+    assert (plain.a, plain.ring, plain.ring_crossings, plain.console) == (
+        paged.a,
+        paged.ring,
+        paged.ring_crossings,
+        paged.console,
+    )
+    # paging costs extra cycles (PTW fetches), protection costs nothing new
+    assert paged.cycles > plain.cycles
+    benchmark.extra_info["ptw_overhead_cycles"] = paged.cycles - plain.cycles
+    benchmark.extra_info["overhead_ratio"] = paged.cycles / plain.cycles

@@ -1,0 +1,57 @@
+"""Experiment A2 — ablation: the SDW associative memory.
+
+The ring checks ride on SDW fields the processor must consult for
+address translation anyway ("there is little effort added to validate
+the intended access against constraints recorded there", p. 8) — but
+only because the SDW is at hand.  Without an associative memory every
+reference pays two extra memory cycles for the SDW pair.  This ablation
+quantifies that, and checks the cache changes no behaviour.
+"""
+
+from conftest import build_call_loop_machine
+
+
+def _run(sdw_cache_enabled):
+    machine, process = build_call_loop_machine(
+        target_ring=0, count=16, sdw_cache_enabled=sdw_cache_enabled
+    )
+    result = machine.run(process, "caller$main", ring=4)
+    assert result.halted
+    return machine, result
+
+
+def test_a2_with_cache(benchmark):
+    def run():
+        _, result = _run(True)
+        return result.cycles
+
+    benchmark.extra_info["cycles"] = benchmark(run)
+
+
+def test_a2_without_cache(benchmark):
+    def run():
+        _, result = _run(False)
+        return result.cycles
+
+    benchmark.extra_info["cycles"] = benchmark(run)
+
+
+def test_a2_cache_saves_cycles_but_changes_nothing(benchmark):
+    def run():
+        m_on, r_on = _run(True)
+        m_off, r_off = _run(False)
+        return r_on, r_off, m_on.processor.sdw_cache.stats()
+
+    r_on, r_off, stats = benchmark(run)
+    assert r_off.cycles > r_on.cycles
+    # identical architectural outcome
+    assert (r_on.a, r_on.ring, r_on.ring_crossings) == (
+        r_off.a,
+        r_off.ring,
+        r_off.ring_crossings,
+    )
+    assert stats["hits"] > stats["misses"]
+    benchmark.extra_info["cycles_saved"] = r_off.cycles - r_on.cycles
+    benchmark.extra_info["hit_rate"] = stats["hits"] / (
+        stats["hits"] + stats["misses"]
+    )

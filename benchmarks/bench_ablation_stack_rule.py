@@ -1,0 +1,82 @@
+"""Experiment A1 — ablation: stack segment selection rule.
+
+The paper's body text selects the new stack by ``segno = new ring``;
+the footnote on p. 30 refines it: same-ring calls keep the current
+stack pointer's segment (supporting nonstandard stacks) and cross-ring
+calls use ``DBR.STACK + ring`` (relocatable stacks, forked stacks,
+preserved stack history).  Both rules are implemented; this benchmark
+shows they cost the same and behave identically in the default layout,
+and that only the DBR rule supports relocated stacks.
+"""
+
+from conftest import build_call_loop_machine
+
+
+def _cycles(stack_rule):
+    machine, process = build_call_loop_machine(
+        target_ring=0, count=16, stack_rule=stack_rule
+    )
+    result = machine.run(process, "caller$main", ring=4)
+    assert result.halted
+    return result.cycles
+
+
+def test_a1_simple_rule(benchmark):
+    benchmark.extra_info["cycles"] = benchmark(lambda: _cycles("simple"))
+
+
+def test_a1_dbr_rule(benchmark):
+    benchmark.extra_info["cycles"] = benchmark(lambda: _cycles("dbr"))
+
+
+def test_a1_rules_agree_in_default_layout(benchmark):
+    """With DBR.STACK = 0 the refined rule degenerates to the simple
+    one — identical cycle counts, identical results."""
+
+    def run():
+        return _cycles("simple"), _cycles("dbr")
+
+    simple, dbr = benchmark(run)
+    assert simple == dbr
+
+
+def test_a1_only_dbr_rule_supports_relocated_stacks(benchmark):
+    """Moving the stacks to segment numbers 16-23 works under the DBR
+    rule (the footnote's flexibility argument) and is impossible to
+    express under the simple rule."""
+    from repro.core.acl import AclEntry, RingBracketSpec
+    from repro.sim.machine import Machine
+
+    def run():
+        machine = Machine(services=False, stack_rule="dbr")
+        user = machine.add_user("u")
+        machine.store_program(
+            ">b>callee",
+            """
+        .seg    callee
+        .gates  1
+entry:: sta     pr0|5          ; prove the relocated ring-0 stack works
+        return  pr4|0
+""",
+            acl=[AclEntry("*", RingBracketSpec.procedure(0, callable_from=5))],
+        )
+        machine.store_program(
+            ">b>caller",
+            """
+        .seg    caller
+main::  lda     =9
+        eap4    back
+        call    l_callee,*
+back:   halt
+l_callee: .its  callee$entry
+""",
+            acl=[AclEntry("*", RingBracketSpec.procedure(4))],
+        )
+        process = machine.login(user, stack_base_segno=16)
+        machine.initiate(process, ">b>caller")
+        result = machine.run(process, "caller$main", ring=4)
+        stack0 = process.dseg.get(16)  # relocated ring-0 stack
+        return machine.memory.snapshot(stack0.addr + 5, 1)[0], result.ring
+
+    value, ring = benchmark(run)
+    assert value == 9 and ring == 4

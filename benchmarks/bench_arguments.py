@@ -1,0 +1,139 @@
+"""Experiment C2 — argument passing and automatic validation.
+
+Reproduces the paper's argument story (pp. 32-33):
+
+* the caller builds an argument list of indirect words and passes its
+  address in PRa (PR1 by convention);
+* the called (inner-ring) procedure references arguments through PRa —
+  every reference is automatically validated at the caller's ring;
+* a hostile caller who forges a low RING field in an argument pointer
+  gains nothing: the stack's write-bracket top re-raises the effective
+  ring, so the callee "cannot be tricked into reading or writing an
+  argument that the caller could not also read or write";
+* along a chain of downward calls the originating ring keeps riding the
+  pointers (the footnote on p. 33).
+"""
+
+import pytest
+
+from repro.core.acl import AclEntry, RingBracketSpec
+from repro.cpu.faults import Fault, FaultCode
+from repro.sim.machine import Machine
+
+USER_ACL = [AclEntry("*", RingBracketSpec.procedure(4))]
+GATE_ACL = [AclEntry("*", RingBracketSpec.procedure(0, callable_from=5))]
+MID_ACL = [AclEntry("*", RingBracketSpec.procedure(2, callable_from=5))]
+
+CALLER = """
+        .seg    caller
+main::  lda     =77
+        sta     pr6|2          ; the argument value, in my stack
+        eap2    pr6|2          ; PR2 := its address (ring 4)
+        spr2    pr6|1          ; argument list word 0, at stack word 1
+        eap1    pr6|1          ; PR1 := argument list base (PRa)
+        eap4    back
+        call    l_gate,*
+back:   halt
+l_gate: .its    gate$entry
+"""
+
+GATE = """
+        .seg    gate
+        .gates  1
+entry:: lda     pr1|0,*        ; argument 0, through the argument list
+        return  pr4|0
+"""
+
+EVIL_CALLER = """
+        .seg    caller
+main::  lda     forged         ; the forged pointer word (RING = 0)
+        sta     pr6|1          ; plant it as argument list word 0
+        eap1    pr6|1
+        eap4    back
+        call    l_gate,*
+back:   halt
+forged: .its    secret, 0      ; a pointer the caller may not follow
+l_gate: .its    gate$entry
+"""
+
+CHAIN_MIDDLE = """
+        .seg    middle
+        .gates  1
+entry:: eap6    pr0|0          ; my ring-2 stack
+        spr4    pr6|1
+        eap4    back           ; pass PR1 (the argument list) along
+        call    l_inner,*
+back:   eap4    pr6|1,*
+        return  pr4|0
+l_inner: .its   gate$entry
+"""
+
+
+def _system(caller_src, extra=()):
+    machine = Machine(services=False)
+    user = machine.add_user("u")
+    machine.store_program(">b>caller", caller_src, acl=USER_ACL)
+    machine.store_program(">b>gate", GATE, acl=GATE_ACL)
+    for path, src, acl in extra:
+        if src is None:
+            machine.store_data(path, [123456], acl=acl)
+        else:
+            machine.store_program(path, src, acl=acl)
+    process = machine.login(user)
+    machine.initiate(process, ">b>caller")
+    return machine, process
+
+
+def test_c2_upward_argument_reference(benchmark):
+    """The ring-0 gate reads the ring-4 caller's argument, validated at
+    ring 4 automatically via PRa.RING."""
+
+    def run():
+        machine, process = _system(CALLER)
+        result = machine.run(process, "caller$main", ring=4)
+        assert result.halted
+        return result.a
+
+    assert benchmark(run) == 77
+
+
+def test_c2_forged_ring_field_is_harmless(benchmark):
+    """A forged RING=0 argument pointer cannot widen the callee's view:
+    the stack's write-bracket top re-raises the effective ring."""
+    extra = [(">b>secret", None, [AclEntry("*", RingBracketSpec.data(0))])]
+
+    def run():
+        machine, process = _system(EVIL_CALLER, extra)
+        machine.initiate(process, ">b>secret")
+        with pytest.raises(Fault) as excinfo:
+            machine.run(process, "caller$main", ring=4)
+        return excinfo.value.code
+
+    assert benchmark(run) is FaultCode.ACV_READ_BRACKET
+
+
+def test_c2_chained_downward_calls(benchmark):
+    """ring 4 -> ring 2 -> ring 0: the argument's originating ring rides
+    along the chain; the innermost reference still validates at 4."""
+    chained = CALLER.replace("gate$entry", "middle$entry")
+
+    def run():
+        machine, process = _system(
+            chained, [(">b>middle", CHAIN_MIDDLE, MID_ACL)]
+        )
+        result = machine.run(process, "caller$main", ring=4)
+        assert result.ring == 4
+        return result.a
+
+    assert benchmark(run) == 77
+
+
+def test_c2_argument_reference_cost(benchmark):
+    """Cycles for the whole validated cross-ring argument fetch."""
+
+    def run():
+        machine, process = _system(CALLER)
+        result = machine.run(process, "caller$main", ring=4)
+        return result.cycles
+
+    benchmark.extra_info["cycles"] = benchmark(run)

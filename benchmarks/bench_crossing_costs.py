@@ -1,0 +1,51 @@
+"""Experiment C1 — the crossing-cost table (the paper's central claim).
+
+Prints and records the full comparison: marginal simulated cycles per
+call/return pair, same-ring vs downward, on the hardware-rings machine
+vs the Honeywell-645 software-rings baseline.  The expected shape:
+
+* same-ring cost identical on both machines;
+* hardware downward cost within a few cycles of same-ring;
+* software downward cost dominated by two traps plus handler work —
+  an order of magnitude or more.
+"""
+
+from repro.analysis.report import (
+    crossing_cost_experiment,
+    crossing_cost_table,
+    measure_cycles_per_call,
+)
+from repro.core.acl import RingBracketSpec
+
+
+def test_c1_full_table(benchmark):
+    rows = benchmark(crossing_cost_experiment)
+    print()
+    print(crossing_cost_table())
+    by_name = {r.scenario: r for r in rows}
+    same = by_name["same-ring call+return"]
+    down = by_name["downward call+upward return"]
+    assert same.hardware_cycles == same.software_cycles
+    assert down.hardware_cycles <= same.hardware_cycles + 5
+    assert down.ratio > 5
+    benchmark.extra_info["hardware_downward"] = down.hardware_cycles
+    benchmark.extra_info["software_downward"] = down.software_cycles
+    benchmark.extra_info["ratio"] = down.ratio
+
+
+def test_c1_hardware_downward(benchmark):
+    spec = RingBracketSpec.procedure(0, callable_from=5)
+
+    def run():
+        return measure_cycles_per_call(True, spec, "tzero", n_small=4, n_large=20)
+
+    benchmark.extra_info["cycles_per_pair"] = benchmark(run)
+
+
+def test_c1_software_downward(benchmark):
+    spec = RingBracketSpec.procedure(0, callable_from=5)
+
+    def run():
+        return measure_cycles_per_call(False, spec, "tzero", n_small=4, n_large=20)
+
+    benchmark.extra_info["cycles_per_pair"] = benchmark(run)

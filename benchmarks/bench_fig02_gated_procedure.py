@@ -1,0 +1,57 @@
+"""Experiment F2 — Figure 2: a gated pure procedure segment.
+
+Regenerates the figure and benchmarks the execute-bracket and gate
+checks that govern it.
+"""
+
+from repro.analysis.figures import FIGURE2_EXAMPLE, render_figure2
+from repro.core.gates import decide_call, gate_ok
+from repro.core.rings import check_execute, permission_table
+
+BRACKETS = FIGURE2_EXAMPLE["brackets"]
+
+
+def test_fig2_table_reproduced(benchmark):
+    table = benchmark(permission_table, BRACKETS, True, False, True)
+    print()
+    print(render_figure2())
+    executes = [row["execute"] for row in table]
+    gates = [row["gate"] for row in table]
+    assert executes == [False] * 3 + [True] * 2 + [False] * 3
+    assert gates == [False] * 5 + [True] * 2 + [False]
+    benchmark.extra_info["execute_bracket"] = list(BRACKETS.execute_bracket)
+    benchmark.extra_info["gate_extension"] = list(BRACKETS.gate_extension)
+
+
+def test_fig2_execute_check_throughput(benchmark):
+    def sweep():
+        return sum(check_execute(ring, BRACKETS, True) for ring in range(8))
+
+    assert benchmark(sweep) == 2  # rings 3 and 4
+
+
+def test_fig2_gate_decision_throughput(benchmark):
+    """Full CALL decisions against the gated example, every ring."""
+
+    def sweep():
+        outcomes = []
+        for ring in range(8):
+            outcomes.append(
+                decide_call(ring, ring, BRACKETS, True, 0, 2, False).outcome.name
+            )
+        return outcomes
+
+    outcomes = benchmark(sweep)
+    # rings 5-6 enter through the gate extension (downward calls)
+    assert outcomes[5] == outcomes[6] == "DOWNWARD"
+    assert outcomes[7] == "FAULT_OUTSIDE_BRACKET"
+
+
+def test_fig2_gate_list_check_throughput(benchmark):
+    def sweep():
+        hits = 0
+        for wordno in range(64):
+            hits += gate_ok(wordno, 2, same_segment=False)
+        return hits
+
+    assert benchmark(sweep) == 2

@@ -1,0 +1,77 @@
+"""Experiment F3 — Figure 3: storage formats and registers.
+
+Benchmarks bit-exact pack/unpack of every format the figure defines and
+prints the layout reproduction.  Correct round-tripping is asserted on
+every iteration, so this doubles as a stress test of the encoding layer.
+"""
+
+from repro.analysis.figures import render_figure3
+from repro.formats.indirect import IndirectWord
+from repro.formats.instruction import Instruction
+from repro.formats.pointerfmt import PackedPointer
+from repro.formats.sdw import SDW
+
+SAMPLE_SDWS = [
+    SDW(addr=a, bound=b, r1=1, r2=3, r3=5, read=True, write=w, execute=True, gate=g)
+    for a, b, w, g in [(0o1000, 64, False, 3), (0o4000, 1024, True, 0), (0, 0, False, 1)]
+]
+
+SAMPLE_INSTRUCTIONS = [
+    Instruction(opcode=op, offset=off, indirect=i, prflag=p, prnum=n, tag=t)
+    for op, off, i, p, n, t in [
+        (0o10, 5, False, False, 0, 0),
+        (0o60, 0o777, True, True, 3, 0),
+        (0o20, 0o123456, False, True, 7, 2),
+    ]
+]
+
+SAMPLE_POINTERS = [
+    IndirectWord(segno=s, wordno=w, ring=r, indirect=i)
+    for s, w, r, i in [(9, 0, 0, False), (0o777, 0o654321, 5, True), (0, 1, 7, False)]
+]
+
+
+def test_fig3_layouts_reproduced(benchmark):
+    text = benchmark(render_figure3)
+    print()
+    print(text)
+    assert "SDW.word0" in text
+
+
+def test_fig3_sdw_roundtrip(benchmark):
+    def roundtrip():
+        for sdw in SAMPLE_SDWS:
+            assert SDW.unpack(*sdw.pack()) == sdw
+
+    benchmark(roundtrip)
+
+
+def test_fig3_instruction_roundtrip(benchmark):
+    def roundtrip():
+        for inst in SAMPLE_INSTRUCTIONS:
+            assert Instruction.unpack(inst.pack()) == inst
+
+    benchmark(roundtrip)
+
+
+def test_fig3_indirect_roundtrip(benchmark):
+    def roundtrip():
+        for ind in SAMPLE_POINTERS:
+            assert IndirectWord.unpack(ind.pack()) == ind
+
+    benchmark(roundtrip)
+
+
+def test_fig3_pointer_indirect_equivalence(benchmark):
+    """PRs and indirect words share one format (paper p. 24)."""
+
+    def check():
+        for ind in SAMPLE_POINTERS:
+            ptr = PackedPointer.unpack(ind.pack())
+            assert (ptr.segno, ptr.wordno, ptr.ring) == (
+                ind.segno,
+                ind.wordno,
+                ind.ring,
+            )
+
+    benchmark(check)

@@ -1,0 +1,93 @@
+"""Experiment F5 — Figure 5: effective-address formation.
+
+Benchmarks the effective-address unit across the figure's dimensions:
+direct, PR-relative, and indirect chains of growing depth, printing the
+TPR.RING evolution the figure specifies.  Each extra indirection hop
+costs exactly one validated read (one simulated cycle when SDWs are
+cached), and the effective ring is the running max of every influence.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tests"))
+
+from helpers import BareMachine, ind_word  # noqa: E402
+
+from repro.analysis.figures import render_figure5
+from repro.cpu.address import form_effective_address
+from repro.formats.instruction import Instruction
+
+
+def _machine_with_chain(depth, ring_fields):
+    """Segment 9 holds a chain of ``depth`` indirect words ending at
+    word 100; hop i carries RING = ring_fields[i]."""
+    bm = BareMachine()
+    bm.add_code(8, [0] * 4, ring=4)
+    words = [0] * 128
+    for i in range(depth):
+        chained = i + 1 < depth
+        target = (9, i + 1) if chained else (9, 100)
+        words[i] = ind_word(target[0], target[1], ring=ring_fields[i], chained=chained)
+    # write bracket ends at 4 (the influence that matters) but reads are
+    # open to every ring so raised effective rings can keep chasing
+    bm.add_segment(9, words, r1=4, r2=7, r3=7, read=True, write=True, execute=False)
+    bm.start(8, 0, ring=4)
+    return bm
+
+
+def _inst(depth):
+    return Instruction(
+        opcode=0o010, offset=0, indirect=depth > 0, prflag=True, prnum=1
+    )
+
+
+@pytest.mark.parametrize("depth", [0, 1, 2, 4, 8])
+def test_fig5_indirection_depth(benchmark, depth):
+    rings = [0] * max(depth, 1)
+    bm = _machine_with_chain(depth, rings)
+    bm.regs.pr(1).load(9, 0, 4)
+    inst = _inst(depth)
+
+    def form():
+        return form_effective_address(bm.proc, inst)
+
+    tpr = benchmark(form)
+    expected_wordno = 100 if depth else 0
+    assert tpr.wordno == expected_wordno
+    benchmark.extra_info["depth"] = depth
+
+
+def test_fig5_ring_evolution_printed(benchmark):
+    """Reproduce the figure's ring evolution along a concrete chain."""
+    rings = [2, 6, 3, 0]
+    bm = _machine_with_chain(4, rings)
+    bm.regs.pr(1).load(9, 0, 4)
+    inst = _inst(4)
+
+    tpr = benchmark(lambda: form_effective_address(bm.proc, inst))
+    print()
+    print(render_figure5())
+    print()
+    print(f"  concrete chain: cur=4, PR.RING=4, hops carry RING={rings},")
+    print(f"  holder write-top R1=4  =>  TPR.RING = {tpr.ring}")
+    assert tpr.ring == 6  # max(4, 2, 6, 3, 0, R1=4)
+    benchmark.extra_info["final_ring"] = tpr.ring
+
+
+def test_fig5_pr_relative_vs_direct(benchmark):
+    """PR-relative addressing adds no memory traffic over direct."""
+    bm = _machine_with_chain(0, [0])
+    bm.regs.pr(1).load(9, 7, 4)
+    direct = Instruction(opcode=0o010, offset=7)
+    relative = Instruction(opcode=0o010, offset=0, prflag=True, prnum=1)
+
+    def both():
+        a = form_effective_address(bm.proc, direct)
+        b = form_effective_address(bm.proc, relative)
+        return a.wordno, b.wordno
+
+    wordnos = benchmark(both)
+    assert wordnos == (7, 7)

@@ -1,0 +1,78 @@
+"""Experiment F6 — Figure 6: operand read/write validation.
+
+Benchmarks the live read and write paths (LDA/STA loops through a
+pointer register) and the pure decision table.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tests"))
+
+from helpers import BareMachine, asm_inst, halt_word  # noqa: E402
+
+from repro.analysis.decision_tables import read_write_decision_table
+from repro.analysis.figures import render_figure6
+from repro.cpu.isa import Op
+
+
+def _loop_machine(op, count=100):
+    """A program performing ``count`` operand references via PR1."""
+    bm = BareMachine()
+    words = [
+        asm_inst(Op.LDA, offset=count, immediate=True),
+        # loop: the operand reference, then count down
+        asm_inst(op, offset=0, pr=1),
+        asm_inst(Op.SBA, offset=1, immediate=True) if op is not Op.LDA
+        else asm_inst(Op.SBA, offset=1, immediate=True),
+        asm_inst(Op.TNZ, offset=1),
+        halt_word(),
+    ]
+    # LDA as the measured op would clobber the counter; use Q loads
+    bm.add_code(8, words, ring=4)
+    bm.add_data(9, [0] * 8, ring=4)
+    bm.start(8, 0, ring=4)
+    bm.regs.pr(1).load(9, 0, 4)
+    return bm
+
+
+def test_fig6_decision_table(benchmark):
+    rows = benchmark(read_write_decision_table)
+    print()
+    print(render_figure6())
+    assert len(rows) == 120 * 4 * 8
+
+
+def test_fig6_read_loop(benchmark):
+    def run():
+        bm = _loop_machine(Op.LDQ)
+        bm.run()
+        return bm.proc.cycles
+
+    cycles = benchmark(run)
+    benchmark.extra_info["cycles"] = cycles
+
+
+def test_fig6_write_loop(benchmark):
+    def run():
+        bm = _loop_machine(Op.STQ)
+        bm.run()
+        return bm.proc.cycles
+
+    cycles = benchmark(run)
+    benchmark.extra_info["cycles"] = cycles
+
+
+def test_fig6_read_write_cost_parity(benchmark):
+    """Read and write validation cost the same — both are one bracket
+    comparison plus the operand transfer."""
+
+    def run():
+        read = _loop_machine(Op.LDQ)
+        read.run()
+        write = _loop_machine(Op.STQ)
+        write.run()
+        return read.proc.cycles, write.proc.cycles
+
+    read_cycles, write_cycles = benchmark(run)
+    assert read_cycles == write_cycles

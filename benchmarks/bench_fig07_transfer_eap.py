@@ -1,0 +1,89 @@
+"""Experiment F7 — Figure 7: non-referencing instructions.
+
+Benchmarks the two halves of the figure: EAP-type pointer loads (no
+validation at all) and plain transfers (ring-change refusal plus the
+fetch advance check), plus the exhaustive transfer decision table.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tests"))
+
+from helpers import BareMachine, asm_inst, halt_word  # noqa: E402
+
+from repro.analysis.decision_tables import transfer_decision_table
+from repro.analysis.figures import render_figure7
+from repro.cpu.isa import Op
+
+
+def test_fig7_decision_table(benchmark):
+    rows = benchmark(transfer_decision_table)
+    print()
+    print(render_figure7())
+    refused = sum(
+        1 for r in rows if r["eff_ring"] != r["cur_ring"] and r["allowed"]
+    )
+    assert refused == 0
+
+
+def test_fig7_eap_loop(benchmark):
+    """EAP throughput: one instruction, zero operand memory traffic."""
+
+    def run():
+        bm = BareMachine()
+        words = [asm_inst(Op.LDA, offset=50, immediate=True)]
+        words += [
+            asm_inst(Op.EAP2, offset=3),
+            asm_inst(Op.SBA, offset=1, immediate=True),
+            asm_inst(Op.TNZ, offset=1),
+            halt_word(),
+        ]
+        bm.add_code(8, words, ring=4)
+        bm.start(8, 0, ring=4)
+        bm.run()
+        return bm.proc.cycles
+
+    benchmark.extra_info["cycles"] = benchmark(run)
+
+
+def test_fig7_transfer_loop(benchmark):
+    """Tight TRA loop: fetch + advance check per iteration."""
+
+    def run():
+        bm = BareMachine()
+        words = [
+            asm_inst(Op.LDA, offset=50, immediate=True),
+            asm_inst(Op.SBA, offset=1, immediate=True),
+            asm_inst(Op.TZE, offset=4),
+            asm_inst(Op.TRA, offset=1),
+            halt_word(),
+        ]
+        bm.add_code(8, words, ring=4)
+        bm.start(8, 0, ring=4)
+        bm.run()
+        return bm.proc.stats.instructions
+
+    benchmark(run)
+
+
+def test_fig7_eap_cheaper_than_load(benchmark):
+    """An EAP costs less than a memory load: no operand reference."""
+
+    def run():
+        results = {}
+        for key, op_word in (
+            ("eap", asm_inst(Op.EAP2, offset=3)),
+            ("load", asm_inst(Op.LDQ, offset=3)),
+        ):
+            bm = BareMachine()
+            bm.add_code(8, [op_word] * 50 + [halt_word()], ring=4, write=False)
+            # make the code segment readable so LDQ of word 3 is legal
+            bm.start(8, 0, ring=4)
+            bm.run()
+            results[key] = bm.proc.cycles
+        return results
+
+    results = benchmark(run)
+    assert results["eap"] < results["load"]
+    benchmark.extra_info.update(results)

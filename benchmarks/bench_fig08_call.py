@@ -1,0 +1,70 @@
+"""Experiment F8 — Figure 8: the CALL instruction.
+
+Benchmarks the complete CALL path on the live system — same-ring calls
+and downward calls through gates — plus the exhaustive decision table,
+and prints the figure.  The downward call executing in the same handful
+of cycles as the same-ring call *is* the paper's contribution.
+"""
+
+from repro.analysis.decision_tables import call_decision_table
+from repro.analysis.figures import render_figure8
+
+from conftest import build_call_loop_machine
+
+
+def test_fig8_decision_table(benchmark):
+    rows = benchmark(call_decision_table)
+    print()
+    print(render_figure8())
+    assert rows
+
+
+def _cycles_per_pair(machine, process, count):
+    result = machine.run(process, "caller$main", ring=4)
+    assert result.halted
+    return result.cycles / count
+
+
+def test_fig8_same_ring_call_loop(benchmark):
+    def run():
+        machine, process = build_call_loop_machine(target_ring=4, count=16)
+        return _cycles_per_pair(machine, process, 16)
+
+    benchmark.extra_info["cycles_per_pair"] = benchmark(run)
+
+
+def test_fig8_downward_call_loop(benchmark):
+    def run():
+        machine, process = build_call_loop_machine(target_ring=0, count=16)
+        return _cycles_per_pair(machine, process, 16)
+
+    benchmark.extra_info["cycles_per_pair"] = benchmark(run)
+
+
+def test_fig8_downward_vs_same_ring_parity(benchmark):
+    """The figure's performance story: the ring switch adds only the
+    constant bookkeeping cycles, not a trap."""
+
+    def run():
+        same_m, same_p = build_call_loop_machine(target_ring=4, count=16)
+        down_m, down_p = build_call_loop_machine(target_ring=0, count=16)
+        return (
+            _cycles_per_pair(same_m, same_p, 16),
+            _cycles_per_pair(down_m, down_p, 16),
+        )
+
+    same, down = benchmark(run)
+    assert down - same < 5
+    benchmark.extra_info["same_ring"] = same
+    benchmark.extra_info["downward"] = down
+
+
+def test_fig8_gate_check_cost(benchmark):
+    """Gate-word comparison adds nothing measurable: gated and gateless
+    same-segment calls cost the same per pair."""
+
+    def run():
+        machine, process = build_call_loop_machine(target_ring=4, count=16)
+        return _cycles_per_pair(machine, process, 16)
+
+    benchmark(run)

@@ -1,0 +1,57 @@
+"""Experiment F9 — Figure 9: the RETURN instruction.
+
+Benchmarks upward returns (including the sweep raising every PRn.RING)
+against same-ring returns, plus the exhaustive decision table.
+"""
+
+from repro.analysis.decision_tables import return_decision_table
+from repro.analysis.figures import render_figure9
+
+from conftest import build_call_loop_machine
+
+
+def test_fig9_decision_table(benchmark):
+    rows = benchmark(return_decision_table)
+    print()
+    print(render_figure9())
+    assert rows
+
+
+def test_fig9_upward_return_loop(benchmark):
+    """Each loop iteration performs one upward return (ring 0 -> 4)."""
+
+    def run():
+        machine, process = build_call_loop_machine(target_ring=0, count=16)
+        result = machine.run(process, "caller$main", ring=4)
+        assert result.ring_crossings == 32  # 16 down + 16 up
+        return result.cycles
+
+    benchmark.extra_info["cycles"] = benchmark(run)
+
+
+def test_fig9_pr_raising_is_cheap(benchmark):
+    """The all-PRs ring sweep is register work, not memory work: the
+    upward return adds only the constant crossing cycles."""
+
+    def run():
+        same_m, same_p = build_call_loop_machine(target_ring=4, count=16)
+        same = same_m.run(same_p, "caller$main", ring=4).cycles
+        down_m, down_p = build_call_loop_machine(target_ring=0, count=16)
+        down = down_m.run(down_p, "caller$main", ring=4).cycles
+        return (down - same) / 16
+
+    extra_per_pair = benchmark(run)
+    assert extra_per_pair < 5
+    benchmark.extra_info["extra_cycles_per_crossing_pair"] = extra_per_pair
+
+
+def test_fig9_return_ring_guarantee(benchmark):
+    """Replaying the whole loop, the machine always lands back in the
+    caller's ring — never lower (paper p. 34)."""
+
+    def run():
+        machine, process = build_call_loop_machine(target_ring=0, count=8)
+        result = machine.run(process, "caller$main", ring=4)
+        return result.ring
+
+    assert benchmark(run) == 4

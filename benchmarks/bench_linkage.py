@@ -1,0 +1,81 @@
+"""Experiment D1 — dynamic linking: the cost profile of link snapping.
+
+Multics context rather than paper text: inter-segment links resolve
+lazily via linkage faults.  The benchmark shows the one-time cost of the
+first reference (trap + snap) and that subsequent references are exactly
+as cheap as eagerly linked ones — and that a snapped CALL still performs
+its full Figure 8 validation.
+"""
+
+from repro.core.acl import AclEntry, RingBracketSpec
+from repro.sim.machine import Machine
+
+USER_ACL = [AclEntry("*", RingBracketSpec.procedure(4))]
+
+LOOP = """
+        .seg    caller
+main::  lda     =COUNT
+loop:   eap4    back
+        call    l_callee,*
+back:   sba     =1
+        tnz     loop
+        halt
+l_callee: .its  callee$entry
+"""
+
+CALLEE = """
+        .seg    callee
+        .gates  1
+entry:: return  pr4|0
+"""
+
+
+def _run(lazy, count=16):
+    machine = Machine(services=False, lazy_linking=lazy)
+    user = machine.add_user("u")
+    machine.store_program(
+        ">b>callee",
+        CALLEE,
+        acl=[AclEntry("*", RingBracketSpec.procedure(0, callable_from=5))],
+    )
+    machine.store_program(
+        ">b>caller", LOOP.replace("COUNT", str(count)), acl=USER_ACL
+    )
+    process = machine.login(user)
+    machine.initiate(process, ">b>caller")
+    result = machine.run(process, "caller$main", ring=4)
+    assert result.halted
+    return machine, result
+
+
+def test_d1_eager(benchmark):
+    benchmark.extra_info["cycles"] = benchmark(lambda: _run(False)[1].cycles)
+
+
+def test_d1_lazy(benchmark):
+    benchmark.extra_info["cycles"] = benchmark(lambda: _run(True)[1].cycles)
+
+
+def test_d1_snap_cost_is_one_time(benchmark):
+    """Marginal per-call cost is identical lazy vs eager: only the first
+    reference pays."""
+
+    def run():
+        costs = {}
+        for lazy in (False, True):
+            small = _run(lazy, count=8)[1].cycles
+            large = _run(lazy, count=32)[1].cycles
+            costs[lazy] = (large - small) / 24
+        return costs
+
+    costs = benchmark(run)
+    assert costs[False] == costs[True]
+    benchmark.extra_info["cycles_per_call"] = costs[True]
+
+
+def test_d1_exactly_one_snap(benchmark):
+    def run():
+        machine, _ = _run(True)
+        return machine.supervisor.linkage.snaps
+
+    assert benchmark(run) == 1

@@ -1,0 +1,69 @@
+"""Experiment M1 — processor multiplexing overhead vs quantum size.
+
+Time-sharing is pure overhead from a single program's point of view:
+every context switch costs a state save, a DBR load (flushing the SDW
+associative memory), and a restore.  Sweeping the quantum shows the
+classic trade-off — small quanta interleave finely but pay both the
+switch cost and the post-switch SDW-cache misses.
+"""
+
+from repro.core.acl import AclEntry, RingBracketSpec
+from repro.sim.machine import Machine
+
+USER_ACL = [AclEntry("*", RingBracketSpec.procedure(4))]
+
+WORKER = """
+        .seg    NAME
+main::  lda     =40
+loop:   sba     =1
+        tnz     loop
+        halt
+"""
+
+
+def run_with_quantum(quantum):
+    machine = Machine(services=False)
+    users = [machine.add_user(f"u{i}") for i in range(2)]
+    processes = []
+    for i, user in enumerate(users):
+        machine.store_program(
+            f">b>w{i}", WORKER.replace("NAME", f"w{i}"), acl=USER_ACL
+        )
+        process = machine.login(user)
+        machine.initiate(process, f">b>w{i}")
+        processes.append(process)
+    scheduler = machine.make_scheduler(quantum=quantum)
+    for i, process in enumerate(processes):
+        scheduler.add(process, f"w{i}$main", ring=4)
+    total = scheduler.run()
+    return machine.processor.cycles, total, scheduler.context_switches
+
+
+def test_m1_small_quantum(benchmark):
+    cycles, instructions, switches = benchmark(lambda: run_with_quantum(5))
+    benchmark.extra_info.update(
+        cycles=cycles, instructions=instructions, switches=switches
+    )
+
+
+def test_m1_large_quantum(benchmark):
+    cycles, instructions, switches = benchmark(lambda: run_with_quantum(200))
+    benchmark.extra_info.update(
+        cycles=cycles, instructions=instructions, switches=switches
+    )
+
+
+def test_m1_overhead_shrinks_with_quantum(benchmark):
+    def run():
+        return {q: run_with_quantum(q) for q in (5, 20, 200)}
+
+    results = benchmark(run)
+    # identical work at every quantum...
+    instruction_counts = {r[1] for r in results.values()}
+    assert len(instruction_counts) == 1
+    # ...but cycles fall monotonically as the quantum grows
+    cycles = [results[q][0] for q in (5, 20, 200)]
+    assert cycles[0] > cycles[1] > cycles[2]
+    benchmark.extra_info["cycles_by_quantum"] = {
+        str(q): results[q][0] for q in (5, 20, 200)
+    }

@@ -1,0 +1,54 @@
+"""Experiment S1 — cost-model sensitivity of the C1 result.
+
+Sweeps the two free constants (hardware trap overhead, software
+crossing-handler work) and verifies the paper's qualitative claim at
+every point: software rings always cost more per crossing, and the
+hardware's downward call stays trap-free regardless.
+"""
+
+from repro.analysis.sweeps import (
+    crossover_handler_cycles,
+    render_sweep,
+    sweep_crossing_costs,
+)
+
+
+def test_s1_sweep(benchmark):
+    points = benchmark.pedantic(
+        sweep_crossing_costs, rounds=1, iterations=1
+    )
+    print()
+    print(render_sweep(points))
+    # hardware cost is independent of both knobs (no trap on the path)
+    hardware_costs = {p.hardware_cycles for p in points}
+    assert len(hardware_costs) == 1
+    # software always costs more, at every point in the sweep
+    assert all(p.ratio > 1 for p in points)
+    # and the penalty grows with handler cost
+    by_handler = sorted(
+        (p for p in points if p.trap_overhead == 30),
+        key=lambda p: p.handler_cycles,
+    )
+    ratios = [p.ratio for p in by_handler]
+    assert ratios == sorted(ratios)
+
+
+def test_s1_crossover_is_at_zero(benchmark):
+    """Software rings match hardware only with a zero-cost handler and
+    zero-cost trap — i.e. never, which is the paper's argument made
+    quantitative."""
+    crossover = benchmark.pedantic(
+        crossover_handler_cycles, kwargs={"trap_overhead": 0}, rounds=1,
+        iterations=1,
+    )
+    assert crossover == 0
+
+
+def test_s1_with_real_trap_no_crossover(benchmark):
+    """With any nonzero trap overhead there is no handler cost at which
+    software rings catch up."""
+    crossover = benchmark.pedantic(
+        crossover_handler_cycles, kwargs={"trap_overhead": 30}, rounds=1,
+        iterations=1,
+    )
+    assert crossover == -1

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Self-protection: debugging an untested program in ring 5 (p. 37).
+
+"A user may debug a program by executing it in ring 5, where only
+procedure and data segments intended to be referenced by the program
+would be made accessible.  The ring protection mechanisms would detect
+many of the addressing errors that could be made by the program and
+would prevent the untested program from accidently damaging other
+segments accessible from ring 4."
+
+The same buggy binary is run twice: once in ring 5 (the bug is caught,
+ring-4 data survives) and once promoted to ring 4 after "certification"
+(it runs — programming generality: the protection environment changed,
+the program did not).
+
+Run:  python examples/debug_ring5.py
+"""
+
+from repro import AclEntry, Fault, Machine, RingBracketSpec
+
+BUGGY = """
+; buggy - writes through a wild pointer into ring-4 data
+        .seg    buggy
+main::  lda     =123
+        sta     l_wild,*       ; the addressing error
+        halt
+l_wild: .its    precious
+"""
+
+SCRATCH_ACL = [AclEntry("*", RingBracketSpec.data(5))]   # debug workspace
+PRECIOUS_ACL = [AclEntry("*", RingBracketSpec.data(4))]  # ring-4 data
+
+
+def main() -> None:
+    machine = Machine()
+    dev = machine.add_user("dev")
+
+    machine.store_data(">udd>dev>precious", [7, 7, 7, 7], acl=PRECIOUS_ACL)
+    machine.store_data(">udd>dev>scratch", [0, 0, 0, 0], acl=SCRATCH_ACL)
+    machine.store_program(
+        ">udd>dev>buggy",
+        BUGGY,
+        acl=[
+            # debug grant: executable in ring 5
+            AclEntry("*", RingBracketSpec(r1=4, r2=5, r3=5, read=True, execute=True)),
+        ],
+    )
+
+    process = machine.login(dev)
+    machine.initiate(process, ">udd>dev>buggy")
+
+    print("== run the untested program in ring 5 ==")
+    try:
+        machine.run(process, "buggy$main", ring=5)
+    except Fault as fault:
+        print(f"   caught by ring hardware: {fault.code.name}")
+        print(f"   at instruction ({fault.at_segno},{fault.at_wordno}), "
+              f"target ({fault.segno},{fault.wordno}), effective ring {fault.ring}")
+
+    precious = machine.supervisor.activate(">udd>dev>precious")
+    data = machine.memory.snapshot(precious.placed.addr, 4)
+    print(f"   ring-4 data after the crash: {data}  (unharmed)")
+    assert data == [7, 7, 7, 7]
+
+    print("== the developer decides the write was intended; certify to ring 4 ==")
+    result = machine.run(process, "buggy$main", ring=4)
+    data = machine.memory.snapshot(precious.placed.addr, 4)
+    print(f"   ran to completion in ring 4; data now {data}")
+    assert result.halted and data[0] == 123
+
+    print()
+    print("One binary, two protection environments — no change to the")
+    print("program's internal structure (programming generality, p. 5).")
+
+
+if __name__ == "__main__":
+    main()

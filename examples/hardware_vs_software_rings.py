@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""The headline claim, measured: hardware rings vs the 645 baseline.
+
+"Using these improved hardware access control mechanisms, downward
+calls and upward returns occur without the intervention of a
+supervisor procedure and are performed by the same object code
+sequences that perform all calls and returns" (paper p. 18).
+
+The same workload — a loop of call/return pairs — runs on both
+simulated machines, against a same-ring callee and a ring-0 gated
+callee.  On the new hardware, the downward call costs the same few
+cycles as the same-ring call; on the 645 model every crossing traps to
+the supervisor and pays two orders of magnitude more.
+
+Run:  python examples/hardware_vs_software_rings.py
+"""
+
+from repro.analysis.report import crossing_cost_experiment, format_table
+
+
+def main() -> None:
+    rows = crossing_cost_experiment()
+    print(
+        format_table(
+            ["scenario", "hardware rings", "645 software rings", "ratio"],
+            [
+                [
+                    row.scenario,
+                    f"{row.hardware_cycles:.1f} cycles",
+                    f"{row.software_cycles:.1f} cycles",
+                    f"{row.ratio:.1f}x",
+                ]
+                for row in rows
+            ],
+            title="Cost of one call/return pair (marginal simulated cycles)",
+        )
+    )
+    same, down = rows
+    print()
+    print(
+        f"On the new hardware a downward call costs "
+        f"{down.hardware_cycles - same.hardware_cycles:+.1f} cycles over a "
+        f"same-ring call;\non the 645 it costs "
+        f"{down.software_cycles - same.software_cycles:+.1f}. "
+        "\"A call by a user procedure to a protected subsystem is identical"
+        "\nto a call to a companion user procedure\" — the abstract, reproduced."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""The limitation the paper owns up to: no mutually suspicious programs.
+
+"The subset access property of rings of protection does not provide for
+what may be called 'mutually suspicious programs' operating under the
+control of a single process" (Conclusions, p. 38).  Rings are totally
+ordered: whichever of two subsystems gets the lower number can read and
+write everything the higher one can — protection is one-directional by
+construction.
+
+This demo sets up vendor A's subsystem in ring 2 and vendor B's in ring
+3 of the same process, each with "private" data bracketed to its own
+ring, and shows:
+
+* B (ring 3) cannot touch A's ring-2 data — the rings protect A;
+* A (ring 2) reads B's ring-3 data freely — *nothing* protects B,
+  because every ring-3 capability is a subset of ring 2's;
+* swapping the assignment merely swaps the victim.
+
+The paper accepts this as the price of the total ordering that makes
+the hardware simple ("it is just that subset property which imposes an
+organization which is easy to understand").  Capability systems (its
+refs [5, 8, 13]) are the roads not taken here.
+
+Run:  python examples/mutual_suspicion.py
+"""
+
+from repro import AclEntry, Fault, Machine, RingBracketSpec
+
+
+def build(machine):
+    user = machine.add_user("u")
+    machine.store_data(
+        ">vendors>a_secret", [0o101], acl=[AclEntry("*", RingBracketSpec.data(2))]
+    )
+    machine.store_data(
+        ">vendors>b_secret", [0o102], acl=[AclEntry("*", RingBracketSpec.data(3))]
+    )
+    # vendor B's code, running in ring 3, tries to read A's secret
+    machine.store_program(
+        ">vendors>b_spy",
+        """
+        .seg    b_spy
+        .gates  1
+spy::   lda     l_a,*
+        return  pr4|0
+l_a:    .its    a_secret
+""",
+        acl=[AclEntry("*", RingBracketSpec.procedure(3, callable_from=5))],
+    )
+    # vendor A's code, running in ring 2, reads B's secret
+    machine.store_program(
+        ">vendors>a_spy",
+        """
+        .seg    a_spy
+        .gates  1
+spy::   lda     l_b,*
+        return  pr4|0
+l_b:    .its    b_secret
+""",
+        acl=[AclEntry("*", RingBracketSpec.procedure(2, callable_from=5))],
+    )
+    machine.store_program(
+        ">u>driver",
+        """
+        .seg    driver
+main::  eap4    back
+        call    l_spy,*
+back:   halt
+l_spy:  .its    TARGET$spy
+""".replace("TARGET", "b_spy"),
+        acl=[AclEntry("*", RingBracketSpec.procedure(4))],
+    )
+    machine.store_program(
+        ">u>driver2",
+        """
+        .seg    driver2
+main::  eap4    back
+        call    l_spy,*
+back:   halt
+l_spy:  .its    a_spy$spy
+""",
+        acl=[AclEntry("*", RingBracketSpec.procedure(4))],
+    )
+    process = machine.login(user)
+    machine.initiate(process, ">u>driver")
+    machine.initiate(process, ">u>driver2")
+    return process
+
+
+def main() -> None:
+    machine = Machine(services=False)
+    process = build(machine)
+
+    print("== vendor B (ring 3) attacks vendor A's ring-2 data ==")
+    try:
+        machine.run(process, "driver$main", ring=4)
+    except Fault as fault:
+        print(f"   blocked by the rings: {fault.code.name}")
+
+    print("== vendor A (ring 2) attacks vendor B's ring-3 data ==")
+    result = machine.run(process, "driver2$main", ring=4)
+    print(f"   succeeds: A read B's secret word = {result.a:#o}")
+    assert result.a == 0o102
+
+    print()
+    print("Protection between A and B is one-directional: the inner ring")
+    print("always wins.  The paper names this the cost of the nested-subset")
+    print("property — the very property that made the hardware implementable.")
+
+
+if __name__ == "__main__":
+    main()

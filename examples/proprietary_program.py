@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""A proprietary protected subsystem: callable but not readable.
+
+The paper's market-place example (p. 37): "a proprietary compiler"
+offered as a protected subsystem.  Alice sells the *use* of her
+algorithm without revealing its text: the ACL entry she grants bob has
+the execute flag on and the **read flag off** — instruction fetch needs
+only the execute bracket (Figure 4), but every attempt to read the
+segment as data is refused (Figure 6).
+
+Bob can call the gate and get answers; he cannot disassemble, copy, or
+even load a single word of the code.  Alice, matching her own ACL
+entry, reads it freely.
+
+Run:  python examples/proprietary_program.py
+"""
+
+from repro import AclEntry, Fault, Machine, RingBracketSpec
+
+#: Alice's secret-sauce algorithm (three-instruction trade secret).
+SECRET_ALGORITHM = """
+        .seg    magic
+        .gates  1
+compute:: als   2              ; the proprietary transformation:
+        ada     =7             ;   f(x) = 4x + 7
+        return  pr4|0
+"""
+
+CLIENT = """
+        .seg    client
+main::  lda     =5
+        eap4    back
+        call    l_magic,*
+back:   halt                   ; A = f(5) = 27
+l_magic: .its   magic$compute
+"""
+
+PIRATE = """
+        .seg    pirate
+main::  lda     l_code,*       ; try to read the algorithm's first word
+        halt
+l_code: .its    magic
+"""
+
+
+def main() -> None:
+    machine = Machine(services=False)
+    alice = machine.add_user("alice")
+    bob = machine.add_user("bob")
+
+    machine.store_program(
+        ">udd>alice>magic",
+        SECRET_ALGORITHM,
+        owner=alice,
+        acl=[
+            # alice: full access to her own property
+            AclEntry(
+                "alice",
+                RingBracketSpec(r1=4, r2=4, r3=5, read=True, execute=True, gate=1),
+            ),
+            # everyone else: execute-only, through the gate
+            AclEntry(
+                "*",
+                RingBracketSpec(r1=4, r2=4, r3=5, read=False, execute=True, gate=1),
+            ),
+        ],
+    )
+    machine.store_program(
+        ">udd>bob>client",
+        CLIENT,
+        owner=bob,
+        acl=[AclEntry("*", RingBracketSpec.procedure(4))],
+    )
+    machine.store_program(
+        ">udd>bob>pirate",
+        PIRATE,
+        owner=bob,
+        acl=[AclEntry("*", RingBracketSpec.procedure(4))],
+    )
+
+    process = machine.login(bob)
+    machine.initiate(process, ">udd>bob>client")
+    machine.initiate(process, ">udd>bob>pirate")
+
+    print("== bob uses the proprietary subsystem ==")
+    result = machine.run(process, "client$main", ring=4)
+    print(f"   magic$compute(5) = {result.a}")
+    assert result.a == 27
+
+    print("== bob tries to read the algorithm ==")
+    try:
+        machine.run(process, "pirate$main", ring=4)
+    except Fault as fault:
+        print(f"   refused: {fault.code.name} — execute permission does not imply read")
+
+    print("== alice, the owner, reads her own code ==")
+    alice_process = machine.login(alice)
+    machine.initiate(alice_process, ">udd>alice>magic")
+    machine.store_program(
+        ">udd>alice>reader",
+        PIRATE.replace(".seg    pirate", ".seg    owner_reader"),
+        owner=alice,
+        acl=[AclEntry("*", RingBracketSpec.procedure(4))],
+    )
+    machine.initiate(alice_process, ">udd>alice>reader")
+    result = machine.run(alice_process, "owner_reader$main", ring=4)
+    print(f"   first word of her code: {result.a:#o}")
+
+    print()
+    print("One segment, two ACL entries: the same physical code is a black")
+    print("box to bob and an open book to alice — access control per user,")
+    print("per capability, enforced on every reference.")
+
+
+if __name__ == "__main__":
+    main()

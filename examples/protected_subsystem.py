@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""The paper's motivating example: an audited protected subsystem.
+
+"User A may wish to allow user B to access a sensitive data segment,
+but only through a special program, provided by A, that audits
+references to the segment" (paper pp. 9-10).
+
+Alice owns a sensitive segment whose read/write brackets end at ring 2,
+plus an audit procedure that executes in ring 2 with gates callable
+from the user rings.  Bob's ring-4 process can obtain the data only by
+calling the gate; every access leaves an audit record; any attempt to
+read the segment directly, to jump past the gate, or to patch the audit
+code is refused by the hardware.
+
+Run:  python examples/protected_subsystem.py
+"""
+
+from repro import AclEntry, Fault, Machine, RingBracketSpec
+
+SECRETS = [1111, 2222, 3333]
+
+AUDIT = """
+; audit - alice's ring-2 protected subsystem; gate at word 0
+        .seg    audit
+        .gates  1
+read::  tra     body           ; the only legitimate entrance
+body:   aos     l_count,*      ; audit: count this access
+        eap2    l_secret,*     ; PR2 := base of the secret table
+        lda     pr2|0,x        ; A(low) indexes off the base pointer
+        return  pr4|0
+l_count:  .its  auditlog
+l_secret: .its  secrets
+"""
+
+READER = """
+; reader - bob's well-behaved client
+        .seg    reader
+main::  lda     =1             ; ask for secret #1
+        eap4    back
+        call    l_read,*
+back:   halt
+l_read: .its    audit$read
+"""
+
+THIEF = """
+; thief - bob tries to read the secrets directly
+        .seg    thief
+main::  lda     l_secret,*
+        halt
+l_secret: .its  secrets
+"""
+
+SNEAK = """
+; sneak - bob tries to CALL past the gate into the audit body
+        .seg    sneak
+main::  eap4    back
+        call    l_body,*
+back:   halt
+l_body: .its    audit$read+1   ; word 1 is not a gate
+"""
+
+
+def main() -> None:
+    machine = Machine()
+    alice = machine.add_user("alice")
+    bob = machine.add_user("bob")
+
+    machine.store_data(
+        ">udd>alice>secrets",
+        SECRETS,
+        owner=alice,
+        acl=[AclEntry("*", RingBracketSpec.data(2))],  # ring <= 2 only
+    )
+    machine.store_data(
+        ">udd>alice>auditlog",
+        [0],
+        owner=alice,
+        acl=[AclEntry("*", RingBracketSpec.data(2))],
+    )
+    machine.store_program(
+        ">udd>alice>audit",
+        AUDIT,
+        owner=alice,
+        acl=[AclEntry("*", RingBracketSpec.procedure(2, callable_from=5))],
+    )
+    for path, src in ((">udd>bob>reader", READER), (">udd>bob>thief", THIEF), (">udd>bob>sneak", SNEAK)):
+        machine.store_program(
+            path, src, owner=bob, acl=[AclEntry("*", RingBracketSpec.procedure(4))]
+        )
+
+    process = machine.login(bob)
+    machine.initiate(process, ">udd>bob>reader")
+    machine.initiate(process, ">udd>bob>thief")
+    machine.initiate(process, ">udd>bob>sneak")
+
+    print("== 1. bob reads through alice's audit gate ==")
+    result = machine.run(process, "reader$main", ring=4)
+    print(f"   secret #1 = {result.a}; returned to ring {result.ring}")
+    assert result.a == SECRETS[1]
+
+    result = machine.run(process, "reader$main", ring=4)
+    log = machine.supervisor.activate(">udd>alice>auditlog")
+    count = machine.memory.snapshot(log.placed.addr, 1)[0]
+    print(f"   audit log records {count} accesses")
+    assert count == 2
+
+    print("== 2. bob tries to read the secrets directly ==")
+    try:
+        machine.run(process, "thief$main", ring=4)
+    except Fault as fault:
+        print(f"   refused by hardware: {fault.code.name} ({fault.code.label})")
+
+    print("== 3. bob tries to call past the gate ==")
+    try:
+        machine.run(process, "sneak$main", ring=4)
+    except Fault as fault:
+        print(f"   refused by hardware: {fault.code.name} ({fault.code.label})")
+
+    print()
+    print("The sensitive segment was reachable only through alice's audit")
+    print("program, exactly as the paper's protected-subsystem story requires.")
+
+
+if __name__ == "__main__":
+    main()

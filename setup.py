@@ -1,0 +1,15 @@
+"""Setup shim for offline editable installs (no wheel package available)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Behavioural reproduction of Schroeder & Saltzer's hardware "
+        "protection rings (SOSP 1971)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,125 @@
+"""repro — Schroeder & Saltzer's hardware protection rings, reproduced.
+
+A behavioural, cycle-counted reproduction of "A Hardware Architecture
+for Implementing Protection Rings" (3rd SOSP, 1971; CACM 15(3), 1972):
+a segmented 36-bit processor with ring brackets in the segment
+descriptor words, effective-ring address formation, gate-checked CALL
+and ring-raising RETURN instructions, the software assists the paper
+assigns to the supervisor (upward calls, downward returns), and the
+Honeywell-645 software-rings baseline it improves on.
+
+Quick start::
+
+    from repro import Machine, AclEntry, RingBracketSpec
+
+    m = Machine()
+    alice = m.add_user("alice")
+    m.store_program(
+        ">udd>alice>hello",
+        '''
+                .seg    hello
+        main::  eap4    back
+                call    l_write,*
+        back:   halt
+        l_write: .its   svc$write
+        ''',
+        acl=[AclEntry("*", RingBracketSpec(r1=4, r2=4, r3=4, execute=True))],
+    )
+    p = m.login(alice)
+    m.initiate(p, ">udd>alice>hello")
+    result = m.run(p, "hello$main", ring=4)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every figure.
+"""
+
+from .core import (
+    AccessKind,
+    AclEntry,
+    CallDecision,
+    CallOutcome,
+    ReturnDecision,
+    ReturnOutcome,
+    RingBracketSpec,
+    RingBrackets,
+    decide_call,
+    decide_return,
+    permission_table,
+)
+from .cpu import CostModel, Fault, FaultClass, FaultCode, Processor, SDWCache
+from .asm import assemble, listing
+from .errors import (
+    AccessDenied,
+    AssemblyError,
+    BracketOrderError,
+    ConfigurationError,
+    FieldRangeError,
+    LinkError,
+    MachineHalted,
+    ReproError,
+)
+from .formats import SDW, IndirectWord, Instruction, PackedPointer
+from .krnl import (
+    FileSystem,
+    Process,
+    Supervisor,
+    User,
+    UserRegistry,
+)
+from .mem import DBR, DescriptorSegment, PhysicalMemory, SegmentImage
+from .sim import Machine, MetricsSnapshot, RunResult, TraceLog
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # facade
+    "Machine",
+    "RunResult",
+    "TraceLog",
+    "MetricsSnapshot",
+    # core policy
+    "RingBrackets",
+    "RingBracketSpec",
+    "AclEntry",
+    "AccessKind",
+    "CallOutcome",
+    "CallDecision",
+    "ReturnOutcome",
+    "ReturnDecision",
+    "decide_call",
+    "decide_return",
+    "permission_table",
+    # hardware
+    "Processor",
+    "CostModel",
+    "SDWCache",
+    "Fault",
+    "FaultCode",
+    "FaultClass",
+    "SDW",
+    "Instruction",
+    "IndirectWord",
+    "PackedPointer",
+    "DBR",
+    "DescriptorSegment",
+    "PhysicalMemory",
+    "SegmentImage",
+    # software
+    "Supervisor",
+    "Process",
+    "FileSystem",
+    "User",
+    "UserRegistry",
+    # tools
+    "assemble",
+    "listing",
+    # errors
+    "ReproError",
+    "FieldRangeError",
+    "BracketOrderError",
+    "ConfigurationError",
+    "AssemblyError",
+    "LinkError",
+    "AccessDenied",
+    "MachineHalted",
+]

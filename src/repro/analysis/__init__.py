@@ -1,0 +1,73 @@
+"""Reproduction of the paper's figures.
+
+The paper's evaluation artifacts are its nine figures: two bracket
+examples, the storage formats, and six access-validation flowcharts.
+This package regenerates each as data (decision tables) and as text
+(ASCII renderings), and cross-checks the hardware path against
+independently enumerated oracles:
+
+* :mod:`repro.analysis.decision_tables` — exhaustive enumeration of the
+  decision procedures of Figures 4–9 over the full input space;
+* :mod:`repro.analysis.figures` — printable reproductions of every
+  figure;
+* :mod:`repro.analysis.report` — the experiment harness behind
+  EXPERIMENTS.md: runs the crossing-cost and argument-passing scenarios
+  and formats result tables.
+"""
+
+from .decision_tables import (
+    call_decision_table,
+    fetch_decision_table,
+    read_write_decision_table,
+    return_decision_table,
+    transfer_decision_table,
+)
+from .figures import (
+    render_figure1,
+    render_figure2,
+    render_figure3,
+    render_figure4,
+    render_figure5,
+    render_figure6,
+    render_figure7,
+    render_figure8,
+    render_figure9,
+    render_all_figures,
+)
+from .report import (
+    crossing_cost_experiment,
+    format_table,
+)
+from .sweeps import SweepPoint, crossover_handler_cycles, sweep_crossing_costs
+from .verify import CheckResult, render_report, verify_all
+from .audit import AuditReport, Finding, audit, render_audit
+
+__all__ = [
+    "call_decision_table",
+    "fetch_decision_table",
+    "read_write_decision_table",
+    "return_decision_table",
+    "transfer_decision_table",
+    "render_figure1",
+    "render_figure2",
+    "render_figure3",
+    "render_figure4",
+    "render_figure5",
+    "render_figure6",
+    "render_figure7",
+    "render_figure8",
+    "render_figure9",
+    "render_all_figures",
+    "crossing_cost_experiment",
+    "format_table",
+    "SweepPoint",
+    "crossover_handler_cycles",
+    "sweep_crossing_costs",
+    "CheckResult",
+    "render_report",
+    "verify_all",
+    "AuditReport",
+    "Finding",
+    "audit",
+    "render_audit",
+]

@@ -1,0 +1,207 @@
+"""Exhaustive decision tables for Figures 4–9.
+
+Each function enumerates the *entire* input space of one of the paper's
+validation flowcharts and records the outcome, producing the figure's
+content as data.  The tables serve three purposes:
+
+* they are rendered by :mod:`repro.analysis.figures` as the textual
+  reproduction of the flowcharts;
+* the test suite compares them row by row against the live hardware
+  path (build an SDW, poke the processor, observe the fault) so the
+  policy functions and the machine can never drift apart;
+* the benchmarks replay them as validation workloads.
+
+Ring variables range over 0..7 and bracket triples over all ordered
+triples, so the tables are complete, not sampled.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Tuple
+
+from ..core.gates import decide_call, decide_return
+from ..core.rings import RingBrackets, check_execute, check_read, check_write
+from ..words import MAX_RINGS
+
+#: All ordered bracket triples (R1 <= R2 <= R3): C(8+2,3) = 120 of them.
+ALL_BRACKETS: Tuple[RingBrackets, ...] = tuple(
+    RingBrackets(r1, r2, r3)
+    for r1, r2, r3 in itertools.combinations_with_replacement(range(MAX_RINGS), 3)
+)
+
+Row = Dict[str, object]
+
+
+def _rings() -> Iterator[int]:
+    return iter(range(MAX_RINGS))
+
+
+def fetch_decision_table() -> List[Row]:
+    """Figure 4: instruction fetch, over (brackets, E flag, ring).
+
+    The bound check is orthogonal (a plain comparison) and is tested
+    separately; the table covers the access-control decision.
+    """
+    rows: List[Row] = []
+    for brackets in ALL_BRACKETS:
+        for flag in (False, True):
+            for ring in _rings():
+                allowed = check_execute(ring, brackets, flag)
+                reason = (
+                    "fetch"
+                    if allowed
+                    else ("no-execute-flag" if not flag else "outside-execute-bracket")
+                )
+                rows.append(
+                    {
+                        "r1": brackets.r1,
+                        "r2": brackets.r2,
+                        "r3": brackets.r3,
+                        "execute_flag": flag,
+                        "ring": ring,
+                        "allowed": allowed,
+                        "outcome": reason,
+                    }
+                )
+    return rows
+
+
+def read_write_decision_table() -> List[Row]:
+    """Figure 6: operand read and write, over (brackets, flags, ring)."""
+    rows: List[Row] = []
+    for brackets in ALL_BRACKETS:
+        for rflag, wflag in itertools.product((False, True), repeat=2):
+            for ring in _rings():
+                rows.append(
+                    {
+                        "r1": brackets.r1,
+                        "r2": brackets.r2,
+                        "r3": brackets.r3,
+                        "read_flag": rflag,
+                        "write_flag": wflag,
+                        "ring": ring,
+                        "read_allowed": check_read(ring, brackets, rflag),
+                        "write_allowed": check_write(ring, brackets, wflag),
+                    }
+                )
+    return rows
+
+
+def transfer_decision_table() -> List[Row]:
+    """Figure 7: plain-transfer advance check, over (brackets, E, rings).
+
+    ``eff_ring`` and ``cur_ring`` range independently; the table records
+    the constraint that a plain transfer must not change the ring.
+    """
+    rows: List[Row] = []
+    for brackets in ALL_BRACKETS:
+        for flag in (False, True):
+            for cur_ring in _rings():
+                for eff_ring in range(cur_ring, MAX_RINGS):
+                    if eff_ring != cur_ring:
+                        outcome = "ring-change-refused"
+                        allowed = False
+                    elif not flag:
+                        outcome = "no-execute-flag"
+                        allowed = False
+                    elif not brackets.execute_allowed(cur_ring):
+                        outcome = "outside-execute-bracket"
+                        allowed = False
+                    else:
+                        outcome = "transfer"
+                        allowed = True
+                    rows.append(
+                        {
+                            "r1": brackets.r1,
+                            "r2": brackets.r2,
+                            "r3": brackets.r3,
+                            "execute_flag": flag,
+                            "cur_ring": cur_ring,
+                            "eff_ring": eff_ring,
+                            "allowed": allowed,
+                            "outcome": outcome,
+                        }
+                    )
+    return rows
+
+
+def call_decision_table(
+    gate_count: int = 2,
+    wordnos: Tuple[int, ...] = (0, 5),
+    same_segment_values: Tuple[bool, ...] = (False, True),
+) -> List[Row]:
+    """Figure 8: the complete CALL decision.
+
+    ``wordnos`` defaults to one gate word (0 < gate_count) and one
+    non-gate word (5 >= gate_count) so both gate-check branches appear;
+    effective and current rings range over every pair with
+    ``eff >= cur`` (the only ones hardware address formation can
+    produce) plus ``eff < cur`` rows marked unreachable.
+    """
+    rows: List[Row] = []
+    for brackets in ALL_BRACKETS:
+        for flag in (False, True):
+            for cur_ring in _rings():
+                for eff_ring in _rings():
+                    for wordno in wordnos:
+                        for same_segment in same_segment_values:
+                            decision = decide_call(
+                                eff_ring,
+                                cur_ring,
+                                brackets,
+                                flag,
+                                wordno,
+                                gate_count,
+                                same_segment,
+                            )
+                            rows.append(
+                                {
+                                    "r1": brackets.r1,
+                                    "r2": brackets.r2,
+                                    "r3": brackets.r3,
+                                    "execute_flag": flag,
+                                    "cur_ring": cur_ring,
+                                    "eff_ring": eff_ring,
+                                    "wordno": wordno,
+                                    "gate_count": gate_count,
+                                    "same_segment": same_segment,
+                                    "reachable": eff_ring >= cur_ring,
+                                    "outcome": decision.outcome.name,
+                                    "new_ring": decision.new_ring,
+                                }
+                            )
+    return rows
+
+
+def return_decision_table() -> List[Row]:
+    """Figure 9: the complete RETURN decision."""
+    rows: List[Row] = []
+    for brackets in ALL_BRACKETS:
+        for flag in (False, True):
+            for cur_ring in _rings():
+                for eff_ring in _rings():
+                    decision = decide_return(eff_ring, cur_ring, brackets, flag)
+                    rows.append(
+                        {
+                            "r1": brackets.r1,
+                            "r2": brackets.r2,
+                            "r3": brackets.r3,
+                            "execute_flag": flag,
+                            "cur_ring": cur_ring,
+                            "eff_ring": eff_ring,
+                            "reachable": eff_ring >= cur_ring,
+                            "outcome": decision.outcome.name,
+                            "new_ring": decision.new_ring,
+                        }
+                    )
+    return rows
+
+
+def summarize_outcomes(rows: List[Row], key: str = "outcome") -> Dict[str, int]:
+    """Histogram of a table's outcome column (used in reports/tests)."""
+    histogram: Dict[str, int] = {}
+    for row in rows:
+        outcome = str(row[key])
+        histogram[outcome] = histogram.get(outcome, 0) + 1
+    return histogram

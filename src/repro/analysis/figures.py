@@ -1,0 +1,230 @@
+"""Printable reproductions of Figures 1–9.
+
+The originals are drawings; the reproductions here are their exact
+informational content as text: bracket diagrams (Figures 1–2), bit
+layouts straight from the authoritative :class:`repro.words.Layout`
+objects (Figure 3), and the validation flowcharts as pseudocode plus an
+exhaustive outcome census (Figures 4–9).  ``render_all_figures`` is
+what EXPERIMENTS.md embeds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..core.rings import RingBrackets, permission_table
+from ..formats.indirect import INDIRECT
+from ..formats.instruction import INSTRUCTION
+from ..formats.pointerfmt import IPR_FORMAT, POINTER
+from ..formats.sdw import SDW_W0, SDW_W1
+from ..words import Layout, MAX_RINGS
+from .decision_tables import (
+    call_decision_table,
+    fetch_decision_table,
+    read_write_decision_table,
+    return_decision_table,
+    summarize_outcomes,
+    transfer_decision_table,
+)
+
+#: Example of Figure 1: a writable data segment.  Write bracket rings
+#: 0-4, read bracket rings 0-6, not executable.
+FIGURE1_EXAMPLE = dict(
+    brackets=RingBrackets(4, 6, 6), read=True, write=True, execute=False
+)
+
+#: Example of Figure 2: a gated pure procedure.  Executes in rings 3-4,
+#: gates callable from rings 5-6, never writable (pure), readable.
+FIGURE2_EXAMPLE = dict(
+    brackets=RingBrackets(3, 4, 6), read=True, write=False, execute=True
+)
+
+
+def _bracket_diagram(
+    title: str, brackets: RingBrackets, read: bool, write: bool, execute: bool
+) -> str:
+    table = permission_table(brackets, read, write, execute)
+    lines = [
+        title,
+        f"  flags: R={int(read)} W={int(write)} E={int(execute)}   "
+        f"brackets: R1={brackets.r1} R2={brackets.r2} R3={brackets.r3}",
+        "  ring      " + "   ".join(str(r) for r in range(MAX_RINGS)),
+    ]
+    for kind, mark in (("write", "W"), ("read", "R"), ("execute", "E"), ("gate", "G")):
+        cells = "   ".join(mark if row[kind] else "." for row in table)
+        lines.append(f"  {kind:<8}  {cells}")
+    lines.append(
+        f"  write bracket  rings 0..{brackets.r1}"
+        + ("" if write else "   (flag off: no ring may write)")
+    )
+    lines.append(
+        f"  read bracket   rings 0..{brackets.r2}"
+        + ("" if read else "   (flag off: no ring may read)")
+    )
+    lines.append(
+        f"  execute bracket rings {brackets.r1}..{brackets.r2}"
+        + ("" if execute else "   (flag off: no ring may execute)")
+    )
+    lo, hi = brackets.gate_extension
+    if execute and lo <= hi:
+        lines.append(f"  gate extension rings {lo}..{hi}")
+    return "\n".join(lines)
+
+
+def render_figure1() -> str:
+    """Figure 1: access indicators for a writable data segment."""
+    return _bracket_diagram(
+        "Figure 1 — example access indicators for a writable data segment",
+        FIGURE1_EXAMPLE["brackets"],
+        FIGURE1_EXAMPLE["read"],
+        FIGURE1_EXAMPLE["write"],
+        FIGURE1_EXAMPLE["execute"],
+    )
+
+
+def render_figure2() -> str:
+    """Figure 2: access indicators for a gated pure procedure segment."""
+    return _bracket_diagram(
+        "Figure 2 — example access indicators for a pure procedure "
+        "segment which contains gates",
+        FIGURE2_EXAMPLE["brackets"],
+        FIGURE2_EXAMPLE["read"],
+        FIGURE2_EXAMPLE["write"],
+        FIGURE2_EXAMPLE["execute"],
+    )
+
+
+def _layout_diagram(layout: Layout) -> List[str]:
+    lines = [f"  {layout.name}:"]
+    for field in layout.fields:
+        if field.name == "SPARE":
+            continue
+        hi = field.pos + field.width - 1
+        lines.append(
+            f"    bits {field.pos:2d}-{hi:2d}  {field.name:<8} ({field.width} bits)"
+        )
+    return lines
+
+
+def render_figure3() -> str:
+    """Figure 3: storage formats and processor registers."""
+    lines = ["Figure 3 — storage formats and processor registers"]
+    for layout in (SDW_W0, SDW_W1, INSTRUCTION, INDIRECT, POINTER, IPR_FORMAT):
+        lines.extend(_layout_diagram(layout))
+    lines.append(
+        "  registers: DBR(ADDR,BOUND,STACK)  IPR(RING,SEGNO,WORDNO)  "
+        "PR0-PR7(SEGNO,WORDNO,RING)  TPR(RING,SEGNO,WORDNO)  A  Q  CRR"
+    )
+    return "\n".join(lines)
+
+
+def _census(rows: Iterable[dict], key: str = "outcome") -> str:
+    histogram = summarize_outcomes(list(rows), key)
+    total = sum(histogram.values())
+    lines = [f"  exhaustive census over {total} cases:"]
+    for outcome, count in sorted(histogram.items(), key=lambda kv: -kv[1]):
+        lines.append(f"    {outcome:<28} {count:6d}")
+    return "\n".join(lines)
+
+
+def render_figure4() -> str:
+    """Figure 4: retrieval of the next instruction."""
+    text = """Figure 4 — retrieval of next instruction to be executed
+  TPR := IPR
+  fetch SDW[TPR.SEGNO]            (trap if segno >= DBR.BOUND or not present)
+  if not SDW.E:                    trap ACV_NO_EXECUTE
+  if not SDW.R1 <= TPR.RING <= SDW.R2:  trap ACV_EXECUTE_BRACKET
+  if TPR.WORDNO >= SDW.BOUND:      trap ACV_OUT_OF_BOUNDS
+  read instruction word; decode    (trap ILLEGAL_OPCODE if unassigned)"""
+    rows = [r for r in fetch_decision_table()]
+    return text + "\n" + _census(rows)
+
+
+def render_figure5() -> str:
+    """Figure 5: formation of the effective address in the TPR."""
+    return """Figure 5 — formation in TPR of effective address of instruction operand
+  TPR.RING := IPR.RING
+  if INST.PRFLAG:
+      TPR.SEGNO  := PR[INST.PRNUM].SEGNO
+      TPR.WORDNO := PR[INST.PRNUM].WORDNO + offset
+      TPR.RING   := max(TPR.RING, PR[INST.PRNUM].RING)
+  else:
+      TPR.SEGNO  := IPR.SEGNO
+      TPR.WORDNO := offset
+  while indirect:
+      fetch SDW[TPR.SEGNO]
+      validate READ at TPR.RING              (Figure 6, left)
+      IND := memory[TPR.SEGNO, TPR.WORDNO]
+      TPR.RING   := max(TPR.RING, IND.RING, SDW.R1)   <- the influence rule
+      TPR.SEGNO  := IND.SEGNO;  TPR.WORDNO := IND.WORDNO
+      indirect   := IND.I
+  invariant: TPR.RING >= IPR.RING, monotone along the chain"""
+
+
+def render_figure6() -> str:
+    """Figure 6: read/write operand validation."""
+    text = """Figure 6 — access validation for instructions which read or write operands
+  READ:  permitted iff SDW.R and TPR.RING <= SDW.R2 and WORDNO < BOUND
+  WRITE: permitted iff SDW.W and TPR.RING <= SDW.R1 and WORDNO < BOUND"""
+    rows = read_write_decision_table()
+    read_ok = sum(1 for r in rows if r["read_allowed"])
+    write_ok = sum(1 for r in rows if r["write_allowed"])
+    return (
+        text
+        + f"\n  exhaustive census over {len(rows)} cases: "
+        + f"read allowed {read_ok}, write allowed {write_ok}"
+    )
+
+
+def render_figure7() -> str:
+    """Figure 7: instructions which do not reference their operands."""
+    text = """Figure 7 — access validation for instructions which do not reference operands
+  EAP-type: PRn.(SEGNO,WORDNO,RING) := TPR.(SEGNO,WORDNO,RING); no validation
+  transfers (except CALL/RETURN):
+    if TPR.RING != IPR.RING:   trap ACV_TRANSFER_RING  (no ring change allowed)
+    advance check = Figure 4 fetch validation of the target at IPR.RING"""
+    return text + "\n" + _census(transfer_decision_table())
+
+
+def render_figure8() -> str:
+    """Figure 8: validation and performance of CALL."""
+    text = """Figure 8 — access validation and performance of the CALL instruction
+  fetch SDW[TPR.SEGNO]; bound check
+  if not SDW.E:                        trap ACV_NO_EXECUTE
+  if TPR.RING > IPR.RING:              trap ACV_RING_RAISED   (p. 30 decision)
+  if TPR.RING > SDW.R3:                trap ACV_OUTSIDE_CALL_BRACKET
+  if inter-segment and TPR.WORDNO >= SDW.GATE:  trap ACV_NOT_GATE
+  if TPR.RING > SDW.R2:   new ring := SDW.R2     (downward call via gate)
+  elif TPR.RING >= SDW.R1: new ring := TPR.RING  (same-ring call)
+  else:                    trap TRAP_UPWARD_CALL (software completes)
+  perform: PR0 := (stack segment for new ring, 0, new ring)
+           CRR := old ring     IPR := (new ring, TPR.SEGNO, TPR.WORDNO)"""
+    return text + "\n" + _census(call_decision_table())
+
+
+def render_figure9() -> str:
+    """Figure 9: validation and performance of RETURN."""
+    text = """Figure 9 — access validation and performance of the RETURN instruction
+  fetch SDW[TPR.SEGNO]; bound check
+  if not SDW.E:                          trap ACV_NO_EXECUTE
+  if not SDW.R1 <= TPR.RING <= SDW.R2:   trap ACV_EXECUTE_BRACKET
+  if TPR.RING < IPR.RING:                trap TRAP_DOWNWARD_RETURN (software)
+  if TPR.RING > IPR.RING:  every PRn.RING := max(PRn.RING, TPR.RING)
+  IPR := (TPR.RING, TPR.SEGNO, TPR.WORDNO)"""
+    return text + "\n" + _census(return_decision_table())
+
+
+def render_all_figures() -> str:
+    """Every figure, in order, separated by blank lines."""
+    renderers = [
+        render_figure1,
+        render_figure2,
+        render_figure3,
+        render_figure4,
+        render_figure5,
+        render_figure6,
+        render_figure7,
+        render_figure8,
+        render_figure9,
+    ]
+    return "\n\n".join(render() for render in renderers)

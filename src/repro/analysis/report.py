@@ -1,0 +1,176 @@
+"""Experiment harness behind EXPERIMENTS.md.
+
+The paper publishes no measurements; its quantitative claim is
+architectural: with hardware rings, "downward calls and upward returns
+[are] no more complex than calls and returns in the same ring" (p. 40),
+whereas the 645's software rings trap to the supervisor on every
+crossing.  :func:`crossing_cost_experiment` measures exactly that on
+both simulated machines, in simulated cycles per call-return pair,
+using two run lengths so constant setup cost (demand initiation and the
+like) cancels out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.acl import AclEntry, RingBracketSpec
+from ..sim.machine import Machine
+
+#: Caller template: performs A := N, then N call/return pairs.
+CALLER_SOURCE = """
+        .seg    caller
+main::  lda     =COUNT
+loop:   eap4    back
+        call    l_target,*
+back:   sba     =1
+        tnz     loop
+        halt
+l_target: .its  TARGET$entry
+"""
+
+#: Callee: one gate, returns immediately, preserves A.
+TARGET_SOURCE = """
+        .seg    NAME
+        .gates  1
+entry:: return  pr4|0
+"""
+
+
+def _build_machine(
+    hardware_rings: bool,
+    target_name: str,
+    target_spec: RingBracketSpec,
+    count: int,
+) -> Machine:
+    machine = Machine(hardware_rings=hardware_rings, services=False)
+    user = machine.add_user("bench")
+    machine.store_program(
+        f">bench>{target_name}",
+        TARGET_SOURCE.replace("NAME", target_name),
+        acl=[AclEntry("*", target_spec)],
+    )
+    machine.store_program(
+        ">bench>caller",
+        CALLER_SOURCE.replace("COUNT", str(count)).replace("TARGET", target_name),
+        acl=[AclEntry("*", RingBracketSpec.procedure(4))],
+    )
+    process = machine.login(user)
+    machine.initiate(process, ">bench>caller")
+    machine._bench_process = process  # type: ignore[attr-defined]
+    return machine
+
+
+def _cycles_for(machine: Machine, count_hint: int) -> int:
+    process = machine._bench_process  # type: ignore[attr-defined]
+    result = machine.run(process, "caller$main", ring=4)
+    assert result.halted and result.a == 0
+    return result.cycles
+
+
+def measure_cycles_per_call(
+    hardware_rings: bool,
+    target_spec: RingBracketSpec,
+    target_name: str,
+    n_small: int = 8,
+    n_large: int = 40,
+) -> float:
+    """Marginal cycles per call/return pair for one scenario.
+
+    Two runs of different lengths; the difference divided by the extra
+    iterations removes every constant cost.
+    """
+    small = _cycles_for(
+        _build_machine(hardware_rings, target_name, target_spec, n_small), n_small
+    )
+    large = _cycles_for(
+        _build_machine(hardware_rings, target_name, target_spec, n_large), n_large
+    )
+    return (large - small) / (n_large - n_small)
+
+
+@dataclass
+class CrossingCostRow:
+    """One row of the C1 experiment table."""
+
+    scenario: str
+    hardware_cycles: float
+    software_cycles: float
+
+    @property
+    def ratio(self) -> float:
+        """Software-ring cost relative to hardware-ring cost."""
+        return self.software_cycles / self.hardware_cycles
+
+
+def crossing_cost_experiment() -> List[CrossingCostRow]:
+    """Experiment C1: call/return cost by crossing kind and machine.
+
+    Scenarios:
+
+    * same-ring — ring-4 caller, ring-4 gated callee (no crossing);
+    * downward — ring-4 caller, ring-0 callee with gate extension to 5
+      (crossing down on call, up on return).
+
+    Expected shape (the paper's claim): the two machines agree on
+    same-ring cost; the hardware machine's downward cost is within a few
+    cycles of its same-ring cost; the software machine pays two traps
+    plus handler work per downward pair.
+    """
+    same_spec = RingBracketSpec.procedure(4)
+    down_spec = RingBracketSpec.procedure(0, callable_from=5)
+    rows = []
+    for scenario, spec, name in (
+        ("same-ring call+return", same_spec, "tsame"),
+        ("downward call+upward return", down_spec, "tzero"),
+    ):
+        hardware = measure_cycles_per_call(True, spec, name)
+        software = measure_cycles_per_call(False, spec, name)
+        rows.append(
+            CrossingCostRow(
+                scenario=scenario,
+                hardware_cycles=hardware,
+                software_cycles=software,
+            )
+        )
+    return rows
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned text table (benchmarks print these)."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in str_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def crossing_cost_table() -> str:
+    """The C1 table, formatted."""
+    rows = crossing_cost_experiment()
+    return format_table(
+        ["scenario", "hardware rings (cycles)", "software rings (cycles)", "ratio"],
+        [
+            [
+                row.scenario,
+                f"{row.hardware_cycles:.1f}",
+                f"{row.software_cycles:.1f}",
+                f"{row.ratio:.2f}x",
+            ]
+            for row in rows
+        ],
+        title="Experiment C1 — cost of one call/return pair (simulated cycles)",
+    )

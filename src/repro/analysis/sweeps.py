@@ -1,0 +1,131 @@
+"""Cost-model sensitivity sweeps (experiment S1).
+
+The simulator's cost model has two free parameters that shape the C1
+comparison: the hardware trap overhead and the software ring-crossing
+handler's work.  The paper's qualitative claim must not depend on the
+particular constants chosen, so this module sweeps them and reports the
+downward-call penalty ratio across the space.  The crossover question —
+"how cheap would software crossing have to be to match the hardware?" —
+gets a numeric answer: only at (near) zero, because the hardware's
+marginal crossing cost is a couple of register operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core.acl import AclEntry, RingBracketSpec
+from ..cpu.processor import CostModel
+from ..sim.machine import Machine
+from .report import CALLER_SOURCE, TARGET_SOURCE
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One configuration of the sensitivity sweep and its outcome."""
+
+    trap_overhead: int
+    handler_cycles: int
+    hardware_cycles: float
+    software_cycles: float
+
+    @property
+    def ratio(self) -> float:
+        return self.software_cycles / self.hardware_cycles
+
+
+def _cycles_per_pair(
+    hardware_rings: bool,
+    trap_overhead: int,
+    handler_cycles: int,
+    n_small: int = 8,
+    n_large: int = 24,
+) -> float:
+    """Marginal downward call/return cost under a custom cost model."""
+    import repro.krnl.baseline645 as baseline
+
+    original = baseline.SOFT_CROSSING_CYCLES
+    baseline.SOFT_CROSSING_CYCLES = handler_cycles
+    try:
+        results = []
+        for count in (n_small, n_large):
+            machine = Machine(
+                hardware_rings=hardware_rings,
+                services=False,
+                cost=CostModel(trap_overhead=trap_overhead),
+            )
+            user = machine.add_user("s")
+            machine.store_program(
+                ">s>tzero",
+                TARGET_SOURCE.replace("NAME", "tzero"),
+                acl=[AclEntry("*", RingBracketSpec.procedure(0, callable_from=5))],
+            )
+            machine.store_program(
+                ">s>caller",
+                CALLER_SOURCE.replace("COUNT", str(count)).replace(
+                    "TARGET", "tzero"
+                ),
+                acl=[AclEntry("*", RingBracketSpec.procedure(4))],
+            )
+            process = machine.login(user)
+            machine.initiate(process, ">s>caller")
+            result = machine.run(process, "caller$main", ring=4)
+            assert result.halted
+            results.append(result.cycles)
+        return (results[1] - results[0]) / (n_large - n_small)
+    finally:
+        baseline.SOFT_CROSSING_CYCLES = original
+
+
+def sweep_crossing_costs(
+    trap_overheads: Sequence[int] = (10, 30, 100),
+    handler_cycles: Sequence[int] = (50, 150, 500),
+) -> List[SweepPoint]:
+    """The full S1 sweep: every (trap, handler) combination."""
+    points = []
+    for trap in trap_overheads:
+        hardware = _cycles_per_pair(True, trap, 0)
+        for handler in handler_cycles:
+            software = _cycles_per_pair(False, trap, handler)
+            points.append(
+                SweepPoint(
+                    trap_overhead=trap,
+                    handler_cycles=handler,
+                    hardware_cycles=hardware,
+                    software_cycles=software,
+                )
+            )
+    return points
+
+
+def crossover_handler_cycles(trap_overhead: int = 30) -> int:
+    """Smallest software handler cost at which software rings match the
+    hardware — the answer is effectively zero, which *is* the paper's
+    point: the hardware's crossing is nearly free."""
+    hardware = _cycles_per_pair(True, trap_overhead, 0)
+    for handler in range(0, 200, 5):
+        software = _cycles_per_pair(False, trap_overhead, handler)
+        if software <= hardware:
+            return handler
+    return -1
+
+
+def render_sweep(points: List[SweepPoint]) -> str:
+    """The sweep as a printable table."""
+    from .report import format_table
+
+    return format_table(
+        ["trap overhead", "handler cycles", "hardware", "software", "ratio"],
+        [
+            [
+                p.trap_overhead,
+                p.handler_cycles,
+                f"{p.hardware_cycles:.1f}",
+                f"{p.software_cycles:.1f}",
+                f"{p.ratio:.1f}x",
+            ]
+            for p in points
+        ],
+        title="S1 — downward call/return cost across the cost-model space",
+    )

@@ -1,0 +1,210 @@
+"""Programmatic self-verification.
+
+``verify_all()`` runs the reproduction's load-bearing checks — encoding
+bijections, the nested-subset property, CALL/RETURN decision invariants,
+effective-ring monotonicity, live-machine-vs-oracle agreement, and the
+crossing-cost claim — and returns a structured report.  The CLI exposes
+it as ``python -m repro verify``; CI-style consumers can gate on the
+boolean.  Everything here is also covered (more deeply) by the pytest
+suite; this module exists so a *user* of the library can convince
+themselves the installed copy behaves, in seconds, without the test
+infrastructure.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, List
+
+from ..core.effective import effective_ring_of_chain
+from ..core.gates import decide_call, decide_return
+from ..core.rings import nested_subset_holds
+from ..formats.indirect import IndirectWord
+from ..formats.instruction import Instruction
+from ..formats.sdw import SDW
+from .decision_tables import ALL_BRACKETS
+from .report import crossing_cost_experiment
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one verification check."""
+
+    name: str
+    ok: bool
+    detail: str
+
+
+def check_encodings() -> CheckResult:
+    """Sampled round-trips through every Figure 3 format."""
+    count = 0
+    for addr in (0, 0o1234567, (1 << 24) - 1):
+        for r1, r2, r3 in ((0, 0, 0), (1, 3, 5), (7, 7, 7)):
+            sdw = SDW(addr=addr, bound=100, r1=r1, r2=r2, r3=r3, read=True)
+            if SDW.unpack(*sdw.pack()) != sdw:
+                return CheckResult("encodings", False, f"SDW mismatch {sdw}")
+            count += 1
+    for opcode in (0, 0o60, 0o511 & 0o777):
+        inst = Instruction(opcode=opcode, offset=0o123, indirect=True, prnum=5, prflag=True)
+        if Instruction.unpack(inst.pack()) != inst:
+            return CheckResult("encodings", False, f"INS mismatch {inst}")
+        count += 1
+    ind = IndirectWord(segno=100, wordno=200, ring=6, indirect=True)
+    if IndirectWord.unpack(ind.pack()) != ind:
+        return CheckResult("encodings", False, "IND mismatch")
+    return CheckResult("encodings", True, f"{count + 1} round-trips exact")
+
+
+def check_nested_subset() -> CheckResult:
+    """The nested-subset property over every bracket triple and flags."""
+    for brackets in ALL_BRACKETS:
+        for rflag, wflag in itertools.product((False, True), repeat=2):
+            if not nested_subset_holds(brackets, rflag, wflag, True):
+                return CheckResult(
+                    "nested-subset", False, f"violated at {brackets}"
+                )
+    return CheckResult(
+        "nested-subset", True, f"holds over {len(ALL_BRACKETS) * 4} combinations"
+    )
+
+
+def check_call_invariants() -> CheckResult:
+    """A completed CALL never raises the ring and lands in the bracket."""
+    cases = 0
+    for brackets in ALL_BRACKETS:
+        for eff in range(8):
+            decision = decide_call(eff, eff, brackets, True, 0, 1, False)
+            cases += 1
+            if decision.proceeds:
+                if decision.new_ring > eff:
+                    return CheckResult(
+                        "call-invariants", False, f"ring raised at {brackets}, {eff}"
+                    )
+                if not brackets.execute_allowed(decision.new_ring):
+                    return CheckResult(
+                        "call-invariants",
+                        False,
+                        f"outside bracket at {brackets}, {eff}",
+                    )
+    return CheckResult("call-invariants", True, f"{cases} decisions checked")
+
+
+def check_return_invariants() -> CheckResult:
+    """A completed RETURN never drops below the caller's ring."""
+    cases = 0
+    for brackets in ALL_BRACKETS:
+        for cur in range(8):
+            for eff in range(cur, 8):
+                decision = decide_return(eff, cur, brackets, True)
+                cases += 1
+                if decision.proceeds and decision.new_ring < cur:
+                    return CheckResult(
+                        "return-invariants",
+                        False,
+                        f"dropped below caller at {brackets}, {cur}->{eff}",
+                    )
+    return CheckResult("return-invariants", True, f"{cases} decisions checked")
+
+
+def check_effective_ring() -> CheckResult:
+    """Monotonicity and the max law on a grid of chains."""
+    for cur in range(8):
+        for pr in (None, 0, 3, 7):
+            for chain in ((), ((2, 1),), ((0, 5), (7, 0))):
+                ring = effective_ring_of_chain(cur, pr, chain)
+                influences = [cur] + ([pr] if pr is not None else [])
+                influences += [v for pair in chain for v in pair]
+                if ring != max(influences) or ring < cur:
+                    return CheckResult(
+                        "effective-ring", False, f"law broken at {cur},{pr},{chain}"
+                    )
+    return CheckResult("effective-ring", True, "max law holds on grid")
+
+
+def check_live_machine() -> CheckResult:
+    """A real cross-ring call/return on the live machine."""
+    from ..core.acl import AclEntry, RingBracketSpec
+    from ..sim.machine import Machine
+
+    machine = Machine()
+    user = machine.add_user("verify")
+    machine.store_program(
+        ">v>prog",
+        """
+        .seg    prog
+main::  lda     =42
+        eap4    back
+        call    l_write,*
+back:   halt
+l_write: .its   svc$write
+""",
+        acl=[AclEntry("*", RingBracketSpec.procedure(4))],
+    )
+    process = machine.login(user)
+    machine.initiate(process, ">v>prog")
+    result = machine.run(process, "prog$main", ring=4)
+    ok = (
+        result.halted
+        and result.console == [42]
+        and result.ring == 4
+        and result.ring_crossings == 2
+    )
+    return CheckResult(
+        "live-machine",
+        ok,
+        f"gate call: console={result.console}, crossings={result.ring_crossings}",
+    )
+
+
+def check_crossing_claim() -> CheckResult:
+    """The paper's headline cost claim, end to end."""
+    rows = crossing_cost_experiment()
+    by_name = {row.scenario: row for row in rows}
+    same = by_name["same-ring call+return"]
+    down = by_name["downward call+upward return"]
+    ok = (
+        same.hardware_cycles == same.software_cycles
+        and down.hardware_cycles <= same.hardware_cycles + 5
+        and down.ratio > 5
+    )
+    return CheckResult(
+        "crossing-claim",
+        ok,
+        f"downward: hw {down.hardware_cycles:.1f} vs sw "
+        f"{down.software_cycles:.1f} cycles ({down.ratio:.1f}x)",
+    )
+
+
+#: Every check, in execution order.
+ALL_CHECKS: List[Callable[[], CheckResult]] = [
+    check_encodings,
+    check_nested_subset,
+    check_call_invariants,
+    check_return_invariants,
+    check_effective_ring,
+    check_live_machine,
+    check_crossing_claim,
+]
+
+
+def verify_all() -> List[CheckResult]:
+    """Run every check; never raises (failures are reported)."""
+    results = []
+    for check in ALL_CHECKS:
+        try:
+            results.append(check())
+        except Exception as exc:  # a crash is a failed check, with context
+            results.append(CheckResult(check.__name__, False, f"crashed: {exc}"))
+    return results
+
+
+def render_report(results: List[CheckResult]) -> str:
+    """Printable verification report."""
+    lines = ["repro self-verification"]
+    for result in results:
+        mark = "ok  " if result.ok else "FAIL"
+        lines.append(f"  [{mark}] {result.name:<20} {result.detail}")
+    passed = sum(1 for r in results if r.ok)
+    lines.append(f"  {passed}/{len(results)} checks passed")
+    return "\n".join(lines)

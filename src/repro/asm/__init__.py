@@ -1,0 +1,33 @@
+"""A two-pass assembler for the simulated processor.
+
+Programs for the ring hardware must be real machine programs — the
+fetch path, effective-address formation, and CALL/RETURN semantics are
+only exercised by executing instructions — so the package provides a
+small but complete assembler:
+
+* :mod:`repro.asm.parser` — line syntax (labels, mnemonics, operands,
+  directives) parsed into statements;
+* :mod:`repro.asm.assembler` — the two-pass translation into a
+  :class:`repro.mem.segment.SegmentImage`, including link requests for
+  inter-segment references;
+* :mod:`repro.asm.listing` — assembly listings for debugging.
+
+Because instructions carry only an 18-bit offset, a *direct* operand
+always names a word of the executing segment; references to other
+segments go through pointer registers or through indirect words emitted
+with the ``.its`` directive and resolved by the loader — exactly the
+constraint the real architecture imposes.
+"""
+
+from .assembler import Assembler, assemble
+from .listing import listing
+from .parser import ParsedLine, parse_line, parse_source
+
+__all__ = [
+    "Assembler",
+    "assemble",
+    "listing",
+    "ParsedLine",
+    "parse_line",
+    "parse_source",
+]

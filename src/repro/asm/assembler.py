@@ -1,0 +1,306 @@
+"""The two-pass assembler.
+
+Pass 1 sizes every statement and builds the symbol table; pass 2 emits
+words and link requests.  The output is a
+:class:`repro.mem.segment.SegmentImage` ready for the loader.
+
+Inter-segment references deserve a note: an instruction word carries
+only an 18-bit offset, so a direct operand can *only* name a word of
+the executing segment.  Writing ``lda other$thing`` is therefore a
+hard assembly error; the supported idiom is a link word::
+
+    l_thing:  .its  other$thing      ; loader fills segno/wordno
+              ...
+              lda   l_thing,*        ; indirect through the link
+
+which is exactly the mechanism the architecture (and real Multics)
+uses, and which keeps the effective-ring bookkeeping of Figure 5
+honest — the reference is validated at the ring that could have
+influenced the link word.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..cpu.isa import BY_NAME, Op
+from ..errors import AssemblyError
+from ..formats.indirect import IndirectWord
+from ..formats.instruction import (
+    Instruction,
+    TAG_IMMEDIATE,
+    TAG_INDEX_A,
+    TAG_NONE,
+)
+from ..mem.segment import LinkRequest, SegmentImage
+from ..words import HALF_MASK
+from .parser import ParsedLine, parse_number, parse_source, split_expression
+
+#: Directives and the number of words each occupies (None = computed).
+_DIRECTIVE_SIZES = {
+    ".seg": 0,
+    ".gates": 0,
+    ".equ": 0,
+    ".word": None,
+    ".zero": None,
+    ".ascii": None,
+    ".its": 1,
+    ".ptr": 1,
+}
+
+#: Opcodes that take no operand at all.
+_NO_OPERAND = {Op.NOP, Op.HALT, Op.RCU, Op.LDCR}
+
+
+class Assembler:
+    """Assemble one source text into one segment image."""
+
+    def __init__(self, source: str, name: str = "unnamed"):
+        self.lines = parse_source(source)
+        self.name = name
+        self.symbols: Dict[str, int] = {}
+        self.exports: Dict[str, int] = {}
+        self.gate_count: Optional[int] = None
+        self._location = 0
+
+    # ------------------------------------------------------------------
+    # pass 1
+    # ------------------------------------------------------------------
+
+    def _size_of(self, line: ParsedLine) -> int:
+        if line.op is None:
+            return 0
+        if line.is_directive:
+            if line.op not in _DIRECTIVE_SIZES:
+                raise AssemblyError(f"unknown directive {line.op}", line.lineno)
+            size = _DIRECTIVE_SIZES[line.op]
+            if size is not None:
+                return size
+            if line.op == ".word":
+                if not line.args:
+                    raise AssemblyError(".word needs at least one value", line.lineno)
+                return len(line.args)
+            if line.op == ".zero":
+                if len(line.args) != 1:
+                    raise AssemblyError(".zero needs a count", line.lineno)
+                count = parse_number(line.args[0], line.lineno)
+                if count < 0:
+                    raise AssemblyError(".zero count must be >= 0", line.lineno)
+                return count
+            if line.op == ".ascii":
+                return len(self._ascii_chars(line))
+            raise AssemblyError(f"unsized directive {line.op}", line.lineno)
+        return 1  # every instruction is one word
+
+    @staticmethod
+    def _ascii_chars(line: ParsedLine) -> str:
+        """Extract the quoted text of an ``.ascii`` directive.
+
+        One character is stored per word (in the low 7 bits), which keeps
+        character data indexable with ordinary word addressing.
+        """
+        text = line.operand_text.strip()
+        if len(text) < 2 or text[0] != '"' or text[-1] != '"':
+            raise AssemblyError('.ascii needs a double-quoted string', line.lineno)
+        return text[1:-1]
+
+    def pass1(self) -> None:
+        """Assign locations to labels, collect .equ symbols and exports."""
+        self._location = 0
+        for line in self.lines:
+            if line.label is not None:
+                if line.label in self.symbols:
+                    raise AssemblyError(
+                        f"duplicate label {line.label!r}", line.lineno
+                    )
+                self.symbols[line.label] = self._location
+                if line.exported:
+                    self.exports[line.label] = self._location
+            if line.op == ".equ":
+                if len(line.args) != 2:
+                    raise AssemblyError(".equ needs name, value", line.lineno)
+                name, expr = line.args
+                if name in self.symbols:
+                    raise AssemblyError(f"duplicate symbol {name!r}", line.lineno)
+                self.symbols[name] = self._evaluate(expr, line.lineno, strict=False)
+            elif line.op == ".seg":
+                if len(line.args) != 1:
+                    raise AssemblyError(".seg needs a name", line.lineno)
+                self.name = line.args[0]
+            elif line.op == ".gates":
+                if len(line.args) != 1:
+                    raise AssemblyError(".gates needs a count", line.lineno)
+                self.gate_count = parse_number(line.args[0], line.lineno)
+            self._location += self._size_of(line)
+
+    # ------------------------------------------------------------------
+    # expression evaluation
+    # ------------------------------------------------------------------
+
+    def _evaluate(self, expr: str, lineno: int, strict: bool = True) -> int:
+        if "$" in expr:
+            raise AssemblyError(
+                f"{expr!r} names another segment; direct operands can only "
+                "address the executing segment — use a '.its' link word and "
+                "an indirect reference",
+                lineno,
+            )
+        base, addend = split_expression(expr, lineno)
+        if base == "":
+            return addend
+        if base == ".":
+            return self._location + addend
+        if base not in self.symbols:
+            if strict:
+                raise AssemblyError(f"undefined symbol {base!r}", lineno)
+            raise AssemblyError(
+                f"symbol {base!r} not yet defined (forward .equ)", lineno
+            )
+        return self.symbols[base] + addend
+
+    # ------------------------------------------------------------------
+    # pass 2
+    # ------------------------------------------------------------------
+
+    def pass2(self) -> SegmentImage:
+        """Emit words and link requests into a segment image."""
+        image = SegmentImage(name=self.name)
+        self._location = 0
+
+        for line in self.lines:
+            words = self._emit(line, image)
+            for word in words:
+                image.source_map[len(image.words)] = line.lineno
+                image.words.append(word)
+            self._location += len(words)
+
+        image.entries = dict(self.exports)
+        image.gate_count = self.gate_count or 0
+        if image.gate_count > len(image.words):
+            raise AssemblyError(
+                f".gates {image.gate_count} exceeds segment length "
+                f"{len(image.words)}"
+            )
+        return image
+
+    def _emit(self, line: ParsedLine, image: SegmentImage) -> List[int]:
+        if line.op is None:
+            return []
+        if line.is_directive:
+            return self._emit_directive(line, image)
+        return [self._emit_instruction(line)]
+
+    def _emit_directive(self, line: ParsedLine, image: SegmentImage) -> List[int]:
+        if line.op in (".seg", ".gates", ".equ"):
+            return []
+        if line.op == ".word":
+            return [
+                self._evaluate(arg, line.lineno) & ((1 << 36) - 1)
+                for arg in line.args
+            ]
+        if line.op == ".zero":
+            return [0] * parse_number(line.args[0], line.lineno)
+        if line.op == ".ascii":
+            return [ord(ch) & 0o177 for ch in self._ascii_chars(line)]
+        if line.op == ".its":
+            return [self._emit_its(line, image)]
+        if line.op == ".ptr":
+            return [self._emit_ptr(line, image)]
+        raise AssemblyError(f"unknown directive {line.op}", line.lineno)
+
+    def _its_common(self, line: ParsedLine) -> IndirectWord:
+        ring = 0
+        chained = False
+        if len(line.args) >= 2 and line.args[1]:
+            ring = parse_number(line.args[1], line.lineno)
+        if len(line.args) >= 3 and line.args[2]:
+            chained = bool(parse_number(line.args[2], line.lineno))
+        if not 0 <= ring <= 7:
+            raise AssemblyError(f"ring {ring} out of range", line.lineno)
+        return IndirectWord(segno=0, wordno=0, ring=ring, indirect=chained)
+
+    def _emit_its(self, line: ParsedLine, image: SegmentImage) -> int:
+        """``.its seg$entry [, ring [, chained]]`` — loader-resolved pointer."""
+        if not line.args:
+            raise AssemblyError(".its needs a target", line.lineno)
+        proto = self._its_common(line)
+        image.links.append(
+            LinkRequest(
+                wordno=self._location,
+                symbol=line.args[0],
+                field="pointer",
+                ring=proto.ring,
+            )
+        )
+        return proto.pack()
+
+    def _emit_ptr(self, line: ParsedLine, image: SegmentImage) -> int:
+        """``.ptr expr [, ring [, chained]]`` — pointer to a local word.
+
+        The word number is resolved now; the segment number (of this
+        very segment, unknown until load time) is patched by the loader.
+        """
+        if not line.args:
+            raise AssemblyError(".ptr needs a target expression", line.lineno)
+        proto = self._its_common(line)
+        wordno = self._evaluate(line.args[0], line.lineno) & HALF_MASK
+        image.links.append(
+            LinkRequest(wordno=self._location, symbol=".", field="segno")
+        )
+        return IndirectWord(
+            segno=0, wordno=wordno, ring=proto.ring, indirect=proto.indirect
+        ).pack()
+
+    def _emit_instruction(self, line: ParsedLine) -> int:
+        mnemonic = line.op
+        assert mnemonic is not None
+        op = BY_NAME.get(mnemonic)
+        if op is None:
+            raise AssemblyError(f"unknown mnemonic {mnemonic!r}", line.lineno)
+        operand = line.operand
+        assert operand is not None
+
+        if op in _NO_OPERAND:
+            if operand.expr or operand.immediate or operand.prnum is not None:
+                raise AssemblyError(
+                    f"{mnemonic} takes no operand", line.lineno
+                )
+            return Instruction(opcode=op.number).pack()
+
+        if operand.immediate and (op.transfer or op.is_eap or op.is_spr):
+            raise AssemblyError(
+                f"{mnemonic} cannot take an immediate operand", line.lineno
+            )
+
+        tag = TAG_NONE
+        if operand.immediate:
+            tag = TAG_IMMEDIATE
+        elif operand.indexed:
+            tag = TAG_INDEX_A
+
+        offset = self._evaluate(operand.expr, line.lineno) if operand.expr else 0
+        offset &= HALF_MASK
+
+        return Instruction(
+            opcode=op.number,
+            offset=offset,
+            indirect=operand.indirect,
+            prflag=operand.prnum is not None,
+            prnum=operand.prnum or 0,
+            tag=tag,
+        ).pack()
+
+    # ------------------------------------------------------------------
+
+    def assemble(self) -> SegmentImage:
+        """Run both passes and return the segment image."""
+        self.pass1()
+        return self.pass2()
+
+
+def assemble(source: str, name: str = "unnamed") -> SegmentImage:
+    """Assemble ``source`` into a segment image named ``name``.
+
+    The ``.seg`` directive inside the source overrides ``name``.
+    """
+    return Assembler(source, name=name).assemble()

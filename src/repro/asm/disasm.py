@@ -1,0 +1,74 @@
+"""Disassembler.
+
+Turns packed instruction words back into assembler-syntax text — the
+inverse of :mod:`repro.asm.assembler` for the instruction subset.  Words
+that do not decode to an assigned opcode are rendered as ``.word``
+literals, so any segment image can be listed.  Used by the CLI, by
+traces, and by round-trip tests that pin assembler/disassembler
+consistency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..cpu.isa import BY_NUMBER, Op
+from ..formats.instruction import Instruction, TAG_IMMEDIATE, TAG_INDEX_A, TAG_NONE
+from ..mem.segment import SegmentImage
+from ..words import octal
+
+
+def disassemble_word(word: int) -> str:
+    """One word -> one line of assembler syntax (or a .word literal)."""
+    inst = Instruction.unpack(word)
+    op = BY_NUMBER.get(inst.opcode)
+    if op is None:
+        return f".word   0o{word:o}"
+    if inst.tag not in (TAG_NONE, TAG_IMMEDIATE, TAG_INDEX_A):
+        return f".word   0o{word:o}"
+
+    operand = ""
+    if op in (Op.NOP, Op.HALT, Op.RCU, Op.LDCR):
+        if word != Instruction(opcode=op.number).pack():
+            return f".word   0o{word:o}"  # stray bits: not a clean decode
+    elif inst.tag == TAG_IMMEDIATE:
+        operand = f"={inst.offset}"
+    else:
+        if inst.prflag:
+            operand = f"pr{inst.prnum}|{inst.offset}"
+        else:
+            operand = f"{inst.offset}"
+        if inst.tag == TAG_INDEX_A:
+            operand += ",x"
+        if inst.indirect:
+            operand += ",*"
+
+    mnemonic = op.name.lower()
+    return f"{mnemonic:<7} {operand}".rstrip()
+
+
+def disassemble(
+    words: List[int],
+    entries: Optional[Dict[str, int]] = None,
+    gate_count: int = 0,
+) -> str:
+    """A whole image -> a printable disassembly with entry labels."""
+    labels: Dict[int, str] = {}
+    for symbol, wordno in (entries or {}).items():
+        labels[wordno] = symbol
+    lines = []
+    for wordno, word in enumerate(words):
+        label = labels.get(wordno, "")
+        if label:
+            marker = "::" if wordno < gate_count or label in (entries or {}) else ":"
+            label = f"{label}{marker}"
+        gate = "  ; gate" if wordno < gate_count else ""
+        lines.append(
+            f"{wordno:06o}  {octal(word)}  {label:<12} {disassemble_word(word)}{gate}"
+        )
+    return "\n".join(lines)
+
+
+def disassemble_image(image: SegmentImage) -> str:
+    """Convenience wrapper over :func:`disassemble` for segment images."""
+    return disassemble(image.words, image.entries, image.gate_count)

@@ -1,0 +1,47 @@
+"""Assembly listings.
+
+Renders a :class:`repro.mem.segment.SegmentImage` side by side with its
+source lines — word number, octal contents, and the originating source —
+plus a trailer summarising entries, gates, and unresolved links.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..mem.segment import SegmentImage
+from ..words import octal
+
+
+def listing(image: SegmentImage, source: Optional[str] = None) -> str:
+    """Produce a printable listing of an assembled segment."""
+    source_lines: List[str] = source.splitlines() if source else []
+    rows: List[str] = [
+        f"segment {image.name!r}: {len(image.words)} words, "
+        f"{image.gate_count} gates"
+    ]
+
+    last_lineno = None
+    for wordno, word in enumerate(image.words):
+        lineno = image.source_map.get(wordno)
+        text = ""
+        if lineno is not None and lineno != last_lineno:
+            if 1 <= lineno <= len(source_lines):
+                text = source_lines[lineno - 1].rstrip()
+            last_lineno = lineno
+        rows.append(f"  {wordno:06o}  {octal(word)}  {text}")
+
+    if image.entries:
+        rows.append("entries:")
+        for symbol, wordno in sorted(image.entries.items(), key=lambda kv: kv[1]):
+            kind = "gate" if wordno < image.gate_count else "entry"
+            rows.append(f"  {symbol:<20} {wordno:06o}  ({kind})")
+
+    if image.links:
+        rows.append("links:")
+        for link in image.links:
+            rows.append(
+                f"  word {link.wordno:06o} -> {link.symbol} ({link.field})"
+            )
+
+    return "\n".join(rows)

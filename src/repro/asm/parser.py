@@ -1,0 +1,218 @@
+"""Source-line parsing for the assembler.
+
+Syntax, line oriented::
+
+    ; full-line comment (also everything after ';' on any line)
+    label:   lda    =5          ; immediate operand
+    loop:    lda    table,x     ; indexed by the low half of A
+             sta    pr2|3       ; pointer-register-relative
+             lda    pr1|0,*     ; ... with indirection
+             tra    loop
+    entry::  nop                ; '::' exports the label as an entry
+             call   l_gate,*    ; call indirect through a link word
+    l_gate:  .its   svc$write   ; indirect word, resolved by the loader
+
+Directives::
+
+    .seg   name          segment name
+    .gates N             first N words are gate locations
+    .word  e1, e2, ...   literal words (numbers or label expressions)
+    .zero  N             N zero words
+    .its   seg$entry [, ring [, chained]]
+                         an indirect word, loader-resolved
+    .ptr   expr [, ring [, chained]]
+                         an indirect word to a *local* label
+    .equ   name, expr    symbol definition
+
+Expressions are ``number``, ``label``, ``label+n``, ``label-n``, ``.``
+(current location), ``.+n`` or ``.-n``.  Numbers are decimal, or octal
+or hex with ``0o``/``0x`` prefixes.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..errors import AssemblyError
+
+_LABEL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.]*$")
+_NUMBER_RE = re.compile(r"^(0o[0-7]+|0x[0-9A-Fa-f]+|[0-9]+)$")
+
+
+@dataclass
+class Operand:
+    """A parsed instruction operand."""
+
+    #: expression for the offset field ("" means 0)
+    expr: str = ""
+    #: immediate flag (``=expr``)
+    immediate: bool = False
+    #: pointer-register number when PR-relative, else None
+    prnum: Optional[int] = None
+    #: indirect flag (trailing ``,*``)
+    indirect: bool = False
+    #: indexed flag (trailing ``,x``)
+    indexed: bool = False
+
+
+@dataclass
+class ParsedLine:
+    """One source line after syntactic analysis."""
+
+    lineno: int
+    label: Optional[str] = None
+    #: label declared with '::' — exported as an entry point
+    exported: bool = False
+    #: mnemonic or directive name (directives keep their leading '.')
+    op: Optional[str] = None
+    #: raw operand field, then structured forms below
+    operand_text: str = ""
+    operand: Optional[Operand] = None
+    #: comma-split arguments for directives
+    args: List[str] = field(default_factory=list)
+    source: str = ""
+
+    @property
+    def is_directive(self) -> bool:
+        return self.op is not None and self.op.startswith(".")
+
+
+def _strip_comment(line: str) -> str:
+    out = []
+    for ch in line:
+        if ch == ";":
+            break
+        out.append(ch)
+    return "".join(out).rstrip()
+
+
+def split_args(text: str) -> List[str]:
+    """Split a directive argument list on commas, trimming whitespace."""
+    if not text.strip():
+        return []
+    return [part.strip() for part in text.split(",")]
+
+
+def parse_operand(text: str, lineno: int) -> Operand:
+    """Parse an instruction operand field."""
+    operand = Operand()
+    text = text.strip()
+    if not text:
+        return operand
+
+    # trailing modifiers: ,* (indirect) and ,x (indexed), either order
+    while True:
+        lowered = text.lower()
+        if lowered.endswith(",*"):
+            operand.indirect = True
+            text = text[:-2].strip()
+        elif lowered.endswith(",x"):
+            operand.indexed = True
+            text = text[:-2].strip()
+        else:
+            break
+
+    if text.startswith("="):
+        operand.immediate = True
+        text = text[1:].strip()
+        if operand.indirect or operand.indexed:
+            raise AssemblyError(
+                "immediate operands cannot be indirect or indexed", lineno
+            )
+
+    match = re.match(r"^pr([0-7])\|(.*)$", text, re.IGNORECASE)
+    if match:
+        if operand.immediate:
+            raise AssemblyError("immediate operand cannot be PR-relative", lineno)
+        operand.prnum = int(match.group(1))
+        text = match.group(2).strip()
+
+    operand.expr = text
+    return operand
+
+
+def parse_line(line: str, lineno: int) -> Optional[ParsedLine]:
+    """Parse one source line; returns None for blank/comment lines."""
+    raw = line
+    line = _strip_comment(line)
+    if not line.strip():
+        return None
+
+    parsed = ParsedLine(lineno=lineno, source=raw.rstrip("\n"))
+
+    # label field
+    stripped = line.lstrip()
+    match = re.match(r"^([A-Za-z_][A-Za-z0-9_.]*)(::|:)\s*(.*)$", stripped)
+    if match:
+        parsed.label = match.group(1)
+        parsed.exported = match.group(2) == "::"
+        stripped = match.group(3)
+    elif line and not line[0].isspace() and not stripped.startswith("."):
+        raise AssemblyError(
+            f"unlabelled text at column 0: {line.split()[0]!r} "
+            "(labels need ':' and instructions need leading whitespace)",
+            lineno,
+        )
+
+    stripped = stripped.strip()
+    if not stripped:
+        return parsed  # label-only line
+
+    parts = stripped.split(None, 1)
+    parsed.op = parts[0].lower()
+    parsed.operand_text = parts[1].strip() if len(parts) > 1 else ""
+
+    if parsed.is_directive:
+        parsed.args = split_args(parsed.operand_text)
+    else:
+        parsed.operand = parse_operand(parsed.operand_text, lineno)
+    return parsed
+
+
+def parse_source(source: str) -> List[ParsedLine]:
+    """Parse a whole program, skipping blank and comment lines."""
+    out: List[ParsedLine] = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        parsed = parse_line(line, lineno)
+        if parsed is not None:
+            out.append(parsed)
+    return out
+
+
+def parse_number(text: str, lineno: int) -> int:
+    """Parse a numeric literal (decimal, 0o octal, 0x hex, optional -)."""
+    text = text.strip()
+    negative = text.startswith("-")
+    if negative:
+        text = text[1:].strip()
+    try:
+        if text.lower().startswith("0o"):
+            value = int(text, 8)
+        elif text.lower().startswith("0x"):
+            value = int(text, 16)
+        else:
+            value = int(text, 10)
+    except ValueError:
+        raise AssemblyError(f"bad number {text!r}", lineno) from None
+    return -value if negative else value
+
+
+def split_expression(text: str, lineno: int) -> Tuple[str, int]:
+    """Split ``label+n`` / ``label-n`` / ``.`` forms into (base, addend).
+
+    The base is ``""`` for purely numeric expressions, ``"."`` for the
+    current location, or a label name.
+    """
+    text = text.strip()
+    if not text:
+        return "", 0
+    match = re.match(r"^(\.|[A-Za-z_][A-Za-z0-9_.]*)\s*([+-]\s*\S+)?$", text)
+    if match and not _NUMBER_RE.match(text):
+        base = match.group(1)
+        addend = 0
+        if match.group(2):
+            addend = parse_number(match.group(2).replace(" ", ""), lineno)
+        return base, addend
+    return "", parse_number(text, lineno)

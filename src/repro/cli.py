@@ -1,0 +1,163 @@
+"""Command-line interface.
+
+Four subcommands, all runnable as ``python -m repro <cmd>``:
+
+``figures``
+    Print the reproductions of all nine paper figures.
+``experiments``
+    Run and print the crossing-cost experiment (C1).
+``asm FILE``
+    Assemble a source file and print its listing (and disassembly with
+    ``--disasm``).
+``run FILE``
+    Assemble a program, install it on a fresh machine (with the standard
+    supervisor gate services), execute ``segment$ENTRY`` in the chosen
+    ring, and report console output and counters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .asm import assemble, listing
+from .asm.disasm import disassemble_image
+from .core.acl import AclEntry, RingBracketSpec
+from .errors import ReproError
+from .sim.machine import Machine
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from .analysis.figures import render_all_figures
+
+    text = render_all_figures()
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .analysis.report import crossing_cost_table
+
+    print(crossing_cost_table())
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .analysis.verify import render_report, verify_all
+
+    results = verify_all()
+    print(render_report(results))
+    return 0 if all(result.ok for result in results) else 1
+
+
+def _cmd_asm(args: argparse.Namespace) -> int:
+    with open(args.file) as handle:
+        source = handle.read()
+    image = assemble(source, name=args.name or "program")
+    print(listing(image, source))
+    if args.disasm:
+        print()
+        print(disassemble_image(image))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    with open(args.file) as handle:
+        source = handle.read()
+    machine = Machine()
+    user = machine.add_user("operator")
+    if args.ring <= 3:
+        spec = RingBracketSpec.procedure(args.ring, callable_from=5)
+    else:
+        spec = RingBracketSpec.procedure(args.ring)
+    image = machine.store_program(
+        ">run>program", source, acl=[AclEntry("*", spec)], name=args.name
+    )
+    process = machine.login(user)
+    machine.initiate(process, ">run>program")
+    trace = None
+    if args.trace:
+        from .sim.trace import TraceLog
+
+        trace = TraceLog()
+        trace.attach(machine.processor)
+    result = machine.run(
+        process, f"{image.name}${args.entry}", ring=args.ring,
+        max_steps=args.max_steps,
+    )
+    if trace is not None:
+        trace.detach()
+        print(trace.render())
+    print(f"halted:         {result.halted}")
+    print(f"ring:           {result.ring}")
+    print(f"A register:     {result.a}")
+    print(f"Q register:     {result.q}")
+    print(f"instructions:   {result.instructions}")
+    print(f"cycles:         {result.cycles}")
+    print(f"ring crossings: {result.ring_crossings}")
+    if result.console:
+        print(f"console:        {result.console}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Schroeder & Saltzer protection rings, reproduced",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser("figures", help="print all figure reproductions")
+    figures.add_argument("--out", help="write to a file instead of stdout")
+    figures.set_defaults(func=_cmd_figures)
+    sub.add_parser(
+        "experiments", help="run the crossing-cost experiment"
+    ).set_defaults(func=_cmd_experiments)
+    sub.add_parser(
+        "verify", help="run the built-in self-verification checks"
+    ).set_defaults(func=_cmd_verify)
+
+    asm = sub.add_parser("asm", help="assemble a source file")
+    asm.add_argument("file")
+    asm.add_argument("--name", help="segment name (default: .seg directive)")
+    asm.add_argument(
+        "--disasm", action="store_true", help="also print the disassembly"
+    )
+    asm.set_defaults(func=_cmd_asm)
+
+    run = sub.add_parser("run", help="assemble and execute a program")
+    run.add_argument("file")
+    run.add_argument("--ring", type=int, default=4, help="ring of execution")
+    run.add_argument("--entry", default="main", help="entry symbol")
+    run.add_argument("--name", help="segment name override")
+    run.add_argument("--max-steps", type=int, default=1_000_000)
+    run.add_argument(
+        "--trace", action="store_true", help="print the instruction trace"
+    )
+    run.set_defaults(func=_cmd_run)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""The paper's primary contribution: protection-ring logic.
+
+This package holds the *policy* of the Schroeder–Saltzer design as pure,
+side-effect-free functions and value objects, independent of machine
+state.  The CPU (:mod:`repro.cpu`) consults these functions on every
+memory reference; the analysis package enumerates them to regenerate the
+paper's figures; the tests property-check their invariants.
+
+Modules
+-------
+:mod:`repro.core.rings`
+    Ring brackets, the nested-subset access model, and the per-reference
+    permission checks of Figures 1, 2, 4 and 6.
+:mod:`repro.core.gates`
+    Gate-list rules and the complete CALL/RETURN ring-transition decision
+    procedures of Figures 8 and 9.
+:mod:`repro.core.effective`
+    The effective-ring computation of Figure 5 (the ``max`` rule over
+    pointer-register rings, indirect-word rings, and write-bracket tops).
+:mod:`repro.core.acl`
+    Access-control-list entries and their projection onto SDW permission
+    fields, including the sole-occupant bracket constraint.
+"""
+
+from .rings import (
+    AccessKind,
+    RingBrackets,
+    check_execute,
+    check_read,
+    check_write,
+    execute_bracket,
+    gate_extension,
+    in_bracket,
+    permission_table,
+    read_bracket,
+    write_bracket,
+)
+from .gates import (
+    CallOutcome,
+    CallDecision,
+    ReturnOutcome,
+    ReturnDecision,
+    decide_call,
+    decide_return,
+    gate_ok,
+)
+from .effective import (
+    effective_ring_after_indirect,
+    effective_ring_after_pr,
+    initial_effective_ring,
+)
+from .acl import AclEntry, RingBracketSpec, build_sdw, sdw_fields_from_acl
+
+__all__ = [
+    "AccessKind",
+    "RingBrackets",
+    "check_execute",
+    "check_read",
+    "check_write",
+    "execute_bracket",
+    "gate_extension",
+    "in_bracket",
+    "permission_table",
+    "read_bracket",
+    "write_bracket",
+    "CallOutcome",
+    "CallDecision",
+    "ReturnOutcome",
+    "ReturnDecision",
+    "decide_call",
+    "decide_return",
+    "gate_ok",
+    "effective_ring_after_indirect",
+    "effective_ring_after_pr",
+    "initial_effective_ring",
+    "AclEntry",
+    "RingBracketSpec",
+    "build_sdw",
+    "sdw_fields_from_acl",
+]

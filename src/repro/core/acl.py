@@ -1,0 +1,142 @@
+"""Access-control-list entries and their projection onto SDW fields.
+
+The paper's third framework assumption (p. 8): every on-line segment
+carries an access control list naming the users permitted to use it, and
+"the gate list and the numbers specifying the read, write, and execute
+brackets and gate extension in each SDW all come from the access control
+list entry which matched the name of the user associated with the
+process" (p. 16).  This module defines that ACL entry and the projection.
+
+It also implements the *sole occupant* software constraint (p. 37): a
+program executing in ring ``n`` cannot specify ``R1``, ``R2`` or ``R3``
+values less than ``n`` — otherwise it could manufacture capabilities for
+rings it does not occupy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import AccessDenied, BracketOrderError
+from ..formats.sdw import SDW
+from ..words import check_field
+from .rings import RingBrackets
+
+
+@dataclass(frozen=True)
+class RingBracketSpec:
+    """The bracket triple plus permission flags an ACL entry grants."""
+
+    r1: int = 0
+    r2: int = 0
+    r3: int = 0
+    read: bool = False
+    write: bool = False
+    execute: bool = False
+    gate: int = 0
+
+    def __post_init__(self) -> None:
+        check_field("ACL.R1", self.r1, 3)
+        check_field("ACL.R2", self.r2, 3)
+        check_field("ACL.R3", self.r3, 3)
+        check_field("ACL.GATE", self.gate, 14)
+        if not (self.r1 <= self.r2 <= self.r3):
+            raise BracketOrderError(
+                f"ACL brackets must satisfy R1 <= R2 <= R3, got "
+                f"({self.r1}, {self.r2}, {self.r3})"
+            )
+
+    @property
+    def brackets(self) -> RingBrackets:
+        """The bracket triple as a policy object."""
+        return RingBrackets(self.r1, self.r2, self.r3)
+
+    @classmethod
+    def procedure(
+        cls,
+        ring: int,
+        callable_from: int = None,  # type: ignore[assignment]
+        gate: int = 0,
+        top: int = None,  # type: ignore[assignment]
+    ) -> "RingBracketSpec":
+        """Grant for a pure procedure intended to execute in ``ring``.
+
+        Execute bracket ``[ring, top or ring]``; readable (procedures
+        carry their own link words, retrieved as validated reads during
+        address formation); not writable.  ``callable_from`` extends the
+        gate extension so rings up to it may CALL the segment's gates.
+        """
+        r2 = top if top is not None else ring
+        r3 = callable_from if callable_from is not None else r2
+        return cls(r1=ring, r2=r2, r3=r3, read=True, execute=True, gate=gate)
+
+    @classmethod
+    def data(
+        cls, ring: int, write: bool = True, read_to: int = None  # type: ignore[assignment]
+    ) -> "RingBracketSpec":
+        """Grant for a data segment writable up to ``ring``.
+
+        Read bracket extends to ``read_to`` (default: same as write),
+        execute off.
+        """
+        r2 = read_to if read_to is not None else ring
+        return cls(r1=ring, r2=r2, r3=r2, read=True, write=write)
+
+    def check_settable_from(self, ring: int) -> None:
+        """Enforce the sole-occupant constraint for a setter in ``ring``.
+
+        Raises :class:`repro.errors.AccessDenied` when any bracket number
+        is below the setter's ring.
+        """
+        low = min(self.r1, self.r2, self.r3)
+        if low < ring:
+            raise AccessDenied(
+                f"a program in ring {ring} may not specify bracket numbers "
+                f"below {ring} (got R1={self.r1}, R2={self.r2}, R3={self.r3})"
+            )
+
+
+@dataclass(frozen=True)
+class AclEntry:
+    """One access-control-list entry: a user name plus granted access.
+
+    ``username`` may be the literal ``"*"`` to match every user — the
+    paper's "accessible to the processes of all users" case (p. 35).
+    """
+
+    username: str
+    spec: RingBracketSpec
+
+    def matches(self, username: str) -> bool:
+        """True when this entry applies to ``username``."""
+        return self.username == "*" or self.username == username
+
+
+def sdw_fields_from_acl(spec: RingBracketSpec) -> Dict[str, object]:
+    """Project an ACL grant onto the SDW fields it determines.
+
+    The address, bound and present bit are storage-management facts and
+    are supplied by the supervisor when it builds the SDW; everything
+    access-related comes from the ACL entry, exactly as the paper says.
+    """
+    return {
+        "r1": spec.r1,
+        "r2": spec.r2,
+        "r3": spec.r3,
+        "read": spec.read,
+        "write": spec.write,
+        "execute": spec.execute,
+        "gate": spec.gate,
+    }
+
+
+def build_sdw(spec: RingBracketSpec, addr: int, bound: int, paged: bool = False) -> SDW:
+    """Combine an ACL grant with storage facts into a complete SDW."""
+    return SDW(
+        addr=addr,
+        bound=bound,
+        paged=paged,
+        present=True,
+        **sdw_fields_from_acl(spec),  # type: ignore[arg-type]
+    )

@@ -1,0 +1,82 @@
+"""The effective-ring computation of Figure 5.
+
+During effective-address formation the processor threads a ring number
+(``TPR.RING``) alongside the two-part address.  The ring starts at the
+ring of execution and is *raised* — never lowered — at each step that
+could have let a higher-numbered ring influence the address:
+
+* when the instruction addresses relative to a pointer register,
+  ``TPR.RING := max(TPR.RING, PRn.RING)``;
+* each time an indirect word is retrieved,
+  ``TPR.RING := max(TPR.RING, IND.RING, SDW.R1(segment holding the
+  indirect word))``.
+
+The ``SDW.R1`` term is the subtle one: the top of the write bracket of
+the segment an indirect word was fetched from is the highest ring that
+could have *written* that indirect word, and therefore the highest ring
+that could have influenced the resulting address (paper pp. 26–27).
+
+These three functions are the complete rule; the address unit
+(:mod:`repro.cpu.address`) applies them step by step, and the property
+tests verify monotonicity over arbitrary chains.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+
+def initial_effective_ring(cur_ring: int) -> int:
+    """Start of Figure 5: the effective ring begins at the ring of execution."""
+    return cur_ring
+
+
+def effective_ring_after_pr(eff_ring: int, pr_ring: int) -> int:
+    """Raise the effective ring for pointer-register-relative addressing."""
+    return max(eff_ring, pr_ring)
+
+
+def effective_ring_after_indirect(
+    eff_ring: int, ind_ring: int, holder_write_top: int
+) -> int:
+    """Raise the effective ring after retrieving one indirect word.
+
+    ``ind_ring`` is the RING field of the indirect word itself;
+    ``holder_write_top`` is ``SDW.R1`` of the segment the indirect word
+    was fetched from.
+    """
+    return max(eff_ring, ind_ring, holder_write_top)
+
+
+def effective_ring_of_chain(
+    cur_ring: int,
+    pr_ring: int = None,  # type: ignore[assignment]
+    chain: Sequence[Tuple[int, int]] = (),
+) -> int:
+    """Effective ring after a whole address computation.
+
+    ``chain`` is the sequence of ``(ind_ring, holder_write_top)`` pairs
+    encountered while following indirection.  This closed form exists for
+    the analysis and property tests; the hardware path computes the same
+    value incrementally.
+    """
+    ring = initial_effective_ring(cur_ring)
+    if pr_ring is not None:
+        ring = effective_ring_after_pr(ring, pr_ring)
+    for ind_ring, holder_write_top in chain:
+        ring = effective_ring_after_indirect(ring, ind_ring, holder_write_top)
+    return ring
+
+
+def highest_influencer(
+    cur_ring: int,
+    pr_ring: int = None,  # type: ignore[assignment]
+    chain: Iterable[Tuple[int, int]] = (),
+) -> int:
+    """Alias of :func:`effective_ring_of_chain` named for what it means.
+
+    The effective ring *is* "the highest numbered ring from which a
+    procedure (in the same process) possibly could have influenced the
+    effective address calculation" (paper p. 26).
+    """
+    return effective_ring_of_chain(cur_ring, pr_ring, tuple(chain))

@@ -1,0 +1,179 @@
+"""Gate rules and the CALL/RETURN ring-transition decision procedures.
+
+These are the pure decision kernels of Figures 8 and 9.  The CPU's CALL
+and RETURN implementations (:mod:`repro.cpu.operations`) call
+:func:`decide_call` / :func:`decide_return` and then *perform* whatever
+the decision says (switch rings, build the stack-base pointer, raise
+pointer-register rings, or take a fault/trap).  Keeping the decisions
+pure lets the analysis package enumerate the complete decision tables
+and lets hypothesis explore them exhaustively.
+
+Terminology: ``eff_ring`` is the effective ring computed during address
+formation (``TPR.RING``); ``cur_ring`` is the ring of execution
+(``IPR.RING``).  By construction of Figure 5, ``eff_ring >= cur_ring``
+always holds when these functions are reached from the hardware path;
+the functions nevertheless define an outcome for the impossible region
+so the decision tables are total.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from .rings import RingBrackets
+
+
+class CallOutcome(enum.Enum):
+    """Every possible result of the Figure 8 CALL decision."""
+
+    #: Call proceeds without a ring change.
+    SAME_RING = "same-ring call"
+    #: Call proceeds, ring switches down to the top of the execute bracket.
+    DOWNWARD = "downward call"
+    #: Upward call: trap for software intervention (paper p. 22).
+    TRAP_UPWARD_CALL = "upward-call trap"
+    #: Target segment's execute flag is off.
+    FAULT_NO_EXECUTE = "execute flag off"
+    #: Effective ring exceeds the current ring of execution (p. 30).
+    FAULT_RING_RAISED = "effective ring above ring of execution"
+    #: Effective ring lies above the gate extension (``> R3``).
+    FAULT_OUTSIDE_BRACKET = "ring above gate extension"
+    #: Target word is not a gate location and the call is inter-segment.
+    FAULT_NOT_GATE = "target is not a gate"
+
+    @property
+    def proceeds(self) -> bool:
+        """True when the hardware completes the call without software help."""
+        return self in (CallOutcome.SAME_RING, CallOutcome.DOWNWARD)
+
+
+@dataclass(frozen=True)
+class CallDecision:
+    """Outcome of :func:`decide_call` plus the new ring when it proceeds."""
+
+    outcome: CallOutcome
+    new_ring: Optional[int] = None
+
+    @property
+    def proceeds(self) -> bool:
+        return self.outcome.proceeds
+
+
+def gate_ok(wordno: int, gate_count: int, same_segment: bool) -> bool:
+    """Figure 8 gate test.
+
+    Gate locations are words ``0 .. SDW.GATE-1`` of the target segment
+    (the compressed gate-list representation, paper p. 23).  A CALL whose
+    operand lies in the *same* segment as the instruction ignores the
+    gate list — that is the paper's internal-procedure exception (p. 29).
+    """
+    return same_segment or wordno < gate_count
+
+
+def decide_call(
+    eff_ring: int,
+    cur_ring: int,
+    brackets: RingBrackets,
+    execute_flag: bool,
+    wordno: int,
+    gate_count: int,
+    same_segment: bool,
+) -> CallDecision:
+    """The complete CALL decision of Figure 8.
+
+    Checks, in hardware order:
+
+    1. the target must be executable at all (E flag);
+    2. the effective ring must equal the ring of execution — a raised
+       effective ring means the address was influenced by a higher ring,
+       which the paper deliberately turns into an access violation "even
+       if the current ring of execution is within the execute bracket"
+       (p. 30);
+    3. the effective ring must not exceed the gate extension (``R3``);
+    4. an inter-segment CALL must be directed at a gate location, *even
+       for a same-ring call* (accidental-entry protection, p. 29);
+    5. finally the ring transition: above the execute bracket the ring
+       switches down to ``R2``; inside it the call is same-ring; below
+       it the call is upward and traps for software intervention.
+    """
+    if not execute_flag:
+        return CallDecision(CallOutcome.FAULT_NO_EXECUTE)
+    if eff_ring > cur_ring:
+        return CallDecision(CallOutcome.FAULT_RING_RAISED)
+    if eff_ring > brackets.r3:
+        return CallDecision(CallOutcome.FAULT_OUTSIDE_BRACKET)
+    if not gate_ok(wordno, gate_count, same_segment):
+        return CallDecision(CallOutcome.FAULT_NOT_GATE)
+    if eff_ring > brackets.r2:
+        return CallDecision(CallOutcome.DOWNWARD, new_ring=brackets.r2)
+    if eff_ring >= brackets.r1:
+        return CallDecision(CallOutcome.SAME_RING, new_ring=eff_ring)
+    return CallDecision(CallOutcome.TRAP_UPWARD_CALL)
+
+
+class ReturnOutcome(enum.Enum):
+    """Every possible result of the Figure 9 RETURN decision."""
+
+    #: Return proceeds without a ring change.
+    SAME_RING = "same-ring return"
+    #: Return proceeds, ring switches up; all PRn.RING are raised.
+    UPWARD = "upward return"
+    #: Downward return: trap for software intervention (paper p. 22).
+    TRAP_DOWNWARD_RETURN = "downward-return trap"
+    #: Target segment's execute flag is off.
+    FAULT_NO_EXECUTE = "execute flag off"
+    #: Target not executable in the destination ring (advance check).
+    FAULT_EXECUTE_BRACKET = "destination outside execute bracket"
+
+    @property
+    def proceeds(self) -> bool:
+        """True when the hardware completes the return without software help."""
+        return self in (ReturnOutcome.SAME_RING, ReturnOutcome.UPWARD)
+
+
+@dataclass(frozen=True)
+class ReturnDecision:
+    """Outcome of :func:`decide_return` plus the new ring when it proceeds."""
+
+    outcome: ReturnOutcome
+    new_ring: Optional[int] = None
+
+    @property
+    def proceeds(self) -> bool:
+        return self.outcome.proceeds
+
+
+def decide_return(
+    eff_ring: int,
+    cur_ring: int,
+    brackets: RingBrackets,
+    execute_flag: bool,
+) -> ReturnDecision:
+    """The complete RETURN decision of Figure 9.
+
+    The destination ring is the effective ring of the RETURN operand
+    (p. 31).  The advance check validates that the instruction following
+    the return will be fetchable: the target segment must be executable
+    in the destination ring.
+
+    A *downward* return (``eff_ring < cur_ring``) cannot arise through
+    hardware address formation, because the effective ring computation
+    only ever raises ``TPR.RING`` above ``IPR.RING``; the case is mapped
+    to the trap the paper prescribes so the decision is total and so the
+    supervisor's software return-gate path has a defined entry.
+
+    Note the asymmetry with CALL: a *raised* effective ring is not an
+    error here — it is the very mechanism that guarantees a return goes
+    to the caller's ring or higher (p. 34).
+    """
+    if not execute_flag:
+        return ReturnDecision(ReturnOutcome.FAULT_NO_EXECUTE)
+    if not brackets.execute_allowed(eff_ring):
+        return ReturnDecision(ReturnOutcome.FAULT_EXECUTE_BRACKET)
+    if eff_ring < cur_ring:
+        return ReturnDecision(ReturnOutcome.TRAP_DOWNWARD_RETURN)
+    if eff_ring == cur_ring:
+        return ReturnDecision(ReturnOutcome.SAME_RING, new_ring=eff_ring)
+    return ReturnDecision(ReturnOutcome.UPWARD, new_ring=eff_ring)

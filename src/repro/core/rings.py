@@ -1,0 +1,213 @@
+"""Ring brackets and per-reference permission checks.
+
+This module is the formal heart of the reproduction.  It encodes, as pure
+functions over small value objects, the access rules the paper specifies:
+
+* the **write bracket** is rings ``0 .. R1`` (paper p. 23);
+* the **execute bracket** is rings ``R1 .. R2`` — the write-bracket top
+  doubles as the execute-bracket bottom (pp. 15–16);
+* the **read bracket** is rings ``0 .. R2`` — the read-bracket top is
+  shared with the execute-bracket top (p. 23);
+* the **gate extension** is rings ``R2+1 .. R3``;
+* a reference is permitted only when the corresponding flag is on *and*
+  the validation ring lies within the bracket (Figures 4 and 6).
+
+Everything takes the validation ring as an explicit argument: during
+instruction fetch that is the ring of execution (``IPR.RING``), during
+operand references it is the *effective ring* (``TPR.RING``) computed per
+Figure 5.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import BracketOrderError
+from ..words import MAX_RINGS, check_field
+
+
+class AccessKind(enum.Enum):
+    """The three kinds of validated memory reference."""
+
+    READ = "read"
+    WRITE = "write"
+    EXECUTE = "execute"
+
+
+@dataclass(frozen=True)
+class RingBrackets:
+    """The ring-bracket triple ``(R1, R2, R3)`` of one segment.
+
+    ``RingBrackets`` is deliberately independent of the SDW memory format
+    so that the policy functions here can be enumerated and
+    property-tested without touching the encoding layer.
+    """
+
+    r1: int
+    r2: int
+    r3: int
+
+    def __post_init__(self) -> None:
+        check_field("R1", self.r1, 3)
+        check_field("R2", self.r2, 3)
+        check_field("R3", self.r3, 3)
+        if not (self.r1 <= self.r2 <= self.r3):
+            raise BracketOrderError(
+                f"brackets must satisfy R1 <= R2 <= R3, got "
+                f"({self.r1}, {self.r2}, {self.r3})"
+            )
+
+    # -- bracket ranges ----------------------------------------------------
+
+    @property
+    def write_bracket(self) -> Tuple[int, int]:
+        """Inclusive ring range in which writing is bracketed: ``(0, R1)``."""
+        return (0, self.r1)
+
+    @property
+    def read_bracket(self) -> Tuple[int, int]:
+        """Inclusive ring range in which reading is bracketed: ``(0, R2)``."""
+        return (0, self.r2)
+
+    @property
+    def execute_bracket(self) -> Tuple[int, int]:
+        """Inclusive ring range in which execution is bracketed: ``(R1, R2)``."""
+        return (self.r1, self.r2)
+
+    @property
+    def gate_extension(self) -> Tuple[int, int]:
+        """Inclusive ring range of the gate extension: ``(R2+1, R3)``.
+
+        Empty (``lo > hi``) when ``R2 == R3`` — the segment then offers no
+        cross-ring gates, and its gate list only guards same-ring CALLs.
+        """
+        return (self.r2 + 1, self.r3)
+
+    def has_gate_extension(self) -> bool:
+        """True when rings above the execute bracket may call gates."""
+        return self.r3 > self.r2
+
+    # -- single-reference checks (flags live in the SDW, passed in) --------
+
+    def write_allowed(self, ring: int) -> bool:
+        """Figure 6 bracket test for a write: ``ring <= R1``."""
+        return ring <= self.r1
+
+    def read_allowed(self, ring: int) -> bool:
+        """Figure 6 bracket test for a read: ``ring <= R2``."""
+        return ring <= self.r2
+
+    def execute_allowed(self, ring: int) -> bool:
+        """Figure 4 bracket test for execution: ``R1 <= ring <= R2``."""
+        return self.r1 <= ring <= self.r2
+
+    def call_bracket_allowed(self, ring: int) -> bool:
+        """True when ``ring`` may CALL into the segment at all.
+
+        Covers the execute bracket plus the gate extension,
+        ``R1 <= ring <= R3``.  Rings below ``R1`` are *not* excluded here:
+        a call from below the execute bracket is an upward call and is
+        decided (as a trap) by :func:`repro.core.gates.decide_call`.
+        """
+        return ring <= self.r3
+
+
+def in_bracket(ring: int, bracket: Tuple[int, int]) -> bool:
+    """True when ``ring`` lies in the inclusive range ``bracket``."""
+    lo, hi = bracket
+    return lo <= ring <= hi
+
+
+def write_bracket(r1: int, r2: int, r3: int) -> Tuple[int, int]:
+    """Write bracket of the triple — functional convenience form."""
+    return RingBrackets(r1, r2, r3).write_bracket
+
+
+def read_bracket(r1: int, r2: int, r3: int) -> Tuple[int, int]:
+    """Read bracket of the triple — functional convenience form."""
+    return RingBrackets(r1, r2, r3).read_bracket
+
+
+def execute_bracket(r1: int, r2: int, r3: int) -> Tuple[int, int]:
+    """Execute bracket of the triple — functional convenience form."""
+    return RingBrackets(r1, r2, r3).execute_bracket
+
+
+def gate_extension(r1: int, r2: int, r3: int) -> Tuple[int, int]:
+    """Gate extension of the triple — functional convenience form."""
+    return RingBrackets(r1, r2, r3).gate_extension
+
+
+def check_read(ring: int, brackets: RingBrackets, flag: bool) -> bool:
+    """Complete Figure 6 read check: flag on and ring within read bracket."""
+    return flag and brackets.read_allowed(ring)
+
+
+def check_write(ring: int, brackets: RingBrackets, flag: bool) -> bool:
+    """Complete Figure 6 write check: flag on and ring within write bracket."""
+    return flag and brackets.write_allowed(ring)
+
+
+def check_execute(ring: int, brackets: RingBrackets, flag: bool) -> bool:
+    """Complete Figure 4 execute check: flag on and ring within execute bracket."""
+    return flag and brackets.execute_allowed(ring)
+
+
+def permission_table(
+    brackets: RingBrackets,
+    read_flag: bool,
+    write_flag: bool,
+    execute_flag: bool,
+    nrings: int = MAX_RINGS,
+) -> List[Dict[str, object]]:
+    """Per-ring permission summary — the content of Figures 1 and 2.
+
+    Returns one row per ring with boolean ``read``/``write``/``execute``
+    columns and a ``gate`` column that is True in the gate extension.
+    The analysis package renders these rows as the paper's bracket
+    diagrams; tests cross-check them against the single-reference
+    functions above.
+    """
+    rows: List[Dict[str, object]] = []
+    gate_lo, gate_hi = brackets.gate_extension
+    for ring in range(nrings):
+        rows.append(
+            {
+                "ring": ring,
+                "read": check_read(ring, brackets, read_flag),
+                "write": check_write(ring, brackets, write_flag),
+                "execute": check_execute(ring, brackets, execute_flag),
+                "gate": execute_flag and gate_lo <= ring <= gate_hi,
+            }
+        )
+    return rows
+
+
+def nested_subset_holds(
+    brackets: RingBrackets,
+    read_flag: bool,
+    write_flag: bool,
+    execute_flag: bool,
+    nrings: int = MAX_RINGS,
+) -> bool:
+    """Verify the nested-subset property for read/write capabilities.
+
+    The paper's definition (p. 11): the capabilities of ring ``m`` are a
+    subset of those of ring ``n`` whenever ``m > n``.  For the read and
+    write capabilities of a single segment this means the per-ring
+    permission columns are monotonically non-increasing as the ring
+    number grows.  (Execution is deliberately *not* monotone — the lower
+    limit of the execute bracket exists precisely to prevent accidental
+    execution in too low a ring, p. 15 — so it is excluded.)
+    """
+    table = permission_table(brackets, read_flag, write_flag, execute_flag, nrings)
+    for kind in ("read", "write"):
+        seen_false = False
+        for row in table:
+            if not row[kind]:
+                seen_false = True
+            elif seen_false:
+                return False
+    return True

@@ -1,0 +1,40 @@
+"""The simulated processor.
+
+Submodules follow the paper's hardware description section:
+
+* :mod:`repro.cpu.registers` — IPR, TPR, PR0–PR7, A/Q, DBR holder;
+* :mod:`repro.cpu.faults` — fault codes and the simulated-trap signal;
+* :mod:`repro.cpu.validate` — per-reference validation (Figures 4 & 6)
+  binding the pure ring policy to SDW contents;
+* :mod:`repro.cpu.sdwcache` — the descriptor associative memory;
+* :mod:`repro.cpu.isa` — opcode assignments and operand semantics;
+* :mod:`repro.cpu.address` — effective-address formation (Figure 5);
+* :mod:`repro.cpu.operations` — instruction implementations, including
+  CALL (Figure 8) and RETURN (Figure 9);
+* :mod:`repro.cpu.processor` — the instruction cycle, trap machinery,
+  privileged-instruction enforcement, and cycle accounting.
+"""
+
+from .faults import Fault, FaultCode, FaultClass
+from .registers import IPR, PointerRegister, RegisterFile, TPR
+from .isa import Op, OPERAND_NONE, OPERAND_READ, OPERAND_WRITE, OPERAND_RMW
+from .processor import Processor, CostModel
+from .sdwcache import SDWCache
+
+__all__ = [
+    "Fault",
+    "FaultCode",
+    "FaultClass",
+    "IPR",
+    "TPR",
+    "PointerRegister",
+    "RegisterFile",
+    "Op",
+    "OPERAND_NONE",
+    "OPERAND_READ",
+    "OPERAND_WRITE",
+    "OPERAND_RMW",
+    "Processor",
+    "CostModel",
+    "SDWCache",
+]

@@ -1,0 +1,100 @@
+"""Effective-address formation — Figure 5 of the paper.
+
+The processor forms every operand address in the temporary pointer
+register: a two-part address plus the *effective ring* with respect to
+which the eventual reference is validated.  The ring evolves by the max
+rule of :mod:`repro.core.effective`:
+
+1. it starts at the ring of execution;
+2. pointer-register-relative addressing raises it to ``PRn.RING``;
+3. each indirect word retrieved raises it to the maximum of the word's
+   own RING field and ``SDW.R1`` of the segment holding the word — the
+   highest ring that could have written the word.
+
+Retrieving an indirect word is itself a validated *read* at the
+effective ring in force at that moment (paper p. 27), so a procedure can
+never be tricked into chasing a pointer chain through a segment it could
+not legitimately read at the influencing ring.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.effective import (
+    effective_ring_after_indirect,
+    effective_ring_after_pr,
+    initial_effective_ring,
+)
+from ..formats.indirect import IndirectWord
+from ..formats.instruction import Instruction
+from ..words import HALF_MASK
+from .faults import Fault, FaultCode
+from .registers import TPR
+from .validate import validate_read
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .processor import Processor
+
+#: Hardware limit on indirection depth; a longer chain faults rather
+#: than hanging the simulated processor (real hardware would spin until
+#: interrupted — the limit substitutes for the timer).
+MAX_INDIRECTION = 16
+
+
+def form_effective_address(proc: "Processor", inst: Instruction) -> TPR:
+    """Compute the complete effective address of ``inst``'s operand.
+
+    Returns a fresh :class:`~repro.cpu.registers.TPR`.  Raises
+    :class:`~repro.cpu.faults.Fault` on any violation encountered while
+    retrieving indirect words.
+    """
+    regs = proc.registers
+    tpr = TPR()
+    tpr.ring = initial_effective_ring(regs.ipr.ring)
+
+    offset = inst.offset
+    if inst.indexed:
+        offset = (offset + (regs.a & HALF_MASK)) & HALF_MASK
+
+    if inst.prflag:
+        pr = regs.pr(inst.prnum)
+        tpr.segno = pr.segno
+        tpr.wordno = (pr.wordno + offset) & HALF_MASK
+        tpr.ring = effective_ring_after_pr(tpr.ring, pr.ring)
+    else:
+        tpr.segno = regs.ipr.segno
+        tpr.wordno = offset
+
+    chase = inst.indirect
+    hops = 0
+    while chase:
+        hops += 1
+        if hops > MAX_INDIRECTION:
+            raise Fault(
+                FaultCode.ILLEGAL_OPCODE,
+                segno=tpr.segno,
+                wordno=tpr.wordno,
+                ring=tpr.ring,
+                cur_ring=regs.ipr.ring,
+                detail=f"indirection chain exceeds {MAX_INDIRECTION}",
+            )
+        sdw = proc.fetch_sdw(tpr.segno, tpr.wordno)
+        code = validate_read(sdw, tpr.ring, tpr.wordno)
+        if code is not None:
+            raise Fault(
+                code,
+                segno=tpr.segno,
+                wordno=tpr.wordno,
+                ring=tpr.ring,
+                cur_ring=regs.ipr.ring,
+                detail="retrieving indirect word",
+            )
+        word = proc.read_word(sdw, tpr.segno, tpr.wordno)
+        ind = IndirectWord.unpack(word)
+        tpr.ring = effective_ring_after_indirect(tpr.ring, ind.ring, sdw.r1)
+        tpr.segno = ind.segno
+        tpr.wordno = ind.wordno
+        chase = ind.indirect
+
+    return tpr

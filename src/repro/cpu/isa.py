@@ -1,0 +1,130 @@
+"""Instruction set of the simulated processor.
+
+The ISA is deliberately small but complete enough to write real
+programs: accumulator arithmetic, stores, the EAP-type pointer loads the
+paper makes load-bearing ("they are the only way to load PR's", p. 28),
+pointer stores, plain transfers, the ring-changing CALL and RETURN, and
+the ring-0-only privileged instructions (load DBR, connect I/O, restore
+state — the examples of p. 31).
+
+For access validation instructions fall into the three groups of the
+paper (pp. 27–28): those which **read** their operands, those which
+**write** their operands, and those which **do not reference** their
+operands (EAP-type loads and transfers).  The group is part of each
+opcode's metadata here, and the dispatcher uses it to decide which of
+the Figure 6 / Figure 7 paths to run.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+#: Operand semantics groups (paper pp. 27-28).
+OPERAND_READ = "read"
+OPERAND_WRITE = "write"
+OPERAND_RMW = "read-modify-write"
+OPERAND_NONE = "none"
+
+
+class Op(enum.Enum):
+    """Every opcode, with its number and operand-reference semantics.
+
+    Each member's value is ``(opcode number, operand group, transfer?,
+    privileged?)``.
+    """
+
+    # -- miscellany -------------------------------------------------------
+    NOP = (0o000, OPERAND_NONE, False, False)
+    HALT = (0o001, OPERAND_NONE, False, False)
+    #: load A from the caller-ring register CALL maintains (paper p. 19:
+    #: the processor leaves the pre-call ring "in a program accessible
+    #: register"; LDCR is how programs read it)
+    LDCR = (0o002, OPERAND_NONE, False, False)
+    #: A right/left shifts; the shift count is the OFFSET field
+    ARS = (0o004, OPERAND_NONE, False, False)
+    ALS = (0o005, OPERAND_NONE, False, False)
+
+    # -- accumulator loads / arithmetic (read group) -----------------------
+    LDA = (0o010, OPERAND_READ, False, False)
+    LDQ = (0o011, OPERAND_READ, False, False)
+    ADA = (0o012, OPERAND_READ, False, False)
+    SBA = (0o013, OPERAND_READ, False, False)
+    ANA = (0o014, OPERAND_READ, False, False)
+    ORA = (0o015, OPERAND_READ, False, False)
+    ERA = (0o016, OPERAND_READ, False, False)
+
+    # -- stores (write group) ----------------------------------------------
+    STA = (0o020, OPERAND_WRITE, False, False)
+    STQ = (0o021, OPERAND_WRITE, False, False)
+    STZ = (0o022, OPERAND_WRITE, False, False)
+    AOS = (0o023, OPERAND_RMW, False, False)
+
+    # -- pointer stores (write group): SPR0..SPR7 ---------------------------
+    SPR0 = (0o030, OPERAND_WRITE, False, False)
+    SPR1 = (0o031, OPERAND_WRITE, False, False)
+    SPR2 = (0o032, OPERAND_WRITE, False, False)
+    SPR3 = (0o033, OPERAND_WRITE, False, False)
+    SPR4 = (0o034, OPERAND_WRITE, False, False)
+    SPR5 = (0o035, OPERAND_WRITE, False, False)
+    SPR6 = (0o036, OPERAND_WRITE, False, False)
+    SPR7 = (0o037, OPERAND_WRITE, False, False)
+
+    # -- EAP-type pointer loads (no operand reference): EAP0..EAP7 ----------
+    EAP0 = (0o040, OPERAND_NONE, False, False)
+    EAP1 = (0o041, OPERAND_NONE, False, False)
+    EAP2 = (0o042, OPERAND_NONE, False, False)
+    EAP3 = (0o043, OPERAND_NONE, False, False)
+    EAP4 = (0o044, OPERAND_NONE, False, False)
+    EAP5 = (0o045, OPERAND_NONE, False, False)
+    EAP6 = (0o046, OPERAND_NONE, False, False)
+    EAP7 = (0o047, OPERAND_NONE, False, False)
+
+    # -- plain transfers (no operand reference, advance-checked) ------------
+    TRA = (0o050, OPERAND_NONE, True, False)
+    TZE = (0o051, OPERAND_NONE, True, False)
+    TNZ = (0o052, OPERAND_NONE, True, False)
+    TMI = (0o053, OPERAND_NONE, True, False)
+    TPL = (0o054, OPERAND_NONE, True, False)
+
+    # -- ring-changing transfers (Figures 8 and 9) ---------------------------
+    CALL = (0o060, OPERAND_NONE, True, False)
+    RETURN = (0o061, OPERAND_NONE, True, False)
+
+    # -- privileged (ring 0 only, paper p. 31) -------------------------------
+    LDBR = (0o070, OPERAND_READ, False, True)
+    CIOC = (0o071, OPERAND_READ, False, True)
+    RCU = (0o072, OPERAND_NONE, False, True)
+
+    def __init__(self, number: int, operand: str, transfer: bool, privileged: bool):
+        self.number = number
+        self.operand = operand
+        self.transfer = transfer
+        self.privileged = privileged
+
+    @property
+    def is_eap(self) -> bool:
+        """True for the EAP-type pointer-register loads."""
+        return Op.EAP0.number <= self.number <= Op.EAP7.number
+
+    @property
+    def is_spr(self) -> bool:
+        """True for the pointer-register stores."""
+        return Op.SPR0.number <= self.number <= Op.SPR7.number
+
+    @property
+    def pr_index(self) -> int:
+        """The pointer-register index encoded in an EAPn/SPRn opcode."""
+        return self.number & 0o7
+
+
+#: opcode number -> Op member, for the decoder.
+BY_NUMBER: Dict[int, Op] = {op.number: op for op in Op}
+
+#: mnemonic (lower case) -> Op member, for the assembler.
+BY_NAME: Dict[str, Op] = {op.name.lower(): op for op in Op}
+
+
+def decode_opcode(number: int) -> Op:
+    """Opcode number -> member; raises KeyError for unassigned numbers."""
+    return BY_NUMBER[number]

@@ -1,0 +1,433 @@
+"""Instruction implementations.
+
+Each function here *performs* one instruction after the processor has
+fetched and decoded it.  The access-validation structure follows the
+paper's three operand groups (pp. 27–28):
+
+* **read group** — validate per Figure 6 (left), then fetch the operand;
+* **write group** — validate per Figure 6 (right), then store;
+* **no-reference group** — EAP-type loads (no validation at all) and
+  transfers (advance check per Figure 7); CALL and RETURN carry the full
+  Figure 8 / Figure 9 decision procedures.
+
+A hard rule maintained throughout: *no architectural state is mutated
+before every fault this instruction can raise has been checked*.  The
+trap machinery depends on it — a faulting instruction must be cleanly
+retryable after the supervisor repairs the world.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+from ..core.gates import CallOutcome, ReturnOutcome, decide_call, decide_return
+from ..errors import MachineHalted
+from ..formats.instruction import Instruction
+from ..words import WORD_MASK, add_words, sub_words
+from .faults import Fault, FaultCode
+from .isa import Op
+from .registers import STACK_BASE_PR, TPR
+from .validate import brackets_of, check_bound, validate_read, validate_transfer, validate_write
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .processor import Processor
+
+#: Outcome -> fault code for the CALL decision's refusals.
+_CALL_FAULTS: Dict[CallOutcome, FaultCode] = {
+    CallOutcome.FAULT_NO_EXECUTE: FaultCode.ACV_NO_EXECUTE,
+    CallOutcome.FAULT_RING_RAISED: FaultCode.ACV_RING_RAISED,
+    CallOutcome.FAULT_OUTSIDE_BRACKET: FaultCode.ACV_OUTSIDE_CALL_BRACKET,
+    CallOutcome.FAULT_NOT_GATE: FaultCode.ACV_NOT_GATE,
+    CallOutcome.TRAP_UPWARD_CALL: FaultCode.TRAP_UPWARD_CALL,
+}
+
+#: Outcome -> fault code for the RETURN decision's refusals.
+_RETURN_FAULTS: Dict[ReturnOutcome, FaultCode] = {
+    ReturnOutcome.FAULT_NO_EXECUTE: FaultCode.ACV_NO_EXECUTE,
+    ReturnOutcome.FAULT_EXECUTE_BRACKET: FaultCode.ACV_EXECUTE_BRACKET,
+    ReturnOutcome.TRAP_DOWNWARD_RETURN: FaultCode.TRAP_DOWNWARD_RETURN,
+}
+
+
+def _operand_fault(code: FaultCode, proc: "Processor", tpr: TPR, detail: str = "") -> Fault:
+    """Build a fault carrying the standard operand-reference context."""
+    return Fault(
+        code,
+        segno=tpr.segno,
+        wordno=tpr.wordno,
+        ring=tpr.ring,
+        cur_ring=proc.registers.ipr.ring,
+        detail=detail,
+    )
+
+
+# ---------------------------------------------------------------------------
+# operand access helpers
+# ---------------------------------------------------------------------------
+
+
+def read_operand(proc: "Processor", inst: Instruction, tpr: Optional[TPR]) -> int:
+    """Fetch a read-group operand (immediate operands skip memory)."""
+    if inst.immediate:
+        return inst.offset
+    assert tpr is not None
+    sdw = proc.fetch_sdw(tpr.segno, tpr.wordno)
+    code = validate_read(sdw, tpr.ring, tpr.wordno)
+    if code is not None:
+        raise _operand_fault(code, proc, tpr, "operand read")
+    return proc.read_word(sdw, tpr.segno, tpr.wordno)
+
+
+def write_operand(proc: "Processor", tpr: TPR, value: int) -> None:
+    """Store a write-group operand after Figure 6 validation."""
+    sdw = proc.fetch_sdw(tpr.segno, tpr.wordno)
+    code = validate_write(sdw, tpr.ring, tpr.wordno)
+    if code is not None:
+        raise _operand_fault(code, proc, tpr, "operand write")
+    proc.write_word(sdw, tpr.segno, tpr.wordno, value)
+
+
+# ---------------------------------------------------------------------------
+# read group
+# ---------------------------------------------------------------------------
+
+
+def op_lda(proc: "Processor", inst: Instruction, tpr: Optional[TPR]) -> None:
+    """LDA: A := operand."""
+    proc.registers.set_a(read_operand(proc, inst, tpr))
+
+
+def op_ldq(proc: "Processor", inst: Instruction, tpr: Optional[TPR]) -> None:
+    """LDQ: Q := operand."""
+    proc.registers.set_q(read_operand(proc, inst, tpr))
+
+
+def op_ada(proc: "Processor", inst: Instruction, tpr: Optional[TPR]) -> None:
+    """ADA: A := A + operand, 36-bit wrap."""
+    proc.registers.set_a(add_words(proc.registers.a, read_operand(proc, inst, tpr)))
+
+
+def op_sba(proc: "Processor", inst: Instruction, tpr: Optional[TPR]) -> None:
+    """SBA: A := A - operand, 36-bit wrap."""
+    proc.registers.set_a(sub_words(proc.registers.a, read_operand(proc, inst, tpr)))
+
+
+def op_ana(proc: "Processor", inst: Instruction, tpr: Optional[TPR]) -> None:
+    """ANA: A := A AND operand."""
+    proc.registers.set_a(proc.registers.a & read_operand(proc, inst, tpr))
+
+
+def op_ora(proc: "Processor", inst: Instruction, tpr: Optional[TPR]) -> None:
+    """ORA: A := A OR operand."""
+    proc.registers.set_a(proc.registers.a | read_operand(proc, inst, tpr))
+
+
+def op_era(proc: "Processor", inst: Instruction, tpr: Optional[TPR]) -> None:
+    """ERA: A := A XOR operand."""
+    proc.registers.set_a(proc.registers.a ^ read_operand(proc, inst, tpr))
+
+
+# ---------------------------------------------------------------------------
+# write group
+# ---------------------------------------------------------------------------
+
+
+def op_sta(proc: "Processor", inst: Instruction, tpr: TPR) -> None:
+    """STA: operand := A."""
+    write_operand(proc, tpr, proc.registers.a)
+
+
+def op_stq(proc: "Processor", inst: Instruction, tpr: TPR) -> None:
+    """STQ: operand := Q."""
+    write_operand(proc, tpr, proc.registers.q)
+
+
+def op_stz(proc: "Processor", inst: Instruction, tpr: TPR) -> None:
+    """STZ: operand := 0."""
+    write_operand(proc, tpr, 0)
+
+
+def op_aos(proc: "Processor", inst: Instruction, tpr: TPR) -> None:
+    """Add one to storage: a read-modify-write needing both permissions."""
+    sdw = proc.fetch_sdw(tpr.segno, tpr.wordno)
+    code = validate_read(sdw, tpr.ring, tpr.wordno) or validate_write(
+        sdw, tpr.ring, tpr.wordno
+    )
+    if code is not None:
+        raise _operand_fault(code, proc, tpr, "read-modify-write")
+    value = proc.read_word(sdw, tpr.segno, tpr.wordno)
+    proc.write_word(sdw, tpr.segno, tpr.wordno, add_words(value, 1))
+
+
+def op_spr(proc: "Processor", inst: Instruction, tpr: TPR, op: Op) -> None:
+    """Store pointer register ``n`` as an indirect word."""
+    packed = proc.registers.pr(op.pr_index).packed().pack()
+    write_operand(proc, tpr, packed)
+
+
+# ---------------------------------------------------------------------------
+# no-reference group: EAP-type loads
+# ---------------------------------------------------------------------------
+
+
+def op_eap(proc: "Processor", inst: Instruction, tpr: TPR, op: Op) -> None:
+    """Load PRn from TPR — the only way a PR can be loaded (paper p. 28).
+
+    No access validation is performed: "The operand is not referenced,
+    so no access validation is required."  The ring transferred is the
+    effective ring, which is what makes argument pointers safe to
+    re-base (paper p. 33).
+    """
+    proc.registers.pr(op.pr_index).load(tpr.segno, tpr.wordno, tpr.ring)
+
+
+# ---------------------------------------------------------------------------
+# no-reference group: plain transfers (Figure 7)
+# ---------------------------------------------------------------------------
+
+
+def _transfer_condition(proc: "Processor", op: Op) -> bool:
+    """Evaluate the condition of a conditional transfer against A."""
+    a = proc.registers.a
+    negative = bool(a >> 35)
+    if op is Op.TRA:
+        return True
+    if op is Op.TZE:
+        return a == 0
+    if op is Op.TNZ:
+        return a != 0
+    if op is Op.TMI:
+        return negative
+    if op is Op.TPL:
+        return not negative
+    raise AssertionError(f"not a plain transfer: {op}")
+
+
+def op_plain_transfer(proc: "Processor", inst: Instruction, tpr: TPR, op: Op) -> None:
+    """Plain transfers: advance-checked, forbidden from changing rings."""
+    if not _transfer_condition(proc, op):
+        return
+    sdw = proc.fetch_sdw(tpr.segno, tpr.wordno)
+    code = validate_transfer(sdw, tpr.ring, proc.registers.ipr.ring, tpr.wordno)
+    if code is not None:
+        raise _operand_fault(code, proc, tpr, f"{op.name} advance check")
+    ipr = proc.registers.ipr
+    ipr.set(ipr.ring, tpr.segno, tpr.wordno)
+
+
+# ---------------------------------------------------------------------------
+# CALL (Figure 8)
+# ---------------------------------------------------------------------------
+
+
+def op_call(proc: "Processor", inst: Instruction, tpr: TPR) -> None:
+    """The CALL instruction: validation and performance of Figure 8."""
+    regs = proc.registers
+    sdw = proc.fetch_sdw(tpr.segno, tpr.wordno)
+
+    code = check_bound(sdw, tpr.wordno)
+    if code is not None:
+        raise _operand_fault(code, proc, tpr, "CALL target")
+
+    same_segment = tpr.segno == regs.ipr.segno
+    decision = decide_call(
+        eff_ring=tpr.ring,
+        cur_ring=regs.ipr.ring,
+        brackets=brackets_of(sdw),
+        execute_flag=sdw.execute,
+        wordno=tpr.wordno,
+        gate_count=sdw.gate,
+        same_segment=same_segment,
+    )
+    if not decision.proceeds:
+        raise _operand_fault(_CALL_FAULTS[decision.outcome], proc, tpr, "CALL")
+
+    new_ring = decision.new_ring
+    assert new_ring is not None
+    old_ring = regs.ipr.ring
+
+    if not proc.hardware_rings and new_ring != old_ring:
+        # 645 baseline: the hardware cannot switch rings; trap so the
+        # supervisor can perform the crossing in software.
+        raise _operand_fault(
+            FaultCode.TRAP_RING_CROSS_CALL, proc, tpr, "software rings"
+        )
+
+    # Performance: generate the stack base pointer in PR0 (carrying the
+    # new ring, so the called procedure can immediately reference its
+    # own stack), record the caller's ring in the program-accessible
+    # caller-ring register (paper p. 19), and transfer.
+    stack_segno = proc.stack_segno_for_call(new_ring, old_ring)
+    regs.pr(STACK_BASE_PR).load(stack_segno, 0, new_ring)
+    regs.crr = old_ring
+    regs.ipr.set(new_ring, tpr.segno, tpr.wordno)
+
+
+# ---------------------------------------------------------------------------
+# RETURN (Figure 9)
+# ---------------------------------------------------------------------------
+
+
+def op_return(proc: "Processor", inst: Instruction, tpr: TPR) -> None:
+    """The RETURN instruction: validation and performance of Figure 9."""
+    regs = proc.registers
+    sdw = proc.fetch_sdw(tpr.segno, tpr.wordno)
+
+    code = check_bound(sdw, tpr.wordno)
+    if code is not None:
+        raise _operand_fault(code, proc, tpr, "RETURN target")
+
+    decision = decide_return(
+        eff_ring=tpr.ring,
+        cur_ring=regs.ipr.ring,
+        brackets=brackets_of(sdw),
+        execute_flag=sdw.execute,
+    )
+    if not decision.proceeds:
+        raise _operand_fault(_RETURN_FAULTS[decision.outcome], proc, tpr, "RETURN")
+
+    new_ring = decision.new_ring
+    assert new_ring is not None
+
+    if not proc.hardware_rings and new_ring != regs.ipr.ring:
+        raise _operand_fault(
+            FaultCode.TRAP_RING_CROSS_RETURN, proc, tpr, "software rings"
+        )
+
+    if new_ring > regs.ipr.ring:
+        # Upward return: no PR may retain a ring below the new ring of
+        # execution, preserving the PRn.RING >= IPR.RING invariant.
+        regs.raise_pr_rings(new_ring)
+    regs.ipr.set(new_ring, tpr.segno, tpr.wordno)
+
+
+# ---------------------------------------------------------------------------
+# miscellany and privileged instructions
+# ---------------------------------------------------------------------------
+
+
+def op_nop(proc: "Processor", inst: Instruction, tpr: Optional[TPR]) -> None:
+    """NOP: no operation."""
+    return None
+
+
+def op_ldcr(proc: "Processor", inst: Instruction, tpr: Optional[TPR]) -> None:
+    """Load A from the caller-ring register CALL maintains."""
+    proc.registers.set_a(proc.registers.crr)
+
+
+def op_ars(proc: "Processor", inst: Instruction, tpr: Optional[TPR]) -> None:
+    """A right shift; the count is the OFFSET field (max 35)."""
+    count = min(inst.offset, 35)
+    proc.registers.set_a(proc.registers.a >> count)
+
+
+def op_als(proc: "Processor", inst: Instruction, tpr: Optional[TPR]) -> None:
+    """A left shift (bits shifted out are lost); count is OFFSET."""
+    count = min(inst.offset, 35)
+    proc.registers.set_a((proc.registers.a << count) & WORD_MASK)
+
+
+def op_halt(proc: "Processor", inst: Instruction, tpr: Optional[TPR]) -> None:
+    """HALT: stop the machine (raises MachineHalted to the host)."""
+    raise MachineHalted(cycles=proc.cycles)
+
+
+def op_ldbr(proc: "Processor", inst: Instruction, tpr: TPR) -> None:
+    """Load the descriptor base register from a two-word operand.
+
+    Privileged (checked by the dispatcher).  Loading the DBR switches
+    virtual memories, so the SDW associative memory is cleared.
+    """
+    sdw = proc.fetch_sdw(tpr.segno, tpr.wordno)
+    code = validate_read(sdw, tpr.ring, tpr.wordno) or check_bound(
+        sdw, tpr.wordno + 1
+    )
+    if code is not None:
+        raise _operand_fault(code, proc, tpr, "LDBR operand")
+    w0 = proc.read_word(sdw, tpr.segno, tpr.wordno)
+    w1 = proc.read_word(sdw, tpr.segno, tpr.wordno + 1)
+    proc.load_dbr_words(w0, w1)
+
+
+def op_cioc(proc: "Processor", inst: Instruction, tpr: Optional[TPR]) -> None:
+    """Connect I/O channel: hand the operand word to the I/O subsystem."""
+    value = read_operand(proc, inst, tpr)
+    proc.connect_io(value)
+
+
+def op_rcu(proc: "Processor", inst: Instruction, tpr: Optional[TPR]) -> None:
+    """Restore processor state saved at the last trap (privileged)."""
+    proc.restore_control_unit()
+
+
+# ---------------------------------------------------------------------------
+# dispatch
+# ---------------------------------------------------------------------------
+
+_SIMPLE: Dict[Op, Callable] = {
+    Op.NOP: op_nop,
+    Op.HALT: op_halt,
+    Op.LDCR: op_ldcr,
+    Op.ARS: op_ars,
+    Op.ALS: op_als,
+    Op.LDA: op_lda,
+    Op.LDQ: op_ldq,
+    Op.ADA: op_ada,
+    Op.SBA: op_sba,
+    Op.ANA: op_ana,
+    Op.ORA: op_ora,
+    Op.ERA: op_era,
+    Op.STA: op_sta,
+    Op.STQ: op_stq,
+    Op.STZ: op_stz,
+    Op.AOS: op_aos,
+    Op.CALL: op_call,
+    Op.RETURN: op_return,
+    Op.LDBR: op_ldbr,
+    Op.CIOC: op_cioc,
+    Op.RCU: op_rcu,
+}
+
+
+def needs_effective_address(op: Op, inst: Instruction) -> bool:
+    """Does this instruction form an effective address at all?
+
+    Immediate-tagged read-group instructions take their operand from the
+    instruction word; NOP/HALT/RCU have no operand.
+    """
+    if op in (Op.NOP, Op.HALT, Op.RCU, Op.LDCR, Op.ARS, Op.ALS):
+        return False
+    if inst.immediate and op.operand == "read":
+        return False
+    return True
+
+
+def execute(proc: "Processor", op: Op, inst: Instruction, tpr: Optional[TPR]) -> None:
+    """Perform one decoded instruction (effective address pre-computed)."""
+    if inst.immediate and (op.is_eap or op.is_spr or op.transfer):
+        raise Fault(
+            FaultCode.ILLEGAL_OPCODE,
+            cur_ring=proc.registers.ipr.ring,
+            detail=f"immediate tag is illegal with {op.name}",
+        )
+    if op.is_eap:
+        assert tpr is not None
+        op_eap(proc, inst, tpr, op)
+        return
+    if op.is_spr:
+        assert tpr is not None
+        op_spr(proc, inst, tpr, op)
+        return
+    if op.transfer and op not in (Op.CALL, Op.RETURN):
+        assert tpr is not None
+        op_plain_transfer(proc, inst, tpr, op)
+        return
+    handler = _SIMPLE.get(op)
+    if handler is None:
+        raise Fault(
+            FaultCode.ILLEGAL_OPCODE,
+            cur_ring=proc.registers.ipr.ring,
+            detail=f"unimplemented opcode {op.name}",
+        )
+    handler(proc, inst, tpr)

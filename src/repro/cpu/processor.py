@@ -1,0 +1,469 @@
+"""The processor: instruction cycle, traps, and cycle accounting.
+
+The instruction cycle follows the paper's narrative exactly:
+
+1. **fetch** (Figure 4) — the next instruction's SDW is obtained and the
+   ring of execution is matched against the execute bracket before the
+   instruction word is read;
+2. **effective address** (Figure 5) — when the instruction has an
+   operand, the two-part address *and the effective ring* are formed in
+   the TPR, validating each indirect-word retrieval on the way;
+3. **perform** (Figures 6–9) — the operand reference is validated by
+   group and the operation executed.
+
+Any violation raises a :class:`~repro.cpu.faults.Fault`, "derailing the
+instruction cycle": the processor charges the trap overhead, conceptually
+switches to ring 0, and hands the fault to the installed supervisor
+handler.  Without a handler (bare machine) the fault propagates to the
+host caller — convenient for unit tests that assert on fault codes.
+
+Cycle accounting is a deterministic cost model, not a timing claim: one
+cycle per memory word moved (instruction words, operands, indirect
+words, SDW fetches, page-table words) plus a per-instruction base cost
+and a fixed trap overhead.  Relative costs — what the paper argues
+about — are therefore meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import BracketOrderError, ConfigurationError, MachineHalted
+from ..formats.instruction import Instruction
+from ..formats.sdw import SDW, SDW_WORDS
+from ..mem.descriptor import DBR
+from ..mem.paging import PageFaultSignal, translate_paged
+from ..mem.physical import PhysicalMemory
+from . import operations
+from .address import form_effective_address
+from .faults import Fault, FaultCode
+from .isa import BY_NUMBER, Op
+from .registers import RegisterFile, STACK_PTR_PR, TPR
+from .sdwcache import SDWCache
+
+#: Action strings a fault handler may return.
+HANDLER_RETRY = "retry"
+HANDLER_CONTINUE = "continue"
+HANDLER_ABORT = "abort"
+
+#: Signature of a supervisor fault handler.
+FaultHandler = Callable[["Processor", Fault], Optional[str]]
+
+
+@dataclass
+class CostModel:
+    """The deterministic cycle-cost parameters of the simulation.
+
+    ``trap_overhead`` models what the hardware does on every trap —
+    saving processor state, forcing ring 0, vectoring into the
+    supervisor, and the eventual privileged restore — and is charged on
+    top of whatever work the software handler itself performs.
+    """
+
+    #: cycles per word moved to or from memory
+    memory_reference: int = 1
+    #: base cycles per instruction, on top of its memory traffic
+    instruction_base: int = 1
+    #: cycles for trap entry + state save + restore instruction
+    trap_overhead: int = 30
+    #: extra cycles CALL/RETURN spend on ring bookkeeping (tiny: the
+    #: paper stresses the "very small additional costs in hardware
+    #: logic and processor speed", p. 39)
+    ring_crossing_extra: int = 1
+
+
+@dataclass
+class ProcessorStats:
+    """Counters the benchmarks and experiments read out."""
+
+    instructions: int = 0
+    faults: int = 0
+    traps_delivered: int = 0
+    calls: int = 0
+    returns: int = 0
+    ring_crossings: int = 0
+
+
+class Processor:
+    """One simulated processor attached to a physical memory.
+
+    ``stack_rule`` selects the stack-segment selection rule for CALL:
+    ``"simple"`` is the body-text rule (stack segno = new ring number);
+    ``"dbr"`` is the footnote's refined rule (same-ring calls keep the
+    current stack pointer's segment, cross-ring calls use
+    ``DBR.STACK + new ring``).
+
+    ``hardware_rings=False`` turns the processor into the Honeywell-645
+    baseline: CALL and RETURN still run their full validation, but any
+    ring change traps to the supervisor instead of being performed — the
+    "before" machine of the paper's comparison.
+    """
+
+    def __init__(
+        self,
+        memory: PhysicalMemory,
+        dbr: Optional[DBR] = None,
+        cost: Optional[CostModel] = None,
+        sdw_cache: Optional[SDWCache] = None,
+        stack_rule: str = "dbr",
+        hardware_rings: bool = True,
+        nrings: int = 8,
+    ):
+        if stack_rule not in ("simple", "dbr"):
+            raise ConfigurationError(f"unknown stack rule {stack_rule!r}")
+        if not 2 <= nrings <= 8:
+            raise ConfigurationError(f"nrings must be in [2, 8], got {nrings}")
+        self.memory = memory
+        self.dbr = dbr or DBR()
+        self.cost = cost or CostModel()
+        self.sdw_cache = sdw_cache or SDWCache()
+        self.stack_rule = stack_rule
+        self.hardware_rings = hardware_rings
+        self.nrings = nrings
+        self.registers = RegisterFile()
+        self.cycles = 0
+        self.stats = ProcessorStats()
+        self.fault_handler: Optional[FaultHandler] = None
+        self.io_handler: Optional[Callable[["Processor", int], None]] = None
+        self.trace_hook: Optional[Callable[[str], None]] = None
+        #: snapshots pushed by trap delivery, popped by RCU
+        self._save_stack: List[RegisterFile] = []
+        self.halted = False
+        #: interval timer: instructions until a TIMER fault (None = off)
+        self.timer: Optional[int] = None
+        #: pending asynchronous events: [countdown, code, detail]
+        self._events: List[list] = []
+
+    # ------------------------------------------------------------------
+    # cost accounting
+    # ------------------------------------------------------------------
+
+    def charge(self, cycles: int) -> None:
+        """Advance the simulated clock."""
+        self.cycles += cycles
+
+    def reset_counters(self) -> None:
+        """Zero the clock and statistics (benchmark hygiene)."""
+        self.cycles = 0
+        self.stats = ProcessorStats()
+        self.memory.reset_counters()
+
+    # ------------------------------------------------------------------
+    # address translation and memory access
+    # ------------------------------------------------------------------
+
+    def fetch_sdw(self, segno: int, wordno: Optional[int] = None) -> SDW:
+        """Obtain the SDW for ``segno``, via the associative memory.
+
+        Faults when the segment number exceeds the descriptor bound or
+        the segment is missing (present bit clear).  ``wordno`` is pure
+        fault context: the word number the reference was aimed at (the
+        linkage-fault machinery reads the link id out of it).
+        """
+        if segno >= self.dbr.bound:
+            raise Fault(
+                FaultCode.ACV_SEGNO_BOUND,
+                segno=segno,
+                wordno=wordno,
+                cur_ring=self.registers.ipr.ring,
+                detail=f"descriptor bound is {self.dbr.bound}",
+            )
+        sdw = self.sdw_cache.lookup(segno)
+        if sdw is None:
+            self.charge(self.cost.memory_reference * SDW_WORDS)
+            base = self.dbr.sdw_addr(segno)
+            w0 = self.memory.read(base)
+            w1 = self.memory.read(base + 1)
+            try:
+                sdw = SDW.unpack(w0, w1)
+            except BracketOrderError as exc:
+                # Corrupted descriptor memory is a machine event, not a
+                # host bug: trap so the supervisor can decide.
+                raise Fault(
+                    FaultCode.INVALID_SDW,
+                    segno=segno,
+                    cur_ring=self.registers.ipr.ring,
+                    detail=str(exc),
+                ) from None
+            if sdw.present:
+                self.sdw_cache.fill(segno, sdw)
+        if not sdw.present:
+            raise Fault(
+                FaultCode.MISSING_SEGMENT,
+                segno=segno,
+                wordno=wordno,
+                cur_ring=self.registers.ipr.ring,
+            )
+        return sdw
+
+    def translate(self, sdw: SDW, segno: int, wordno: int) -> int:
+        """Two-part address -> absolute address (transparent paging)."""
+        if not sdw.paged:
+            return sdw.addr + wordno
+        self.charge(self.cost.memory_reference)  # the PTW fetch
+        try:
+            return translate_paged(self.memory, sdw.addr, wordno)
+        except PageFaultSignal as sig:
+            raise Fault(
+                FaultCode.MISSING_PAGE,
+                segno=segno,
+                wordno=wordno,
+                cur_ring=self.registers.ipr.ring,
+                detail=f"page {sig.page_index}",
+            ) from None
+
+    def read_word(self, sdw: SDW, segno: int, wordno: int) -> int:
+        """Charged, translated read of one virtual word (pre-validated)."""
+        addr = self.translate(sdw, segno, wordno)
+        self.charge(self.cost.memory_reference)
+        return self.memory.read(addr)
+
+    def write_word(self, sdw: SDW, segno: int, wordno: int, value: int) -> None:
+        """Charged, translated write of one virtual word (pre-validated)."""
+        addr = self.translate(sdw, segno, wordno)
+        self.charge(self.cost.memory_reference)
+        self.memory.write(addr, value)
+
+    # ------------------------------------------------------------------
+    # instruction cycle
+    # ------------------------------------------------------------------
+
+    def fetch_instruction(self) -> Tuple[Op, Instruction]:
+        """Figure 4: validate and retrieve the next instruction."""
+        ipr = self.registers.ipr
+        sdw = self.fetch_sdw(ipr.segno, ipr.wordno)
+        from .validate import validate_fetch  # local to avoid cycle at import
+
+        code = validate_fetch(sdw, ipr.ring, ipr.wordno)
+        if code is not None:
+            raise Fault(
+                code,
+                segno=ipr.segno,
+                wordno=ipr.wordno,
+                ring=ipr.ring,
+                cur_ring=ipr.ring,
+                detail="instruction fetch",
+            )
+        word = self.read_word(sdw, ipr.segno, ipr.wordno)
+        inst = Instruction.unpack(word)
+        op = BY_NUMBER.get(inst.opcode)
+        if op is None:
+            raise Fault(
+                FaultCode.ILLEGAL_OPCODE,
+                segno=ipr.segno,
+                wordno=ipr.wordno,
+                cur_ring=ipr.ring,
+                detail=f"opcode {inst.opcode:#o}",
+            )
+        return op, inst
+
+    def step(self) -> None:
+        """Execute one instruction, delivering any fault it raises."""
+        ipr = self.registers.ipr
+        at = (ipr.ring, ipr.segno, ipr.wordno)
+        try:
+            self.charge(self.cost.instruction_base)
+            op, inst = self.fetch_instruction()
+            if op.privileged and ipr.ring != 0:
+                raise Fault(
+                    FaultCode.ACV_PRIVILEGED,
+                    segno=ipr.segno,
+                    wordno=ipr.wordno,
+                    cur_ring=ipr.ring,
+                    detail=op.name,
+                )
+            self.registers.ipr.advance()
+            tpr: Optional[TPR] = None
+            if operations.needs_effective_address(op, inst):
+                tpr = form_effective_address(self, inst)
+            before_ring = self.registers.ipr.ring
+            try:
+                operations.execute(self, op, inst, tpr)
+            except MachineHalted:
+                self.stats.instructions += 1
+                raise
+            # Completed instructions only: a CALL that faulted (e.g. for
+            # demand initiation) and is retried must not double-count.
+            if op is Op.CALL:
+                self.stats.calls += 1
+            elif op is Op.RETURN:
+                self.stats.returns += 1
+            if self.registers.ipr.ring != before_ring:
+                self.stats.ring_crossings += 1
+                self.charge(self.cost.ring_crossing_extra)
+            self.stats.instructions += 1
+            if self.trace_hook is not None:
+                self.trace_hook(
+                    f"({at[0]},{at[1]},{at[2]}) {op.name} "
+                    f"-> ring {self.registers.ipr.ring}"
+                )
+        except Fault as fault:
+            fault.at_segno, fault.at_wordno = at[1], at[2]
+            if fault.cur_ring is None:
+                fault.cur_ring = at[0]
+            self._deliver_fault(fault, at)
+            return
+        # Only completed instructions advance the interval timer and the
+        # event countdowns; both are delivered *between* instructions so
+        # the interrupted computation is resumable.
+        self._tick_timer()
+        self._tick_events()
+
+    def set_timer(self, instructions: Optional[int]) -> None:
+        """Arm (or disarm with None) the interval timer.
+
+        When the count reaches zero a TIMER fault fires *between*
+        instructions — the interrupted computation is resumable exactly
+        where it stopped, which is what makes the timer usable for
+        preemption and runaway control.
+        """
+        if instructions is not None and instructions <= 0:
+            raise ConfigurationError("timer count must be positive")
+        self.timer = instructions
+
+    def schedule_event(
+        self, after_instructions: int, code: FaultCode, detail: str = ""
+    ) -> None:
+        """Arrange an asynchronous event (I/O completion and the like).
+
+        After ``after_instructions`` further completed instructions a
+        fault of ``code`` is delivered between instructions — the
+        device-interrupt model: the running program is oblivious, the
+        supervisor fields the event and returns control.
+        """
+        if after_instructions <= 0:
+            raise ConfigurationError("event delay must be positive")
+        self._events.append([after_instructions, code, detail])
+
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled events that have not yet fired."""
+        return len(self._events)
+
+    def _tick_events(self) -> None:
+        if not self._events:
+            return
+        due = []
+        for event in self._events:
+            event[0] -= 1
+            if event[0] <= 0:
+                due.append(event)
+        for event in due:
+            self._events.remove(event)
+            ipr = self.registers.ipr
+            fault = Fault(
+                event[1],
+                cur_ring=ipr.ring,
+                at_segno=ipr.segno,
+                at_wordno=ipr.wordno,
+                detail=event[2],
+            )
+            self._deliver_fault(fault, (ipr.ring, ipr.segno, ipr.wordno))
+
+    def _tick_timer(self) -> None:
+        if self.timer is None:
+            return
+        self.timer -= 1
+        if self.timer > 0:
+            return
+        self.timer = None
+        ipr = self.registers.ipr
+        fault = Fault(
+            FaultCode.TIMER,
+            cur_ring=ipr.ring,
+            at_segno=ipr.segno,
+            at_wordno=ipr.wordno,
+            detail="interval timer runout",
+        )
+        # Delivered between instructions: "retry" and "continue" agree.
+        self._deliver_fault(fault, (ipr.ring, ipr.segno, ipr.wordno))
+
+    def run(self, max_steps: int = 1_000_000) -> int:
+        """Run until HALT; returns the number of instructions executed.
+
+        Raises :class:`~repro.errors.ConfigurationError` if the step
+        budget is exhausted (runaway program) and propagates unhandled
+        faults when no supervisor is installed.
+        """
+        self.halted = False
+        for _ in range(max_steps):
+            try:
+                self.step()
+            except MachineHalted:
+                self.halted = True
+                return self.stats.instructions
+        raise ConfigurationError(
+            f"program did not halt within {max_steps} steps "
+            f"(at ring {self.registers.ipr.ring}, segment "
+            f"{self.registers.ipr.segno}, word {self.registers.ipr.wordno})"
+        )
+
+    # ------------------------------------------------------------------
+    # traps
+    # ------------------------------------------------------------------
+
+    def _deliver_fault(self, fault: Fault, at: Tuple[int, int, int]) -> None:
+        """Trap: save state, force ring 0, invoke the supervisor handler.
+
+        With no handler installed the fault propagates to the host (the
+        bare-machine mode unit tests rely on).
+        """
+        self.stats.faults += 1
+        if self.fault_handler is None:
+            raise fault
+        self.stats.traps_delivered += 1
+        self.charge(self.cost.trap_overhead)
+        self._save_stack.append(self.registers.snapshot())
+        # The handler conceptually executes in ring 0 at the trap vector.
+        action = self.fault_handler(self, fault)
+        if action == HANDLER_ABORT:
+            raise fault
+        if action == HANDLER_RETRY:
+            ring, segno, wordno = at
+            self.registers.ipr.set(ring, segno, wordno)
+        # HANDLER_CONTINUE (or None after the handler rewrote the IPR):
+        # execution proceeds wherever the registers now point.
+        if self._save_stack:
+            self._save_stack.pop()
+
+    def restore_control_unit(self) -> None:
+        """RCU: reload the register state saved at the last trap."""
+        if not self._save_stack:
+            raise Fault(
+                FaultCode.ILLEGAL_OPCODE,
+                cur_ring=self.registers.ipr.ring,
+                detail="RCU with no saved state",
+            )
+        self.registers.restore(self._save_stack.pop())
+
+    # ------------------------------------------------------------------
+    # instruction support (called from repro.cpu.operations)
+    # ------------------------------------------------------------------
+
+    def stack_segno_for_call(self, new_ring: int, old_ring: int) -> int:
+        """The stack-segment selection rule (paper p. 30 + footnote)."""
+        if self.stack_rule == "simple":
+            return new_ring
+        if new_ring == old_ring:
+            return self.registers.pr(STACK_PTR_PR).segno
+        return self.dbr.stack_segno(new_ring)
+
+    def load_dbr_words(self, w0: int, w1: int) -> None:
+        """LDBR: install a new DBR and clear the SDW associative memory."""
+        self.dbr = DBR.unpack(w0, w1)
+        self.sdw_cache.invalidate()
+
+    def set_dbr(self, dbr: DBR) -> None:
+        """Supervisor-side DBR switch (process dispatch)."""
+        self.dbr = dbr
+        self.sdw_cache.invalidate()
+
+    def connect_io(self, word: int) -> None:
+        """CIOC: hand a channel-program word to the attached I/O system."""
+        if self.io_handler is not None:
+            self.io_handler(self, word)
+
+    def invalidate_sdw(self, segno: Optional[int] = None) -> None:
+        """Supervisor notification that SDWs changed in memory."""
+        self.sdw_cache.invalidate(segno)

@@ -1,0 +1,81 @@
+"""The descriptor associative memory (SDW cache).
+
+Real Multics processors kept recently used SDWs in a small associative
+memory so that address translation did not cost two extra memory
+references per virtual reference.  The cache is architecturally visible
+only through timing — *except* that the supervisor must clear it when it
+changes a descriptor segment, or stale access constraints would persist
+(the paper's "immediately effective" promise about SDW changes, p. 9,
+holds on real hardware precisely because the supervisor issues the
+clear).
+
+The replacement policy is round-robin over a fixed number of slots,
+matching the simplicity of the era's hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..formats.sdw import SDW
+
+
+class SDWCache:
+    """A small segno → SDW associative memory with round-robin eviction."""
+
+    def __init__(self, slots: int = 16, enabled: bool = True):
+        self.slots = max(1, slots)
+        self.enabled = enabled
+        self._entries: Dict[int, SDW] = {}
+        self._order: list = []
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def lookup(self, segno: int) -> Optional[SDW]:
+        """Return the cached SDW for ``segno`` or None on a miss."""
+        if not self.enabled:
+            self.misses += 1
+            return None
+        sdw = self._entries.get(segno)
+        if sdw is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return sdw
+
+    def fill(self, segno: int, sdw: SDW) -> None:
+        """Install an SDW fetched from the descriptor segment."""
+        if not self.enabled:
+            return
+        if segno in self._entries:
+            self._entries[segno] = sdw
+            return
+        if len(self._order) >= self.slots:
+            victim = self._order.pop(0)
+            del self._entries[victim]
+        self._entries[segno] = sdw
+        self._order.append(segno)
+
+    def invalidate(self, segno: Optional[int] = None) -> None:
+        """Drop one entry, or the whole cache when ``segno`` is None.
+
+        The supervisor calls this after any SDW store and on every DBR
+        load (a DBR load switches descriptor segments, so every cached
+        translation is for the wrong virtual memory).
+        """
+        self.invalidations += 1
+        if segno is None:
+            self._entries.clear()
+            self._order.clear()
+        elif segno in self._entries:
+            del self._entries[segno]
+            self._order.remove(segno)
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/invalidation counters for the ablation benchmark."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+        }

@@ -1,0 +1,90 @@
+"""Per-reference access validation.
+
+These functions bind the pure ring policy (:mod:`repro.core.rings`) to
+the SDW contents for one concrete reference, returning ``None`` on
+success or the :class:`~repro.cpu.faults.FaultCode` the hardware would
+raise.  They are the executable versions of the decision diamonds in
+Figures 4 and 6 and of the advance checks in Figure 7.
+
+Check ordering follows the hardware: segment presence is established
+during SDW fetch (before any of these run); then the permission flag,
+then the ring bracket, then the bound.  Tests in
+``tests/test_validate.py`` pin this ordering because supervisor software
+can observe it through which fault code arrives first.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.rings import RingBrackets
+from ..formats.sdw import SDW
+from .faults import FaultCode
+
+
+def brackets_of(sdw: SDW) -> RingBrackets:
+    """The policy view of an SDW's bracket triple."""
+    return RingBrackets(sdw.r1, sdw.r2, sdw.r3)
+
+
+def check_bound(sdw: SDW, wordno: int) -> Optional[FaultCode]:
+    """Word numbers must satisfy ``wordno < BOUND``."""
+    if wordno >= sdw.bound:
+        return FaultCode.ACV_OUT_OF_BOUNDS
+    return None
+
+
+def validate_fetch(sdw: SDW, ring: int, wordno: int) -> Optional[FaultCode]:
+    """Figure 4: may an instruction be fetched from (segment, wordno)?
+
+    ``ring`` is the ring of execution (for a fetch, ``TPR.RING`` equals
+    ``IPR.RING``).
+    """
+    if not sdw.execute:
+        return FaultCode.ACV_NO_EXECUTE
+    if not brackets_of(sdw).execute_allowed(ring):
+        return FaultCode.ACV_EXECUTE_BRACKET
+    return check_bound(sdw, wordno)
+
+
+def validate_read(sdw: SDW, ring: int, wordno: int) -> Optional[FaultCode]:
+    """Figure 6, left side: may the operand be read?
+
+    ``ring`` is the effective ring (``TPR.RING``).  Also used for
+    retrieving indirect words during address formation (Figure 5), which
+    the paper requires to be validated "with respect to the value in
+    TPR.RING at the time the indirect word is encountered" (p. 27).
+    """
+    if not sdw.read:
+        return FaultCode.ACV_NO_READ
+    if not brackets_of(sdw).read_allowed(ring):
+        return FaultCode.ACV_READ_BRACKET
+    return check_bound(sdw, wordno)
+
+
+def validate_write(sdw: SDW, ring: int, wordno: int) -> Optional[FaultCode]:
+    """Figure 6, right side: may the operand be written?"""
+    if not sdw.write:
+        return FaultCode.ACV_NO_WRITE
+    if not brackets_of(sdw).write_allowed(ring):
+        return FaultCode.ACV_WRITE_BRACKET
+    return check_bound(sdw, wordno)
+
+
+def validate_transfer(
+    sdw: SDW, eff_ring: int, cur_ring: int, wordno: int
+) -> Optional[FaultCode]:
+    """Figure 7: advance check for transfers other than CALL and RETURN.
+
+    Plain transfers are "constrained from" changing the ring of
+    execution (p. 28).  An effective ring above the ring of execution
+    means a higher ring influenced the target address; honouring the
+    transfer in the current ring would launder that influence, so it is
+    an access violation.  The remaining checks pre-validate the fetch
+    that will follow, so the violation is caught "while it is still
+    possible to identify the instruction which made the illegal
+    transfer".
+    """
+    if eff_ring != cur_ring:
+        return FaultCode.ACV_TRANSFER_RING
+    return validate_fetch(sdw, cur_ring, wordno)

@@ -1,0 +1,43 @@
+"""Storage formats of Figure 3.
+
+This package is the bit-level single source of truth for every datum the
+simulated hardware reads from or writes to memory:
+
+* :mod:`repro.formats.sdw` — segment descriptor words (two-word pairs)
+  holding the address, bound, ring brackets ``R1/R2/R3``, the ``R/W/E``
+  permission flags, the gate count, and the present bit;
+* :mod:`repro.formats.instruction` — instruction words (opcode, indirect
+  flag, pointer-register selection, tag, 18-bit offset);
+* :mod:`repro.formats.indirect` — indirect words carrying a two-part
+  address plus a ring number and a further-indirection flag;
+* :mod:`repro.formats.pointerfmt` — the memory image of pointer registers
+  and the instruction pointer, used by the trap save/restore machinery.
+
+Everything here is pure encoding: no access-control policy lives in this
+package (that is :mod:`repro.core`), and no machine state (that is
+:mod:`repro.cpu`).
+"""
+
+from .sdw import SDW, SDW_WORDS, SDW_W0, SDW_W1
+from .instruction import (
+    Instruction,
+    INSTRUCTION,
+    MAX_OPCODE,
+)
+from .indirect import IndirectWord, INDIRECT
+from .pointerfmt import PackedPointer, POINTER, IPR_FORMAT
+
+__all__ = [
+    "SDW",
+    "SDW_WORDS",
+    "SDW_W0",
+    "SDW_W1",
+    "Instruction",
+    "INSTRUCTION",
+    "MAX_OPCODE",
+    "IndirectWord",
+    "INDIRECT",
+    "PackedPointer",
+    "POINTER",
+    "IPR_FORMAT",
+]

@@ -1,0 +1,82 @@
+"""Indirect word format (``IND`` of Figure 3).
+
+An indirect word carries a complete two-part address plus a ring number
+and a further-indirection flag.  It is the in-memory twin of a pointer
+register: storing a PR produces an indirect word, and an EAP-type
+instruction addressed through an indirect word reloads one.
+
+========  ====  =======================================================
+field     bits  meaning
+========  ====  =======================================================
+SEGNO     14    segment number of the addressed word
+WORDNO    18    word number within the segment
+RING      3     validation ring — during effective-address formation
+                ``TPR.RING`` is raised to at least this value
+I         1     further-indirection flag (``IND.I``)
+========  ====  =======================================================
+
+The RING field is the heart of the paper's argument-validation story:
+because every procedure that stores a pointer records the ring that
+influenced it, a called procedure referencing arguments through the
+pointer is automatically validated with respect to the caller's ring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..words import Field, Layout, check_field
+
+#: Layout of an indirect word.
+INDIRECT = Layout(
+    "IND",
+    [
+        Field("SEGNO", 0, 14),
+        Field("WORDNO", 14, 18),
+        Field("RING", 32, 3),
+        Field("I", 35, 1),
+    ],
+)
+
+
+@dataclass(frozen=True)
+class IndirectWord:
+    """A decoded indirect word."""
+
+    segno: int
+    wordno: int
+    ring: int = 0
+    indirect: bool = False
+
+    def __post_init__(self) -> None:
+        check_field("IND.SEGNO", self.segno, 14)
+        check_field("IND.WORDNO", self.wordno, 18)
+        check_field("IND.RING", self.ring, 3)
+
+    def pack(self) -> int:
+        """Encode into the one-word memory image."""
+        return INDIRECT.pack(
+            SEGNO=self.segno,
+            WORDNO=self.wordno,
+            RING=self.ring,
+            I=int(self.indirect),
+        )
+
+    @classmethod
+    def unpack(cls, word: int) -> "IndirectWord":
+        """Decode a one-word memory image."""
+        f = INDIRECT.unpack(word)
+        return cls(
+            segno=f["SEGNO"],
+            wordno=f["WORDNO"],
+            ring=f["RING"],
+            indirect=bool(f["I"]),
+        )
+
+    def with_ring(self, ring: int) -> "IndirectWord":
+        """Return a copy carrying a different validation ring."""
+        return replace(self, ring=ring)
+
+    def chained(self) -> "IndirectWord":
+        """Return a copy with the further-indirection flag set."""
+        return replace(self, indirect=True)

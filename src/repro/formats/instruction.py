@@ -1,0 +1,102 @@
+"""Instruction word format (``INS`` of Figure 3).
+
+One instruction occupies one 36-bit word:
+
+========  ====  ========================================================
+field     bits  meaning
+========  ====  ========================================================
+OPCODE    9     operation code (see :mod:`repro.cpu.isa`)
+I         1     indirect flag — the operand address designates an
+                indirect word (``INST.I`` in the paper)
+PRFLAG    1     when set, OFFSET is relative to pointer register PRNUM
+                (``INST.PRNUM`` addressing); when clear, OFFSET is a
+                word number in the executing segment
+PRNUM     3     pointer register selector, 0–7
+TAG       4     address-modification tag (0 = none, 1 = immediate
+                operand, 2 = index by A register low half)
+OFFSET    18    offset / word number / immediate literal
+========  ====  ========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..words import Field, Layout, check_field
+
+#: Largest encodable opcode.
+MAX_OPCODE = (1 << 9) - 1
+
+#: Tag value for a direct (memory) operand.
+TAG_NONE = 0
+
+#: Tag value for an immediate operand (OFFSET itself is the operand).
+TAG_IMMEDIATE = 1
+
+#: Tag value for indexing: OFFSET is incremented by the low half of A.
+TAG_INDEX_A = 2
+
+#: Layout of an instruction word.
+INSTRUCTION = Layout(
+    "INS",
+    [
+        Field("OPCODE", 0, 9),
+        Field("I", 9, 1),
+        Field("PRFLAG", 10, 1),
+        Field("PRNUM", 11, 3),
+        Field("TAG", 14, 4),
+        Field("OFFSET", 18, 18),
+    ],
+)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded instruction word."""
+
+    opcode: int
+    offset: int = 0
+    indirect: bool = False
+    prflag: bool = False
+    prnum: int = 0
+    tag: int = TAG_NONE
+
+    def __post_init__(self) -> None:
+        check_field("INS.OPCODE", self.opcode, 9)
+        check_field("INS.OFFSET", self.offset, 18)
+        check_field("INS.PRNUM", self.prnum, 3)
+        check_field("INS.TAG", self.tag, 4)
+
+    @property
+    def immediate(self) -> bool:
+        """True when the operand is the OFFSET field itself."""
+        return self.tag == TAG_IMMEDIATE
+
+    @property
+    def indexed(self) -> bool:
+        """True when OFFSET is modified by the A register before use."""
+        return self.tag == TAG_INDEX_A
+
+    def pack(self) -> int:
+        """Encode into the one-word memory image."""
+        return INSTRUCTION.pack(
+            OPCODE=self.opcode,
+            I=int(self.indirect),
+            PRFLAG=int(self.prflag),
+            PRNUM=self.prnum,
+            TAG=self.tag,
+            OFFSET=self.offset,
+        )
+
+    @classmethod
+    def unpack(cls, word: int) -> "Instruction":
+        """Decode a one-word memory image."""
+        f = INSTRUCTION.unpack(word)
+        return cls(
+            opcode=f["OPCODE"],
+            offset=f["OFFSET"],
+            indirect=bool(f["I"]),
+            prflag=bool(f["PRFLAG"]),
+            prnum=f["PRNUM"],
+            tag=f["TAG"],
+        )

@@ -1,0 +1,76 @@
+"""Memory images of processor pointer state.
+
+Two formats live here:
+
+* :data:`POINTER` — the packed image of a pointer register (PR0–PR7).
+  It is field-for-field identical to an indirect word with the
+  further-indirection flag clear, which is exactly why the paper can say
+  "indirect words contain the same information as PR's".
+* :data:`IPR_FORMAT` — the packed image of the instruction pointer
+  register, saved to the trap save area when a trap fires and reloaded
+  by the privileged restore instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..words import Field, Layout, check_field
+from .indirect import IndirectWord
+
+#: Packed pointer-register image (identical geometry to an indirect word).
+POINTER = Layout(
+    "PR",
+    [
+        Field("SEGNO", 0, 14),
+        Field("WORDNO", 14, 18),
+        Field("RING", 32, 3),
+        Field("SPARE", 35, 1),
+    ],
+)
+
+#: Packed instruction-pointer image used in the trap save area.
+IPR_FORMAT = Layout(
+    "IPR",
+    [
+        Field("RING", 0, 3),
+        Field("SEGNO", 3, 14),
+        Field("WORDNO", 17, 18),
+        Field("SPARE", 35, 1),
+    ],
+)
+
+
+@dataclass(frozen=True)
+class PackedPointer:
+    """A pointer value in its memory representation.
+
+    This is the value object exchanged between the CPU's pointer
+    registers and memory (SPR stores one, EAP through an indirect word
+    effectively loads one).
+    """
+
+    segno: int
+    wordno: int
+    ring: int = 0
+
+    def __post_init__(self) -> None:
+        check_field("PR.SEGNO", self.segno, 14)
+        check_field("PR.WORDNO", self.wordno, 18)
+        check_field("PR.RING", self.ring, 3)
+
+    def pack(self) -> int:
+        """Encode into the one-word memory image."""
+        return POINTER.pack(SEGNO=self.segno, WORDNO=self.wordno, RING=self.ring)
+
+    @classmethod
+    def unpack(cls, word: int) -> "PackedPointer":
+        """Decode a one-word memory image."""
+        f = POINTER.unpack(word)
+        return cls(segno=f["SEGNO"], wordno=f["WORDNO"], ring=f["RING"])
+
+    def as_indirect(self, chained: bool = False) -> IndirectWord:
+        """View this pointer as an indirect word (the formats coincide)."""
+        return IndirectWord(
+            segno=self.segno, wordno=self.wordno, ring=self.ring, indirect=chained
+        )

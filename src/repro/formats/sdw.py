@@ -1,0 +1,187 @@
+"""Segment descriptor word (SDW) format.
+
+An SDW occupies two consecutive words of a descriptor segment and fully
+describes one segment of a virtual memory (paper, Figure 3):
+
+========  =====  ==========================================================
+field     bits   meaning
+========  =====  ==========================================================
+ADDR      24     absolute address of word 0 of the segment (or of its page
+                 table when ``PAGED`` is set)
+BOUND     18     number of words in the segment; word numbers must satisfy
+                 ``wordno < BOUND``
+R1,R2,R3  3 × 3  ring brackets: write bracket ``[0, R1]``, execute bracket
+                 ``[R1, R2]``, read bracket ``[0, R2]``, gate extension
+                 ``[R2+1, R3]``; hardware requires ``R1 <= R2 <= R3``
+R,W,E     1 × 3  read / write / execute permission flags
+GATE      14     number of gate locations; gates occupy words
+                 ``0 .. GATE-1`` of the segment
+F         1      present ("fault") bit — 0 means referencing the segment
+                 traps to the supervisor (missing segment)
+PAGED     1      storage for the segment is described by a page table
+========  =====  ==========================================================
+
+The double use of ``R1`` (write-bracket top *and* execute-bracket bottom)
+and of ``R2`` (execute-bracket top *and* read-bracket top) follows the
+paper's pp. 15–16 and 23 exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from ..errors import BracketOrderError
+from ..words import Field, Layout, check_field
+
+#: An SDW occupies this many consecutive words of a descriptor segment.
+SDW_WORDS = 2
+
+#: Layout of the first word of an SDW pair.
+SDW_W0 = Layout(
+    "SDW.word0",
+    [
+        Field("ADDR", 0, 24),
+        Field("R1", 24, 3),
+        Field("R2", 27, 3),
+        Field("R3", 30, 3),
+        Field("F", 33, 1),
+        Field("R", 34, 1),
+        Field("W", 35, 1),
+    ],
+)
+
+#: Layout of the second word of an SDW pair.
+SDW_W1 = Layout(
+    "SDW.word1",
+    [
+        Field("BOUND", 0, 18),
+        Field("GATE", 18, 14),
+        Field("E", 32, 1),
+        Field("PAGED", 33, 1),
+        Field("SPARE", 34, 2),
+    ],
+)
+
+
+@dataclass(frozen=True)
+class SDW:
+    """A decoded segment descriptor word pair.
+
+    Instances are immutable; descriptor-segment updates write a fresh SDW.
+    Construction validates every field width and the mandatory bracket
+    ordering ``R1 <= R2 <= R3`` (the supervisor guarantee of paper p. 23;
+    here it is enforced at the encoding boundary so no malformed SDW can
+    ever enter simulated memory).
+    """
+
+    addr: int = 0
+    bound: int = 0
+    r1: int = 0
+    r2: int = 0
+    r3: int = 0
+    read: bool = False
+    write: bool = False
+    execute: bool = False
+    gate: int = 0
+    present: bool = True
+    paged: bool = False
+
+    def __post_init__(self) -> None:
+        check_field("SDW.ADDR", self.addr, 24)
+        check_field("SDW.BOUND", self.bound, 18)
+        check_field("SDW.R1", self.r1, 3)
+        check_field("SDW.R2", self.r2, 3)
+        check_field("SDW.R3", self.r3, 3)
+        check_field("SDW.GATE", self.gate, 14)
+        if not (self.r1 <= self.r2 <= self.r3):
+            raise BracketOrderError(
+                f"SDW brackets must satisfy R1 <= R2 <= R3, got "
+                f"({self.r1}, {self.r2}, {self.r3})"
+            )
+
+    # -- encoding ---------------------------------------------------------
+
+    def pack(self) -> Tuple[int, int]:
+        """Encode into the two-word memory image."""
+        w0 = SDW_W0.pack(
+            ADDR=self.addr,
+            R1=self.r1,
+            R2=self.r2,
+            R3=self.r3,
+            F=int(self.present),
+            R=int(self.read),
+            W=int(self.write),
+        )
+        w1 = SDW_W1.pack(
+            BOUND=self.bound,
+            GATE=self.gate,
+            E=int(self.execute),
+            PAGED=int(self.paged),
+        )
+        return w0, w1
+
+    @classmethod
+    def unpack(cls, w0: int, w1: int) -> "SDW":
+        """Decode a two-word memory image.
+
+        Raises :class:`repro.errors.BracketOrderError` if the stored
+        brackets are out of order — by construction :meth:`pack` can never
+        produce such an image, so this only fires on corrupted memory.
+        """
+        f0 = SDW_W0.unpack(w0)
+        f1 = SDW_W1.unpack(w1)
+        return cls(
+            addr=f0["ADDR"],
+            bound=f1["BOUND"],
+            r1=f0["R1"],
+            r2=f0["R2"],
+            r3=f0["R3"],
+            read=bool(f0["R"]),
+            write=bool(f0["W"]),
+            execute=bool(f1["E"]),
+            gate=f1["GATE"],
+            present=bool(f0["F"]),
+            paged=bool(f1["PAGED"]),
+        )
+
+    # -- convenience ------------------------------------------------------
+
+    @classmethod
+    def missing(cls) -> "SDW":
+        """An SDW whose present bit is clear (references trap)."""
+        return cls(present=False)
+
+    def with_brackets(self, r1: int, r2: int, r3: int) -> "SDW":
+        """Return a copy with different ring brackets."""
+        return replace(self, r1=r1, r2=r2, r3=r3)
+
+    def with_flags(
+        self,
+        read: bool = None,  # type: ignore[assignment]
+        write: bool = None,  # type: ignore[assignment]
+        execute: bool = None,  # type: ignore[assignment]
+    ) -> "SDW":
+        """Return a copy with some permission flags replaced."""
+        return replace(
+            self,
+            read=self.read if read is None else read,
+            write=self.write if write is None else write,
+            execute=self.execute if execute is None else execute,
+        )
+
+    def describe(self) -> str:
+        """Human-readable one-line summary used by traces and listings."""
+        flags = "".join(
+            ch if on else "-"
+            for ch, on in (
+                ("r", self.read),
+                ("w", self.write),
+                ("e", self.execute),
+            )
+        )
+        state = "" if self.present else " MISSING"
+        return (
+            f"addr={self.addr:#o} bound={self.bound} {flags} "
+            f"brackets=({self.r1},{self.r2},{self.r3}) gate={self.gate}{state}"
+        )

@@ -1,0 +1,53 @@
+"""The software substrate around the ring hardware.
+
+The paper's hardware is only half the story: segments arrive in a
+virtual memory via supervisor software consulting access control lists,
+upward calls and downward returns are completed by software, and the
+Honeywell-645 comparison point implements *all* ring crossings in
+software.  This package provides that world:
+
+* :mod:`repro.krnl.users` — user identities;
+* :mod:`repro.krnl.filesystem` — a hierarchical segment store with
+  per-segment access control lists;
+* :mod:`repro.krnl.process` — per-user processes, each with its own
+  descriptor segment, per-ring stack segments, and known-segment table;
+* :mod:`repro.krnl.loader` — placing assembled segments into a process's
+  virtual memory and resolving inter-segment links;
+* :mod:`repro.krnl.callret` — the stacked return gates that complete
+  upward calls and downward returns in software (paper pp. 21–22);
+* :mod:`repro.krnl.supervisor` — the ring-0 trap handler tying it all
+  together;
+* :mod:`repro.krnl.baseline645` — the software-rings crossing handler
+  that turns the machine into the "before" system of the comparison.
+"""
+
+from .users import User, UserRegistry
+from .filesystem import FileSystem, SegmentNode
+from .process import Process, STACK_SEGMENTS, STACK_SIZE
+from .loader import Loader
+from .callret import ReturnGateStack, UpwardCallAssist
+from .supervisor import Supervisor
+from .linkage import LINKAGE_FAULT_SEGNO, LinkageManager
+from .scheduler import Job, RoundRobinScheduler, CONTEXT_SWITCH_CYCLES
+from .baseline645 import SoftwareRingAssist, SOFT_CROSSING_CYCLES
+
+__all__ = [
+    "User",
+    "UserRegistry",
+    "FileSystem",
+    "SegmentNode",
+    "Process",
+    "STACK_SEGMENTS",
+    "STACK_SIZE",
+    "Loader",
+    "ReturnGateStack",
+    "UpwardCallAssist",
+    "Supervisor",
+    "LinkageManager",
+    "LINKAGE_FAULT_SEGNO",
+    "Job",
+    "RoundRobinScheduler",
+    "CONTEXT_SWITCH_CYCLES",
+    "SoftwareRingAssist",
+    "SOFT_CROSSING_CYCLES",
+]

@@ -1,0 +1,97 @@
+"""The Honeywell-645 software-rings baseline.
+
+"Because the Honeywell 645 was designed around the usual
+supervisor/user protection method, the version of Multics for this
+machine implements rings by trapping to a supervisor procedure when
+downward calls and upward returns are performed" (paper p. 18).  This
+module is that supervisor procedure.
+
+A processor built with ``hardware_rings=False`` raises
+``TRAP_RING_CROSS_CALL`` / ``TRAP_RING_CROSS_RETURN`` whenever a CALL
+or RETURN would change the ring; this assist then performs exactly what
+the 6180 hardware would have done — after charging the software cost of
+getting into and around the supervisor.  Same-ring calls never trap on
+either machine, which is precisely the asymmetry the crossing-cost
+experiment (C1) measures.
+
+The charged cost models the 645 ring-crossing path: validating the gate
+and brackets in software, locating and switching stacks, saving and
+restoring the machine state.  It is a deterministic constant so the
+benchmark's *shape* (crossing ≫ same-ring on the 645; crossing ≈
+same-ring on the new hardware) is reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.gates import decide_call, decide_return
+from ..cpu.faults import Fault, FaultCode
+from ..cpu.registers import STACK_BASE_PR
+from ..cpu.validate import brackets_of
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cpu.processor import Processor
+    from .process import Process
+
+#: Software work per ring crossing on the 645 model, in cycles, on top
+#: of the generic trap overhead.  Chosen to be of the order of the
+#: several-hundred-instruction crossing path of the real software
+#: implementation, scaled to this simulator's ~2-cycle instructions.
+SOFT_CROSSING_CYCLES = 150
+
+
+class SoftwareRingAssist:
+    """Completes ring crossings in software for the 645 baseline."""
+
+    def __init__(self, process: "Process"):
+        self.process = process
+        self.crossings_handled = 0
+
+    def handles(self, fault: Fault) -> bool:
+        """Is this one of the 645 software-ring crossing traps?"""
+        return fault.code in (
+            FaultCode.TRAP_RING_CROSS_CALL,
+            FaultCode.TRAP_RING_CROSS_RETURN,
+        )
+
+    def perform(self, proc: "Processor", fault: Fault) -> str:
+        """Re-derive the hardware decision and apply it, charging cost."""
+        assert fault.segno is not None and fault.wordno is not None
+        regs = proc.registers
+        sdw = self.process.dseg.get(fault.segno)
+        self.crossings_handled += 1
+        proc.charge(SOFT_CROSSING_CYCLES)
+
+        if fault.code is FaultCode.TRAP_RING_CROSS_CALL:
+            decision = decide_call(
+                eff_ring=fault.ring,
+                cur_ring=fault.cur_ring,
+                brackets=brackets_of(sdw),
+                execute_flag=sdw.execute,
+                wordno=fault.wordno,
+                gate_count=sdw.gate,
+                same_segment=fault.segno == fault.at_segno,
+            )
+            if not decision.proceeds or decision.new_ring is None:
+                return "abort"
+            old_ring = fault.cur_ring
+            assert old_ring is not None
+            stack_segno = proc.stack_segno_for_call(decision.new_ring, old_ring)
+            regs.pr(STACK_BASE_PR).load(stack_segno, 0, decision.new_ring)
+            regs.crr = old_ring
+            regs.ipr.set(decision.new_ring, fault.segno, fault.wordno)
+            return "continue"
+
+        decision = decide_return(
+            eff_ring=fault.ring,
+            cur_ring=fault.cur_ring,
+            brackets=brackets_of(sdw),
+            execute_flag=sdw.execute,
+        )
+        if not decision.proceeds or decision.new_ring is None:
+            return "abort"
+        if decision.new_ring > regs.ipr.ring:
+            regs.raise_pr_rings(decision.new_ring)
+        regs.ipr.set(decision.new_ring, fault.segno, fault.wordno)
+        return "continue"

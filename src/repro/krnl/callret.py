@@ -1,0 +1,207 @@
+"""Software completion of upward calls and downward returns.
+
+The hardware refuses to perform upward calls and downward returns
+(paper pp. 20–22): argument passing cannot rely on the nested-subset
+property, and the downward return needs a *gate that exists only for
+the duration of the call* — "this gate must behave as though it were
+stored in a push-down stack".  The paper assigns both to software; this
+module is that software.
+
+The mechanism:
+
+* On an **upward-call trap** the supervisor saves the caller's pointer
+  registers and return point, substitutes the callee's return pointer
+  (PR4 by convention) with a pointer into a per-process *return-gate
+  segment* — a segment that is deliberately not executable — raises the
+  PR rings to the new ring (maintaining the ``PRn.RING >= IPR.RING``
+  invariant), builds the new ring's stack-base pointer in PR0, and
+  transfers to the target in its execute-bracket-bottom ring.
+* When the callee eventually executes RETURN through that pointer, the
+  advance check of Figure 9 faults (the return-gate segment is not
+  executable).  The supervisor recognises the faulting address as the
+  *top* of the return-gate stack — any other slot is a protection
+  violation, which is exactly the stacked-gate discipline the paper
+  asks for — pops it, verifies and restores the caller's saved
+  environment, and resumes the caller in its original ring.
+
+Arguments: the assist implements the paper's first listed solution —
+the caller must pass arguments accessible from the called (higher)
+ring; nothing is copied.  The paper's discussion of why no solution is
+hardware-friendly is DESIGN.md material.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, TYPE_CHECKING
+
+from ..cpu.faults import Fault, FaultCode
+from ..cpu.registers import PointerRegister, STACK_BASE_PR
+from ..errors import ConfigurationError
+from ..formats.sdw import SDW
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cpu.processor import Processor
+    from .process import Process
+
+#: The PR software convention designates for the return pointer.
+RETURN_PTR_PR = 4
+
+#: Maximum nesting of upward calls per process.
+MAX_UPWARD_DEPTH = 32
+
+#: Handler work charged for completing an upward call in software.
+UPWARD_CALL_CYCLES = 60
+
+#: Handler work charged for completing a downward return in software.
+DOWNWARD_RETURN_CYCLES = 50
+
+
+@dataclass
+class ReturnGateRecord:
+    """Everything needed to undo one upward call."""
+
+    slot: int
+    caller_ring: int
+    callee_ring: int
+    return_segno: int
+    return_wordno: int
+    saved_prs: List[PointerRegister]
+
+
+class ReturnGateStack:
+    """The per-process push-down stack of active return gates."""
+
+    def __init__(self) -> None:
+        self._records: List[ReturnGateRecord] = []
+
+    def push(self, record: ReturnGateRecord) -> None:
+        """Stack a new return gate (one per live upward call)."""
+        if len(self._records) >= MAX_UPWARD_DEPTH:
+            raise ConfigurationError("upward-call nesting too deep")
+        self._records.append(record)
+
+    def top(self) -> Optional[ReturnGateRecord]:
+        """The only usable gate — returns through any other are refused."""
+        return self._records[-1] if self._records else None
+
+    def pop(self) -> ReturnGateRecord:
+        """Consume the top gate as its downward return completes."""
+        return self._records.pop()
+
+    @property
+    def depth(self) -> int:
+        return len(self._records)
+
+
+class UpwardCallAssist:
+    """The supervisor's upward-call / downward-return machinery.
+
+    One instance serves one process; the return-gate segment is created
+    lazily in that process's virtual memory at the supplied segment
+    number.
+    """
+
+    def __init__(self, process: "Process", gate_segno: int):
+        self.process = process
+        self.gate_segno = gate_segno
+        self.stack = ReturnGateStack()
+        self._installed = False
+
+    def _ensure_gate_segment(self) -> None:
+        """Create the non-executable return-gate segment on first use."""
+        if self._installed:
+            return
+        block = self.process.memory.allocate(MAX_UPWARD_DEPTH)
+        sdw = SDW(
+            addr=block.addr,
+            bound=MAX_UPWARD_DEPTH,
+            r1=0,
+            r2=0,
+            r3=0,
+            read=False,
+            write=False,
+            execute=False,
+        )
+        self.process.dseg.set(self.gate_segno, sdw)
+        self._installed = True
+
+    # ------------------------------------------------------------------
+
+    def perform_upward_call(self, proc: "Processor", fault: Fault) -> str:
+        """Complete an upward call the hardware trapped on.
+
+        Returns the handler action (always ``"continue"``: the registers
+        are rewritten to resume at the call target).
+        """
+        assert fault.code is FaultCode.TRAP_UPWARD_CALL
+        assert fault.segno is not None and fault.wordno is not None
+        self._ensure_gate_segment()
+
+        sdw = self.process.dseg.get(fault.segno)
+        callee_ring = sdw.r1  # the execute-bracket bottom (paper p. 20)
+        caller_ring = fault.cur_ring
+        assert caller_ring is not None and caller_ring < callee_ring
+
+        regs = proc.registers
+        return_ptr = regs.pr(RETURN_PTR_PR)
+        record = ReturnGateRecord(
+            slot=self.stack.depth,
+            caller_ring=caller_ring,
+            callee_ring=callee_ring,
+            return_segno=return_ptr.segno,
+            return_wordno=return_ptr.wordno,
+            saved_prs=[pr.copy() for pr in regs.prs],
+        )
+        self.stack.push(record)
+
+        # The callee's return pointer now names the dynamic return gate.
+        regs.pr(RETURN_PTR_PR).load(self.gate_segno, record.slot, callee_ring)
+        # Entering a higher ring: no PR may keep a ring below it.
+        for n, pr in enumerate(regs.prs):
+            if n != RETURN_PTR_PR:
+                pr.raise_ring(callee_ring)
+        # Build the new ring's stack base and record the caller's ring,
+        # as hardware CALL would.
+        stack_segno = proc.stack_segno_for_call(callee_ring, caller_ring)
+        regs.pr(STACK_BASE_PR).load(stack_segno, 0, callee_ring)
+        regs.crr = caller_ring
+
+        regs.ipr.set(callee_ring, fault.segno, fault.wordno)
+        proc.charge(UPWARD_CALL_CYCLES)
+        return "continue"
+
+    # ------------------------------------------------------------------
+
+    def matches_downward_return(self, fault: Fault) -> bool:
+        """Is this fault a RETURN through our return-gate segment?"""
+        return (
+            self._installed
+            and fault.segno == self.gate_segno
+            and fault.code is FaultCode.ACV_NO_EXECUTE
+            and fault.detail == "RETURN"
+        )
+
+    def perform_downward_return(self, proc: "Processor", fault: Fault) -> str:
+        """Complete a downward return through the stacked gate.
+
+        Only the top gate of the stack is usable; a RETURN naming any
+        other slot is treated as the protection violation it is.
+        """
+        record = self.stack.top()
+        if record is None or fault.wordno != record.slot:
+            return "abort"
+        self.stack.pop()
+
+        regs = proc.registers
+        # Restore the caller's environment: the paper requires the
+        # intervening software to verify the restored stack pointer; we
+        # restore the caller's entire pointer-register file, which
+        # subsumes that verification.
+        for pr, saved in zip(regs.prs, record.saved_prs):
+            pr.load(saved.segno, saved.wordno, saved.ring)
+        regs.ipr.set(
+            record.caller_ring, record.return_segno, record.return_wordno
+        )
+        proc.charge(DOWNWARD_RETURN_CYCLES)
+        return "continue"

@@ -1,0 +1,183 @@
+"""A hierarchical segment store with per-segment access control lists.
+
+"On-line storage is organized as a collection of segments of
+information ... the users that are permitted to access each segment are
+named by an access control list associated with each segment"
+(paper p. 8).  Paths are Multics-style, ``>`` separated::
+
+    >sys>svc            a supervisor gate segment
+    >udd>alice>audit    user alice's audit subsystem
+
+Each leaf holds a :class:`repro.mem.segment.SegmentImage` plus its ACL.
+The supervisor's *initiate* operation matches the requesting process's
+user against the ACL and projects the matching entry onto the SDW —
+this module performs the match; SDW construction happens in
+:mod:`repro.krnl.process`.
+
+The *sole occupant* rule (paper p. 37) is enforced on every ACL
+mutation: a caller executing in ring ``n`` cannot grant brackets below
+``n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..core.acl import AclEntry, RingBracketSpec
+from ..errors import AccessDenied, FileSystemError
+from ..mem.segment import SegmentImage
+from .users import User
+
+
+def split_path(path: str) -> List[str]:
+    """Split and validate a ``>``-separated absolute path."""
+    if not path.startswith(">"):
+        raise FileSystemError(f"path {path!r} must be absolute (start with '>')")
+    parts = [part for part in path.split(">") if part]
+    if not parts:
+        raise FileSystemError("the root itself is not a segment")
+    for part in parts:
+        if "$" in part:
+            raise FileSystemError(f"bad path component {part!r}")
+    return parts
+
+
+@dataclass
+class SegmentNode:
+    """One stored segment: its image, its ACL, and who owns it."""
+
+    path: str
+    image: SegmentImage
+    owner: User
+    acl: List[AclEntry] = field(default_factory=list)
+
+    def match(self, username: str) -> Optional[AclEntry]:
+        """First ACL entry applying to ``username`` (order is priority)."""
+        for entry in self.acl:
+            if entry.matches(username):
+                return entry
+        return None
+
+
+class FileSystem:
+    """The directory tree.  Directories are implicit (created on demand)."""
+
+    def __init__(self) -> None:
+        self._segments: Dict[Tuple[str, ...], SegmentNode] = {}
+
+    # ------------------------------------------------------------------
+    # creation and lookup
+    # ------------------------------------------------------------------
+
+    def create(
+        self,
+        path: str,
+        image: SegmentImage,
+        owner: User,
+        acl: Optional[List[AclEntry]] = None,
+    ) -> SegmentNode:
+        """Store a segment at ``path`` with an initial ACL.
+
+        With no ACL given, the owner receives read/write access with
+        brackets wide open to their own use (a conservative default the
+        caller normally overrides).
+        """
+        key = tuple(split_path(path))
+        if key in self._segments:
+            raise FileSystemError(f"segment {path!r} already exists")
+        node = SegmentNode(path=path, image=image, owner=owner, acl=list(acl or []))
+        if not node.acl:
+            node.acl.append(
+                AclEntry(
+                    owner.name,
+                    RingBracketSpec(r1=7, r2=7, r3=7, read=True, write=True),
+                )
+            )
+        self._segments[key] = node
+        return node
+
+    def get(self, path: str) -> SegmentNode:
+        """Look a segment up by absolute path."""
+        key = tuple(split_path(path))
+        try:
+            return self._segments[key]
+        except KeyError:
+            raise FileSystemError(f"no segment {path!r}") from None
+
+    def exists(self, path: str) -> bool:
+        """True when ``path`` names a stored segment."""
+        return tuple(split_path(path)) in self._segments
+
+    def delete(self, path: str, requester: User) -> None:
+        """Remove a segment; only its owner (or an administrator) may."""
+        node = self.get(path)
+        if node.owner != requester and not requester.administrator:
+            raise AccessDenied(
+                f"{requester.name} is not the owner of {path!r}"
+            )
+        del self._segments[tuple(split_path(path))]
+
+    def list_dir(self, prefix: str) -> Iterator[str]:
+        """Iterate paths under ``prefix`` (">" lists everything)."""
+        want = tuple(part for part in prefix.split(">") if part)
+        for key in sorted(self._segments):
+            if key[: len(want)] == want:
+                yield ">" + ">".join(key)
+
+    # ------------------------------------------------------------------
+    # access control
+    # ------------------------------------------------------------------
+
+    def check_access(self, path: str, user: User) -> AclEntry:
+        """The initiate-time ACL check (paper p. 8).
+
+        Raises :class:`repro.errors.AccessDenied` when no entry matches —
+        the segment then simply cannot enter the process's virtual
+        memory.
+        """
+        node = self.get(path)
+        entry = node.match(user.name)
+        if entry is None:
+            raise AccessDenied(
+                f"user {user.name!r} matches no ACL entry of {path!r}"
+            )
+        return entry
+
+    def set_acl(
+        self,
+        path: str,
+        requester: User,
+        entries: List[AclEntry],
+        requester_ring: int = 0,
+    ) -> None:
+        """Replace a segment's ACL.
+
+        Only the owner or an administrator may change an ACL, and the
+        sole-occupant rule applies: a requester whose process executes
+        in ring ``n`` cannot specify brackets below ``n``.
+        """
+        node = self.get(path)
+        if node.owner != requester and not requester.administrator:
+            raise AccessDenied(
+                f"{requester.name} may not change the ACL of {path!r}"
+            )
+        for entry in entries:
+            entry.spec.check_settable_from(requester_ring)
+        node.acl = list(entries)
+
+    def add_acl_entry(
+        self,
+        path: str,
+        requester: User,
+        entry: AclEntry,
+        requester_ring: int = 0,
+    ) -> None:
+        """Prepend one ACL entry (earlier entries take priority)."""
+        node = self.get(path)
+        if node.owner != requester and not requester.administrator:
+            raise AccessDenied(
+                f"{requester.name} may not change the ACL of {path!r}"
+            )
+        entry.spec.check_settable_from(requester_ring)
+        node.acl.insert(0, entry)

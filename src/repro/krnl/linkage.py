@@ -1,0 +1,149 @@
+"""Dynamic linking: linkage faults and link snapping.
+
+Multics — the system this paper's hardware was built for — resolved
+inter-segment references *lazily*: a link word starts out in a faulting
+state, the first reference through it traps, the supervisor locates the
+target segment (activating it if necessary), patches ("snaps") the link,
+and retries the instruction.  Subsequent references pay nothing.
+
+The reproduction models the faulting state with a reserved segment
+number: an unresolved link is an indirect word naming
+:data:`LINKAGE_FAULT_SEGNO` (the highest encodable segment number, far
+above any descriptor bound), with the word-number field carrying a
+globally unique link id.  Following such a pointer produces an
+``ACV_SEGNO_BOUND`` trap that the supervisor recognises and services.
+
+Lazy linking composes with everything else: the ring fields of link
+words are preserved across snapping, demand initiation still applies to
+the *target* segment, and a CALL through an unsnapped link simply takes
+one extra trap the first time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, TYPE_CHECKING
+
+from ..cpu.faults import Fault, FaultCode
+from ..formats.indirect import IndirectWord
+from ..mem.segment import LinkRequest
+from ..words import SEGNO_MASK
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cpu.processor import Processor
+    from .loader import Loader, PlacedSegment
+
+#: The reserved segment number unresolved links point at.
+LINKAGE_FAULT_SEGNO = SEGNO_MASK  # 16383, above any realistic bound
+
+#: Supervisor work charged for snapping one link.
+LINK_SNAP_CYCLES = 45
+
+
+@dataclass
+class PendingLink:
+    """One unsnapped link: where it lives and what it names."""
+
+    link_id: int
+    placed: "PlacedSegment"
+    self_segno: int
+    request: LinkRequest
+    snapped: bool = False
+
+
+class LinkageManager:
+    """Owns the link registry and performs lazy placement and snapping."""
+
+    def __init__(self, loader: "Loader"):
+        self.loader = loader
+        self._pending: Dict[int, PendingLink] = {}
+        self._next_id = 0
+        self.snaps = 0
+
+    # ------------------------------------------------------------------
+
+    def place_unresolved(
+        self, placed: "PlacedSegment", self_segno: int
+    ) -> int:
+        """Rewrite a placed segment's links into the faulting state.
+
+        ``.ptr`` (self-segment) links are resolved immediately — the
+        segment number is already known; only inter-segment ``pointer``
+        links are deferred.  Returns the number of links deferred.
+        """
+        deferred = 0
+        for request in placed.image.links:
+            if request.field == "segno":
+                self.loader.resolve_one(placed, self_segno, request, None)
+                continue
+            link_id = self._next_id
+            self._next_id += 1
+            pending = PendingLink(
+                link_id=link_id,
+                placed=placed,
+                self_segno=self_segno,
+                request=request,
+            )
+            self._pending[link_id] = pending
+            addr = self.loader.word_addr(placed, request.wordno)
+            original = IndirectWord.unpack(self.loader.memory.snapshot(addr, 1)[0])
+            faulting = IndirectWord(
+                segno=LINKAGE_FAULT_SEGNO,
+                wordno=link_id,
+                ring=original.ring,
+                indirect=False,
+            )
+            self.loader.memory.load_image(addr, [faulting.pack()])
+            placed.image.set_word(request.wordno, faulting.pack())
+            deferred += 1
+        return deferred
+
+    # ------------------------------------------------------------------
+
+    def matches(self, fault: Fault) -> bool:
+        """Is this fault a linkage fault?"""
+        return (
+            fault.code is FaultCode.ACV_SEGNO_BOUND
+            and fault.segno == LINKAGE_FAULT_SEGNO
+        )
+
+    def snap(self, proc: "Processor", fault: Fault, resolver) -> str:
+        """Service one linkage fault: resolve, patch, retry.
+
+        ``resolver`` maps a segment name to ``(segno, entry table)`` and
+        may activate the target on demand (the supervisor supplies the
+        same resolver it uses for eager linking).
+        """
+        from ..errors import LinkError
+
+        link_id = fault.wordno
+        pending = self._pending.get(link_id)
+        if pending is None or pending.snapped:
+            return "abort"
+        try:
+            self.loader.resolve_one(
+                pending.placed, pending.self_segno, pending.request, resolver
+            )
+        except LinkError:
+            # The name does not resolve; the reference stays faulting.
+            return "abort"
+        pending.snapped = True
+        self.snaps += 1
+        proc.charge(LINK_SNAP_CYCLES)
+        return "retry"
+
+    @property
+    def pending_count(self) -> int:
+        """Links placed but not yet snapped."""
+        return sum(1 for p in self._pending.values() if not p.snapped)
+
+    def has_pending_for(self, placed: "PlacedSegment") -> bool:
+        """Does ``placed`` still contain unsnapped links?
+
+        The supervisor refuses to evict such a segment: a later snap
+        would patch the freed storage.  (Snapped links are fine — their
+        resolution lives in the image and survives eviction.)
+        """
+        return any(
+            p.placed is placed and not p.snapped for p in self._pending.values()
+        )

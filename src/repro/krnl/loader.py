@@ -1,0 +1,187 @@
+"""Placing segment images into memory and resolving links.
+
+The loader performs the two storage-level halves of making a segment
+usable:
+
+* **placement** — allocate physical memory (or a page table plus page
+  frames) and copy the image in;
+* **link resolution** — patch the ``.its`` / ``.ptr`` indirect words the
+  assembler emitted, once the segment numbers of the referenced
+  segments are known.
+
+Link resolution deliberately patches only the SEGNO/WORDNO fields of an
+indirect word, preserving the RING and further-indirection bits the
+programmer wrote: the RING field of a link is a *policy* statement (it
+forces validation at that ring or higher) and must survive loading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from ..errors import LinkError
+from ..formats.indirect import IndirectWord
+from ..mem.paging import PageTable
+from ..mem.physical import Allocation, PhysicalMemory
+from ..mem.segment import LinkRequest, SegmentImage
+
+#: Resolver signature: segment name -> (segno, entry table).
+NameResolver = Callable[[str], Tuple[int, dict]]
+
+
+def _resolve_symbol(
+    symbol: str, resolver: NameResolver, holder: str, at_wordno: int
+) -> Tuple[str, int]:
+    """Parse ``name[$entry][±n]`` into ``(name, wordno)``.
+
+    The addend applies to the entry's word number (or to word 0 when no
+    entry is named), so ``secrets+3`` and ``audit$read+1`` both work.
+    """
+    addend = 0
+    body = symbol
+    for sep in ("+", "-"):
+        head, found, tail = symbol.partition(sep)
+        if found:
+            body = head.strip()
+            try:
+                addend = int(tail.strip(), 0)
+            except ValueError:
+                raise LinkError(
+                    f"bad link addend in {symbol!r} "
+                    f"({holder!r} word {at_wordno})"
+                ) from None
+            if sep == "-":
+                addend = -addend
+            break
+    name, _, entry = body.partition("$")
+    _, entries = resolver(name)
+    if entry:
+        if entry not in entries:
+            raise LinkError(
+                f"segment {name!r} exports no entry {entry!r} "
+                f"(needed by {holder!r} word {at_wordno})"
+            )
+        base = entries[entry]
+    else:
+        base = 0
+    return name, base + addend
+
+
+@dataclass
+class PlacedSegment:
+    """An image placed in memory, before or after link resolution."""
+
+    image: SegmentImage
+    addr: int            #: SDW.ADDR value (segment base or page table)
+    bound: int
+    paged: bool = False
+    allocation: Optional[Allocation] = None
+    page_table: Optional[PageTable] = None
+
+
+class Loader:
+    """Places images and resolves their links."""
+
+    def __init__(self, memory: PhysicalMemory):
+        self.memory = memory
+
+    # ------------------------------------------------------------------
+
+    def place(self, image: SegmentImage, paged: bool = False) -> PlacedSegment:
+        """Copy an image into freshly allocated storage."""
+        if paged:
+            table = PageTable.build(self.memory, max(1, image.bound))
+            table.load_words(image.words)
+            return PlacedSegment(
+                image=image,
+                addr=table.addr,
+                bound=image.bound,
+                paged=True,
+                page_table=table,
+            )
+        block = self.memory.allocate(max(1, image.bound))
+        self.memory.load_image(block.addr, image.words)
+        return PlacedSegment(
+            image=image,
+            addr=block.addr,
+            bound=image.bound,
+            allocation=block,
+        )
+
+    # ------------------------------------------------------------------
+
+    def word_addr(self, placed: PlacedSegment, wordno: int) -> int:
+        """Absolute address of one word of a placed segment."""
+        if not placed.paged:
+            return placed.addr + wordno
+        assert placed.page_table is not None
+        # Resolution happens at load time; pages are all present then.
+        from ..mem.paging import translate_paged
+
+        return translate_paged(self.memory, placed.addr, wordno)
+
+    def resolve_one(
+        self,
+        placed: PlacedSegment,
+        self_segno: int,
+        link: LinkRequest,
+        resolver: Optional[NameResolver],
+    ) -> None:
+        """Patch one link request (eagerly, or when a linkage fault snaps).
+
+        The patched word keeps the assembled RING and chain bits; the
+        backing-store image is kept in sync so page-ins cannot resurrect
+        an unresolved word (with global segment numbering, resolution is
+        one-time).
+        """
+        addr = self.word_addr(placed, link.wordno)
+        word = self.memory.snapshot(addr, 1)[0]
+        ind = IndirectWord.unpack(word)
+
+        if link.field == "segno":
+            # .ptr: local pointer; only the segment number is patched.
+            patched = IndirectWord(
+                segno=self_segno,
+                wordno=ind.wordno,
+                ring=ind.ring,
+                indirect=ind.indirect,
+            )
+        elif link.field == "pointer":
+            if resolver is None:
+                raise LinkError(
+                    f"pointer link {link.symbol!r} needs a name resolver"
+                )
+            name, wordno = _resolve_symbol(
+                link.symbol, resolver, placed.image.name, link.wordno
+            )
+            segno, _ = resolver(name)
+            ring = link.ring if link.ring is not None else ind.ring
+            patched = IndirectWord(
+                segno=segno,
+                wordno=wordno,
+                ring=ring,
+                indirect=ind.indirect,
+            )
+        else:
+            raise LinkError(
+                f"unknown link field {link.field!r} in {placed.image.name!r}"
+            )
+
+        self.memory.load_image(addr, [patched.pack()])
+        placed.image.set_word(link.wordno, patched.pack())
+
+    def resolve(
+        self,
+        placed: PlacedSegment,
+        self_segno: int,
+        resolver: NameResolver,
+    ) -> None:
+        """Patch every link request of a placed segment (eager linking).
+
+        ``resolver`` maps a segment *name* to its segment number and
+        entry table; the supervisor supplies one backed by the active
+        segment table (activating referenced segments on demand).
+        """
+        for link in placed.image.links:
+            self.resolve_one(placed, self_segno, link, resolver)

@@ -1,0 +1,202 @@
+"""Processes and their virtual memories.
+
+Each process owns a descriptor segment (hence a complete virtual
+memory), the eight per-ring stack segments, and a known-segment table
+mapping names to segment numbers.
+
+Layout decisions, and where they come from:
+
+* **Segment numbers 0–7 are the stack segments for rings 0–7** — the
+  body-text stack selection rule ("the segment number of the
+  appropriate stack segment is the same as the new ring number",
+  p. 30).  The DBR's ``stack`` field defaults to 0 so the refined
+  footnote rule coincides; the ablation benchmark moves it.
+* **The stack segment for ring n has read and write brackets ending at
+  ring n** (p. 17): ``R1 = R2 = R3 = n``, read and write on, execute
+  off — so no higher ring can see or touch a lower ring's stack.
+* **Word 0 of each stack segment points to the next available stack
+  area** (p. 19): it is initialised to 1 (the first free word after the
+  pointer itself) at process creation.
+* **Shared segments occupy the same segment number in every process.**
+  Real Multics lets each process pick its own numbers and pays for it
+  with per-process linkage sections; global numbering is a documented
+  simplification (see DESIGN.md) that preserves every ring-mechanism
+  behaviour while letting one resolved segment image be shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..errors import ConfigurationError
+from ..formats.sdw import SDW
+from ..core.acl import RingBracketSpec, build_sdw
+from ..mem.descriptor import DBR, DescriptorSegment
+from ..mem.physical import PhysicalMemory
+from ..words import MAX_RINGS
+from .users import User
+
+#: Number of per-ring stack segments (segment numbers 0..7).
+STACK_SEGMENTS = MAX_RINGS
+
+#: Words per stack segment.
+STACK_SIZE = 256
+
+#: First segment number available for non-stack segments.
+FIRST_FREE_SEGNO = STACK_SEGMENTS
+
+
+@dataclass
+class KnownSegment:
+    """One entry of a process's known-segment table."""
+
+    name: str
+    segno: int
+    path: Optional[str] = None
+    entries: Dict[str, int] = field(default_factory=dict)
+    gate_count: int = 0
+
+
+class Process:
+    """One user's process: a virtual memory plus bookkeeping."""
+
+    def __init__(
+        self,
+        user: User,
+        memory: PhysicalMemory,
+        dseg: DescriptorSegment,
+        dbr: DBR,
+    ):
+        self.user = user
+        self.memory = memory
+        self.dseg = dseg
+        self.dbr = dbr
+        self.known: Dict[str, KnownSegment] = {}
+        self.by_segno: Dict[int, KnownSegment] = {}
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        memory: PhysicalMemory,
+        user: User,
+        descriptor_bound: int = 128,
+        stack_base_segno: int = 0,
+        stack_size: int = STACK_SIZE,
+    ) -> "Process":
+        """Build a fresh process: descriptor segment plus ring stacks.
+
+        ``stack_base_segno`` places the eight stacks at segment numbers
+        ``base .. base+7`` and is stored in ``DBR.STACK`` so the
+        hardware's refined stack-selection rule finds them; 0 reproduces
+        the simple rule.
+        """
+        if descriptor_bound < stack_base_segno + STACK_SEGMENTS:
+            raise ConfigurationError(
+                "descriptor bound too small for the stack segments"
+            )
+        dseg, dbr = DescriptorSegment.allocate(
+            memory, bound=descriptor_bound, stack=stack_base_segno
+        )
+        process = cls(user=user, memory=memory, dseg=dseg, dbr=dbr)
+        for ring in range(STACK_SEGMENTS):
+            process._install_stack(stack_base_segno + ring, ring, stack_size)
+        return process
+
+    def _install_stack(self, segno: int, ring: int, stack_size: int) -> None:
+        block = self.memory.allocate(stack_size)
+        # Word 0 holds the word number of the next available stack area.
+        self.memory.load_image(block.addr, [1] + [0] * (stack_size - 1))
+        sdw = SDW(
+            addr=block.addr,
+            bound=stack_size,
+            r1=ring,
+            r2=ring,
+            r3=ring,
+            read=True,
+            write=True,
+            execute=False,
+        )
+        self.dseg.set(segno, sdw)
+        known = KnownSegment(name=f"stack_{ring}", segno=segno)
+        self.known[known.name] = known
+        self.by_segno[segno] = known
+
+    # ------------------------------------------------------------------
+    # known-segment table
+    # ------------------------------------------------------------------
+
+    def stack_segno(self, ring: int) -> int:
+        """Segment number of the stack for ``ring``."""
+        return self.dbr.stack_segno(ring)
+
+    def segno_of(self, name: str) -> int:
+        """Look a segment number up by name."""
+        try:
+            return self.known[name].segno
+        except KeyError:
+            raise ConfigurationError(
+                f"segment {name!r} is not known to {self.user.name}'s process"
+            ) from None
+
+    def entry_of(self, ref: str) -> "tuple[int, int]":
+        """Resolve ``name$entry`` (or ``name``) to ``(segno, wordno)``."""
+        name, _, entry = ref.partition("$")
+        known = self.known.get(name)
+        if known is None:
+            raise ConfigurationError(
+                f"segment {name!r} is not known to {self.user.name}'s process"
+            )
+        if not entry:
+            return known.segno, 0
+        if entry not in known.entries:
+            raise ConfigurationError(
+                f"segment {name!r} has no entry {entry!r} "
+                f"(has {sorted(known.entries)})"
+            )
+        return known.segno, known.entries[entry]
+
+    def make_known(
+        self,
+        name: str,
+        segno: int,
+        sdw: SDW,
+        entries: Optional[Dict[str, int]] = None,
+        path: Optional[str] = None,
+        gate_count: int = 0,
+    ) -> KnownSegment:
+        """Install an SDW and record the segment in the known table."""
+        if name in self.known:
+            raise ConfigurationError(f"segment name {name!r} already known")
+        self.dseg.set(segno, sdw)
+        known = KnownSegment(
+            name=name,
+            segno=segno,
+            path=path,
+            entries=dict(entries or {}),
+            gate_count=gate_count,
+        )
+        self.known[name] = known
+        self.by_segno[segno] = known
+        return known
+
+    def install_data(
+        self,
+        name: str,
+        segno: int,
+        spec: RingBracketSpec,
+        size: int,
+        values: Optional[list] = None,
+    ) -> KnownSegment:
+        """Create a private data segment directly (no file system).
+
+        A convenience for tests and benchmarks; real user data normally
+        arrives via the file system and the supervisor's initiate.
+        """
+        block = self.memory.allocate(size)
+        if values:
+            self.memory.load_image(block.addr, list(values[:size]))
+        sdw = build_sdw(spec, addr=block.addr, bound=size)
+        return self.make_known(name, segno, sdw)

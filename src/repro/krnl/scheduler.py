@@ -1,0 +1,134 @@
+"""Processor multiplexing.
+
+"Changing the absolute address in the DBR of a processor will cause the
+address translation logic to interpret two-part addresses relative to a
+different descriptor segment.  This facility can be used to provide each
+user of the system with a separate virtual memory" (paper p. 7) — and,
+with one processor and many processes, to time-share it.
+
+The scheduler is a deliberately simple round-robin: each job runs for a
+quantum of instructions, its registers are saved, the DBR is switched
+(flushing the SDW associative memory, as LDBR does), and the next job's
+registers are restored.  Processor multiplexing is a ring-0 supervisor
+function in the paper's layering (p. 34); here it lives beside the other
+supervisor machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..cpu.processor import Processor
+from ..cpu.registers import RegisterFile
+from ..errors import ConfigurationError, MachineHalted
+from .process import Process
+from .supervisor import Supervisor
+
+#: Cycles charged per context switch (state save + DBR load + restore).
+CONTEXT_SWITCH_CYCLES = 20
+
+
+@dataclass
+class Job:
+    """One schedulable computation: a process plus its saved registers."""
+
+    process: Process
+    ref: str
+    ring: int
+    saved: Optional[RegisterFile] = None
+    started: bool = False
+    halted: bool = False
+    instructions: int = 0
+    quanta: int = 0
+    #: simulated cycles consumed by this job (the paper's "accounting",
+    #: a ring-1 supervisor function, p. 35)
+    cycles: int = 0
+
+
+class RoundRobinScheduler:
+    """Multiplex one processor over many processes."""
+
+    def __init__(
+        self,
+        processor: Processor,
+        supervisor: Supervisor,
+        quantum: int = 50,
+    ):
+        if quantum <= 0:
+            raise ConfigurationError(f"quantum must be positive, got {quantum}")
+        self.processor = processor
+        self.supervisor = supervisor
+        self.quantum = quantum
+        self.jobs: List[Job] = []
+        self.context_switches = 0
+
+    def add(self, process: Process, ref: str, ring: int = 4) -> Job:
+        """Enqueue a computation (``ref`` is ``segment$entry``)."""
+        job = Job(process=process, ref=ref, ring=ring)
+        self.jobs.append(job)
+        return job
+
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, job: Job) -> None:
+        """Switch the processor to ``job``: DBR, trap handling, registers."""
+        self.supervisor.attach(self.processor, job.process)
+        self.processor.charge(CONTEXT_SWITCH_CYCLES)
+        self.context_switches += 1
+        if job.saved is not None:
+            self.processor.registers.restore(job.saved)
+            return
+        # first dispatch: build the initial register state
+        job.started = True
+        segno, wordno = job.process.entry_of(job.ref)
+        regs = self.processor.registers
+        stack_segno = job.process.stack_segno(job.ring)
+        for pr in regs.prs:
+            pr.load(stack_segno, 0, job.ring)
+        regs.crr = job.ring
+        regs.set_a(0)
+        regs.set_q(0)
+        regs.ipr.set(job.ring, segno, wordno)
+
+    def _preempt(self, job: Job) -> None:
+        """Save the running job's state for its next quantum."""
+        job.saved = self.processor.registers.snapshot()
+
+    def run(self, max_quanta: int = 10_000) -> int:
+        """Run every job to completion; returns total instructions.
+
+        Unhandled faults in one job propagate to the caller — a crashed
+        job is a crashed run, as with :meth:`Machine.run` (callers who
+        want crash isolation run each job under its own try/except).
+        """
+        total = 0
+        for _ in range(max_quanta):
+            runnable = [job for job in self.jobs if not job.halted]
+            if not runnable:
+                return total
+            for job in runnable:
+                self._dispatch(job)
+                job.quanta += 1
+                cycles_before = self.processor.cycles
+                executed = 0
+                while executed < self.quantum:
+                    try:
+                        self.processor.step()
+                    except MachineHalted:
+                        job.halted = True
+                        break
+                    executed += 1
+                job.instructions += executed
+                job.cycles += self.processor.cycles - cycles_before
+                total += executed
+                if not job.halted:
+                    self._preempt(job)
+        raise ConfigurationError(
+            f"jobs did not finish within {max_quanta} quanta"
+        )
+
+    @property
+    def all_halted(self) -> bool:
+        """True when every job has run to completion."""
+        return all(job.halted for job in self.jobs)

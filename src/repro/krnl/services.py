@@ -1,0 +1,127 @@
+"""Standard supervisor gate services.
+
+A small ring-0 service segment, written in the simulated machine's own
+assembly and reached through genuine hardware gates — a user program
+calling the supervisor really is "identical to a call to a companion
+user procedure" (the paper's abstract), which is the whole point.
+
+Gates (words 0..5 of the segment, per the compressed gate-list rule):
+
+=============  ==========================================================
+``write``      transmit the A register to the console (privileged CIOC)
+``getring``    return the *caller's* ring number in A, read from the
+               caller-ring register the CALL instruction maintains
+               (paper p. 19); a classic supervisor enquiry
+``bump``       add one to the supervisor's call counter (a ring-0 data
+               segment) and return the new value in A — demonstrates a
+               ring-0 datum user rings can only reach through the gate
+``clock``      load A from the calendar clock (the cycle counter)
+``writec``     transmit A's low 7 bits as a console character
+``awrite``     start an asynchronous console write; the transfer
+               completes via an I/O-completion event
+=============  ==========================================================
+
+Calling convention (used across all examples and tests): the caller
+loads PR4 with the return point (an EAP4 of a local label) and issues
+``call`` through a ``.its`` link; the callee returns with
+``return pr4|0``.  The gate extension of the service segment's ACL
+controls which rings may call (rings above R3 get ACV faults — the
+paper's "procedures executing in rings 6 and 7 are not given access to
+supervisor gates", p. 35, is reproduced by setting R3 = 5).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..asm import assemble
+from ..core.acl import AclEntry, RingBracketSpec
+from ..mem.segment import SegmentImage
+from .filesystem import FileSystem
+from .users import User
+
+#: Path at which the service segment is stored.
+SVC_PATH = ">sys>svc"
+
+#: Counter data segment used by the ``bump`` service.
+SVCDATA_PATH = ">sys>svcdata"
+
+#: Source of the ring-0 service segment.
+SVC_SOURCE = """
+; svc - ring-0 supervisor services, entered only through gates
+        .seg    svc
+        .gates  6
+write::  tra    do_write        ; gate 0
+getring:: tra   do_getring      ; gate 1
+bump::   tra    do_bump         ; gate 2
+clock::  tra    do_clock        ; gate 3
+writec:: tra    do_writec       ; gate 4
+awrite:: tra    do_awrite       ; gate 5
+
+do_awrite:
+        cioc    =4              ; channel 4: asynchronous console write
+        return  pr4|0
+
+do_write:
+        cioc    =1              ; channel 1: console, transmits A
+        return  pr4|0
+
+do_writec:
+        cioc    =2              ; channel 2: console character (A low 7)
+        return  pr4|0
+
+do_clock:
+        cioc    =3              ; channel 3: calendar clock -> A
+        return  pr4|0
+
+do_getring:
+        ldcr                    ; A := ring of the caller (set by CALL)
+        return  pr4|0
+
+do_bump:
+        aos     l_counter,*     ; add one to the ring-0 counter
+        lda     l_counter,*     ; and return the new value
+        return  pr4|0
+
+l_counter: .its  svcdata$counter, 0
+"""
+
+#: Source of the ring-0 counter segment.
+SVCDATA_SOURCE = """
+; svcdata - supervisor-private data; read/write bracket ends at ring 0
+        .seg    svcdata
+counter:: .word 0
+"""
+
+#: Default ACL: everyone may call the gates from rings 1..5.
+def default_svc_acl() -> List[AclEntry]:
+    """Gate segment ACL: execute bracket [0,0], gates callable to ring 5."""
+    return [
+        AclEntry(
+            "*",
+            RingBracketSpec(r1=0, r2=0, r3=5, read=True, execute=True, gate=6),
+        )
+    ]
+
+
+def default_svcdata_acl() -> List[AclEntry]:
+    """Counter ACL: readable/writable only in ring 0."""
+    return [
+        AclEntry("*", RingBracketSpec(r1=0, r2=0, r3=0, read=True, write=True))
+    ]
+
+
+def install_services(
+    fs: FileSystem,
+    owner: User,
+    svc_acl: Optional[List[AclEntry]] = None,
+) -> SegmentImage:
+    """Store the service segments in the file system.
+
+    Returns the assembled service image (useful for listings).
+    """
+    svc = assemble(SVC_SOURCE, name="svc")
+    data = assemble(SVCDATA_SOURCE, name="svcdata")
+    fs.create(SVC_PATH, svc, owner=owner, acl=svc_acl or default_svc_acl())
+    fs.create(SVCDATA_PATH, data, owner=owner, acl=default_svcdata_acl())
+    return svc

@@ -1,0 +1,56 @@
+"""User identities.
+
+"A process with a new virtual memory is created for each user when he
+logs in to the system, and the name of the user is associated with the
+process" (paper p. 7).  Users here are just names plus an administrator
+flag — enough to drive the ACL machinery and the paper's example of a
+registration gate "available only from the processes of system
+administrators" (p. 36).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class User:
+    """One registered user of the simulated utility."""
+
+    name: str
+    administrator: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name or "$" in self.name or ">" in self.name:
+            raise ConfigurationError(f"bad user name {self.name!r}")
+
+
+class UserRegistry:
+    """The system's user list."""
+
+    def __init__(self) -> None:
+        self._users: Dict[str, User] = {}
+
+    def register(self, name: str, administrator: bool = False) -> User:
+        """Add a user; re-registering the same name is an error."""
+        if name in self._users:
+            raise ConfigurationError(f"user {name!r} already registered")
+        user = User(name=name, administrator=administrator)
+        self._users[name] = user
+        return user
+
+    def lookup(self, name: str) -> User:
+        """Find a user by name."""
+        try:
+            return self._users[name]
+        except KeyError:
+            raise ConfigurationError(f"no user {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._users
+
+    def __iter__(self) -> Iterator[User]:
+        return iter(self._users.values())

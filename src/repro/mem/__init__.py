@@ -1,0 +1,33 @@
+"""The segmented-memory substrate.
+
+* :mod:`repro.mem.physical` — word-addressed physical memory with a
+  first-fit allocator and access counters;
+* :mod:`repro.mem.segment` — host-side segment images (the unit the
+  assembler emits and the file system stores);
+* :mod:`repro.mem.descriptor` — descriptor segments resident in physical
+  memory, addressed through the DBR, holding packed SDW pairs;
+* :mod:`repro.mem.paging` — optional transparent paging (page tables in
+  memory, present bits, missing-page detection).
+
+Nothing in this package knows about rings; it provides the addressing
+fabric the ring hardware is grafted onto, exactly as the paper's
+"Segmented Virtual Memory Environment" section separates the two.
+"""
+
+from .physical import PhysicalMemory, Allocation
+from .segment import SegmentImage
+from .descriptor import DBR, DescriptorSegment
+from .paging import PAGE_BITS, PAGE_WORDS, PageTable, PageFaultSignal, translate_paged
+
+__all__ = [
+    "PhysicalMemory",
+    "Allocation",
+    "SegmentImage",
+    "DBR",
+    "DescriptorSegment",
+    "PAGE_BITS",
+    "PAGE_WORDS",
+    "PageTable",
+    "PageFaultSignal",
+    "translate_paged",
+]

@@ -1,0 +1,150 @@
+"""Descriptor segments and the descriptor base register.
+
+A descriptor segment is an array of packed SDW pairs living in physical
+memory; segment number ``s`` names the pair at words ``2s`` and
+``2s + 1``.  The :class:`DBR` locates one descriptor segment; changing
+the DBR switches the processor to a different virtual memory — that is
+how per-process address spaces are realised (paper p. 7).
+
+The class here is the *supervisor's* handle on a descriptor segment: it
+reads and writes SDWs through physical memory so that hardware and
+software see the identical bits.  The processor's address-translation
+path performs its own SDW fetches (with cycle charging and caching); it
+shares only the layout, via :mod:`repro.formats.sdw`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from ..errors import ConfigurationError, SegmentBoundsError
+from ..formats.sdw import SDW, SDW_WORDS
+from ..words import Field, Layout, SEGNO_MASK, check_field
+from .physical import PhysicalMemory
+
+#: Memory image of a DBR value (two words), as consumed by LDBR.
+DBR_W0 = Layout("DBR.word0", [Field("ADDR", 0, 24), Field("SPARE", 24, 12)])
+DBR_W1 = Layout(
+    "DBR.word1",
+    [Field("BOUND", 0, 14), Field("STACK", 14, 14), Field("SPARE", 28, 8)],
+)
+
+
+@dataclass
+class DBR:
+    """Descriptor base register.
+
+    ``addr``   — absolute address of word 0 of the descriptor segment;
+    ``bound``  — number of SDWs (i.e. of describable segments);
+    ``stack``  — base segment number of the per-ring stack segments: the
+    stack segment for ring ``n`` is ``stack + n`` (the refined selection
+    rule of the paper's p. 30 footnote).  With ``stack = 0`` the rule
+    degenerates to the simple "stack segno = ring number" rule of the
+    body text.
+    """
+
+    addr: int = 0
+    bound: int = 0
+    stack: int = 0
+
+    def __post_init__(self) -> None:
+        check_field("DBR.ADDR", self.addr, 24)
+        check_field("DBR.BOUND", self.bound, 14)
+        check_field("DBR.STACK", self.stack, 14)
+
+    def sdw_addr(self, segno: int) -> int:
+        """Absolute address of the SDW pair for ``segno``."""
+        return self.addr + SDW_WORDS * segno
+
+    def stack_segno(self, ring: int) -> int:
+        """Stack segment number for ``ring`` under the DBR rule."""
+        return (self.stack + ring) & SEGNO_MASK
+
+    def pack(self) -> Tuple[int, int]:
+        """Encode into the two-word image LDBR consumes."""
+        return (
+            DBR_W0.pack(ADDR=self.addr),
+            DBR_W1.pack(BOUND=self.bound, STACK=self.stack),
+        )
+
+    @classmethod
+    def unpack(cls, w0: int, w1: int) -> "DBR":
+        """Decode a two-word memory image."""
+        return cls(
+            addr=DBR_W0["ADDR"].extract(w0),
+            bound=DBR_W1["BOUND"].extract(w1),
+            stack=DBR_W1["STACK"].extract(w1),
+        )
+
+
+class DescriptorSegment:
+    """Supervisor-side manager of one descriptor segment in memory."""
+
+    def __init__(self, memory: PhysicalMemory, addr: int, bound: int):
+        if bound < 0 or bound > SEGNO_MASK + 1:
+            raise ConfigurationError(f"descriptor bound {bound} out of range")
+        self.memory = memory
+        self.addr = addr
+        self.bound = bound
+
+    @classmethod
+    def allocate(
+        cls, memory: PhysicalMemory, bound: int, stack: int = 0
+    ) -> Tuple["DescriptorSegment", DBR]:
+        """Allocate a descriptor segment and return it with a matching DBR.
+
+        Every SDW starts out missing (present bit clear) so that the very
+        first reference to an uninitiated segment traps, which is how the
+        supervisor learns it must consult the file system.
+        """
+        block = memory.allocate(bound * SDW_WORDS)
+        dseg = cls(memory, block.addr, bound)
+        missing = SDW.missing().pack()
+        for segno in range(bound):
+            a = dseg.sdw_word_addr(segno)
+            memory.load_image(a, list(missing))
+        return dseg, DBR(addr=block.addr, bound=bound, stack=stack)
+
+    def sdw_word_addr(self, segno: int) -> int:
+        """Absolute address of the first word of the SDW pair for ``segno``."""
+        if not 0 <= segno < self.bound:
+            raise SegmentBoundsError(
+                f"segment number {segno} outside descriptor bound {self.bound}"
+            )
+        return self.addr + SDW_WORDS * segno
+
+    def get(self, segno: int) -> SDW:
+        """Read the SDW for ``segno`` (uncharged supervisor access)."""
+        a = self.sdw_word_addr(segno)
+        w0, w1 = self.memory.snapshot(a, SDW_WORDS)
+        return SDW.unpack(w0, w1)
+
+    def set(self, segno: int, sdw: SDW) -> None:
+        """Write the SDW for ``segno``.
+
+        Changing constraints in the SDW is "immediately effective"
+        (paper p. 9) — the processor consults memory (or a cache the
+        supervisor explicitly invalidates) on every reference.
+        """
+        a = self.sdw_word_addr(segno)
+        w0, w1 = sdw.pack()
+        self.memory.load_image(a, [w0, w1])
+
+    def clear(self, segno: int) -> None:
+        """Mark ``segno`` missing (terminate the segment)."""
+        self.set(segno, SDW.missing())
+
+    def find_free(self, start: int = 0) -> Optional[int]:
+        """Lowest segment number at or after ``start`` that is missing."""
+        for segno in range(start, self.bound):
+            if not self.get(segno).present:
+                return segno
+        return None
+
+    def present_segments(self) -> Iterator[Tuple[int, SDW]]:
+        """Iterate ``(segno, sdw)`` for every present segment."""
+        for segno in range(self.bound):
+            sdw = self.get(segno)
+            if sdw.present:
+                yield segno, sdw

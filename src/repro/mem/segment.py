@@ -1,0 +1,105 @@
+"""Host-side segment images.
+
+A :class:`SegmentImage` is the unit of information exchanged between the
+assembler, the file system, and the loader: a named array of words plus
+the access metadata (gate count, entry symbols, relocation requests)
+that travels with it.  It is *not* machine state — once loaded, a
+segment lives in :class:`repro.mem.physical.PhysicalMemory` and is
+described by an SDW.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SegmentBoundsError
+from ..words import HALF_MASK, WORD_MASK
+
+
+@dataclass
+class LinkRequest:
+    """One unresolved inter-segment reference inside a segment image.
+
+    ``wordno`` is the word to patch, ``symbol`` is ``"segname$entry"`` or
+    just ``"segname"``; ``field`` selects which part of the word receives
+    the resolved value (``"offset"`` for instruction words, ``"pointer"``
+    for full indirect words whose SEGNO/WORDNO are patched).
+    """
+
+    wordno: int
+    symbol: str
+    field: str = "offset"
+    ring: Optional[int] = None
+
+
+@dataclass
+class SegmentImage:
+    """A named array of words plus loader metadata."""
+
+    name: str
+    words: List[int] = field(default_factory=list)
+    #: number of gate locations (words 0 .. gate_count-1 are gates)
+    gate_count: int = 0
+    #: exported entry symbols -> word number
+    entries: Dict[str, int] = field(default_factory=dict)
+    #: unresolved references for the loader
+    links: List[LinkRequest] = field(default_factory=list)
+    #: source line per word, for listings and traces
+    source_map: Dict[int, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    @property
+    def bound(self) -> int:
+        """The BOUND value the SDW for this image needs."""
+        return len(self.words)
+
+    def word(self, wordno: int) -> int:
+        """Read one word of the image."""
+        if not 0 <= wordno < len(self.words):
+            raise SegmentBoundsError(
+                f"word {wordno} outside segment {self.name!r} of {len(self.words)}"
+            )
+        return self.words[wordno]
+
+    def set_word(self, wordno: int, value: int) -> None:
+        """Patch one word of the image (loader relocation)."""
+        if not 0 <= wordno < len(self.words):
+            raise SegmentBoundsError(
+                f"word {wordno} outside segment {self.name!r} of {len(self.words)}"
+            )
+        self.words[wordno] = value & WORD_MASK
+
+    def patch_offset(self, wordno: int, offset: int) -> None:
+        """Replace the 18-bit OFFSET field of an instruction word."""
+        word = self.word(wordno)
+        self.set_word(wordno, (word & ~HALF_MASK) | (offset & HALF_MASK))
+
+    def entry(self, symbol: str) -> int:
+        """Word number of an exported entry point."""
+        try:
+            return self.entries[symbol]
+        except KeyError:
+            raise SegmentBoundsError(
+                f"segment {self.name!r} exports no entry {symbol!r} "
+                f"(has {sorted(self.entries)})"
+            ) from None
+
+    def gates(self) -> List[Tuple[str, int]]:
+        """The (symbol, wordno) pairs that are gate locations."""
+        return sorted(
+            ((sym, w) for sym, w in self.entries.items() if w < self.gate_count),
+            key=lambda item: item[1],
+        )
+
+    @classmethod
+    def zeros(cls, name: str, size: int) -> "SegmentImage":
+        """A fresh all-zero data segment of ``size`` words."""
+        return cls(name=name, words=[0] * size)
+
+    @classmethod
+    def from_values(cls, name: str, values: List[int]) -> "SegmentImage":
+        """A data segment initialised from host integers (truncated)."""
+        return cls(name=name, words=[v & WORD_MASK for v in values])

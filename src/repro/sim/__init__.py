@@ -1,0 +1,14 @@
+"""Top-level simulation facade.
+
+:class:`repro.sim.machine.Machine` wires physical memory, a processor,
+the supervisor, the file system, and the user registry into one object
+with a small API: register users, store assembled programs with ACLs,
+log users in, initiate segments, run.  The examples and most
+integration tests go through it.
+"""
+
+from .machine import Machine, RunResult
+from .trace import TraceLog
+from .metrics import MetricsSnapshot
+
+__all__ = ["Machine", "RunResult", "TraceLog", "MetricsSnapshot"]

@@ -1,0 +1,216 @@
+"""The assembled system: one machine, one supervisor, many processes.
+
+``Machine`` is the public face of the reproduction.  A typical session::
+
+    m = Machine()
+    alice = m.add_user("alice")
+    m.store_program(">udd>alice>prog", PROG_SOURCE, acl=[...])
+    process = m.login(alice)
+    m.initiate(process, ">udd>alice>prog")
+    result = m.run(process, "prog$main", ring=4)
+    print(result.console)
+
+Construction knobs map to the paper's design space:
+
+``hardware_rings``
+    True builds the paper's new processor; False builds the
+    Honeywell-645 baseline where every ring crossing traps to software.
+``stack_rule``
+    ``"dbr"`` (the footnote's refined stack-segment selection) or
+    ``"simple"`` (stack segno = ring number).
+``paged``
+    activate segments through page tables, demonstrating that paging is
+    transparent to protection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..asm import assemble
+from ..core.acl import AclEntry
+from ..cpu.processor import CostModel, Processor
+from ..cpu.sdwcache import SDWCache
+from ..krnl.process import Process
+from ..krnl.services import install_services
+from ..krnl.supervisor import Supervisor
+from ..krnl.users import User
+from ..mem.physical import PhysicalMemory
+from ..mem.segment import SegmentImage
+
+
+@dataclass
+class RunResult:
+    """What came out of one :meth:`Machine.run`."""
+
+    halted: bool
+    instructions: int
+    cycles: int
+    a: int
+    q: int
+    ring: int
+    console: List[int] = field(default_factory=list)
+    faults: int = 0
+    ring_crossings: int = 0
+
+
+class Machine:
+    """A complete simulated system."""
+
+    def __init__(
+        self,
+        memory_words: int = 1 << 18,
+        hardware_rings: bool = True,
+        stack_rule: str = "dbr",
+        paged: bool = False,
+        lazy_linking: bool = False,
+        cost: Optional[CostModel] = None,
+        sdw_cache_slots: int = 16,
+        sdw_cache_enabled: bool = True,
+        services: bool = True,
+    ):
+        self.memory = PhysicalMemory(memory_words)
+        self.supervisor = Supervisor(self.memory)
+        self.supervisor.paged = paged
+        self.supervisor.lazy_linking = lazy_linking
+        self.processor = Processor(
+            self.memory,
+            cost=cost,
+            stack_rule=stack_rule,
+            hardware_rings=hardware_rings,
+            sdw_cache=SDWCache(slots=sdw_cache_slots, enabled=sdw_cache_enabled),
+        )
+        self.system_user = self.supervisor.users.register(
+            "system", administrator=True
+        )
+        if services:
+            install_services(self.fs, self.system_user)
+
+    # -- delegates ---------------------------------------------------------
+
+    @property
+    def fs(self):
+        """The simulated file system."""
+        return self.supervisor.fs
+
+    @property
+    def users(self):
+        """The user registry."""
+        return self.supervisor.users
+
+    @property
+    def console(self) -> List[int]:
+        """Words written to the console via the supervisor's CIOC hook."""
+        return self.supervisor.console_values()
+
+    # -- system building -----------------------------------------------------
+
+    def add_user(self, name: str, administrator: bool = False) -> User:
+        """Register a user."""
+        return self.users.register(name, administrator=administrator)
+
+    def store_program(
+        self,
+        path: str,
+        source: str,
+        acl: List[AclEntry],
+        owner: Optional[User] = None,
+        name: Optional[str] = None,
+    ) -> SegmentImage:
+        """Assemble a program and store it with its ACL."""
+        image = assemble(source, name=name or path.split(">")[-1])
+        self.fs.create(path, image, owner=owner or self.system_user, acl=acl)
+        return image
+
+    def store_data(
+        self,
+        path: str,
+        values: List[int],
+        acl: List[AclEntry],
+        owner: Optional[User] = None,
+        name: Optional[str] = None,
+    ) -> SegmentImage:
+        """Store a data segment with its ACL."""
+        image = SegmentImage.from_values(
+            name or path.split(">")[-1], list(values)
+        )
+        self.fs.create(path, image, owner=owner or self.system_user, acl=acl)
+        return image
+
+    def login(
+        self,
+        user: User,
+        descriptor_bound: int = 128,
+        stack_base_segno: int = 0,
+    ) -> Process:
+        """Create the user's process (paper p. 7: one per login)."""
+        return self.supervisor.create_process(
+            user,
+            descriptor_bound=descriptor_bound,
+            stack_base_segno=stack_base_segno,
+        )
+
+    def initiate(self, process: Process, path: str, name: Optional[str] = None) -> int:
+        """Add a stored segment to a process's virtual memory."""
+        return self.supervisor.initiate(process, path, name=name)
+
+    def make_scheduler(self, quantum: int = 50):
+        """A round-robin scheduler multiplexing this machine's processor."""
+        from ..krnl.scheduler import RoundRobinScheduler
+
+        return RoundRobinScheduler(
+            self.processor, self.supervisor, quantum=quantum
+        )
+
+    # -- execution -------------------------------------------------------------
+
+    def start(self, process: Process, ref: str, ring: int) -> None:
+        """Point the processor at ``ref`` in ``ring`` without running.
+
+        All pointer registers are initialised to the ring's stack base
+        (satisfying the ``PRn.RING >= IPR.RING`` invariant from the first
+        instruction) and the stack's next-available word is honoured.
+        """
+        self.supervisor.attach(self.processor, process)
+        segno, wordno = process.entry_of(ref)
+        regs = self.processor.registers
+        stack_segno = process.stack_segno(ring)
+        for pr in regs.prs:
+            pr.load(stack_segno, 0, ring)
+        regs.crr = ring
+        regs.set_a(0)
+        regs.set_q(0)
+        regs.ipr.set(ring, segno, wordno)
+
+    def run(
+        self,
+        process: Process,
+        ref: str,
+        ring: int = 4,
+        max_steps: int = 1_000_000,
+        reset_counters: bool = True,
+    ) -> RunResult:
+        """Run ``ref`` in ``ring`` until HALT and collect the results.
+
+        Unhandled faults propagate to the caller as
+        :class:`repro.cpu.faults.Fault` — deliberately: tests assert on
+        them, and example programs treat them as crashes.
+        """
+        self.start(process, ref, ring)
+        if reset_counters:
+            self.processor.reset_counters()
+        self.processor.run(max_steps=max_steps)
+        regs = self.processor.registers
+        stats = self.processor.stats
+        return RunResult(
+            halted=self.processor.halted,
+            instructions=stats.instructions,
+            cycles=self.processor.cycles,
+            a=regs.a,
+            q=regs.q,
+            ring=regs.ipr.ring,
+            console=self.console,
+            faults=stats.faults,
+            ring_crossings=stats.ring_crossings,
+        )

@@ -1,0 +1,56 @@
+"""Metrics collection for experiments and benchmarks.
+
+A :class:`MetricsSnapshot` freezes every counter the simulation keeps —
+processor cycles and statistics, memory traffic, SDW-cache behaviour —
+so benchmark code can compute differences across phases without
+worrying about which component owns which counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..cpu.processor import Processor
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """All simulation counters at one instant."""
+
+    cycles: int
+    instructions: int
+    faults: int
+    traps_delivered: int
+    calls: int
+    returns: int
+    ring_crossings: int
+    memory_reads: int
+    memory_writes: int
+    sdw_hits: int
+    sdw_misses: int
+
+    @classmethod
+    def collect(cls, proc: Processor) -> "MetricsSnapshot":
+        """Freeze the current counters of ``proc`` and its memory."""
+        cache = proc.sdw_cache.stats()
+        return cls(
+            cycles=proc.cycles,
+            instructions=proc.stats.instructions,
+            faults=proc.stats.faults,
+            traps_delivered=proc.stats.traps_delivered,
+            calls=proc.stats.calls,
+            returns=proc.stats.returns,
+            ring_crossings=proc.stats.ring_crossings,
+            memory_reads=proc.memory.reads,
+            memory_writes=proc.memory.writes,
+            sdw_hits=cache["hits"],
+            sdw_misses=cache["misses"],
+        )
+
+    def delta(self, earlier: "MetricsSnapshot") -> Dict[str, int]:
+        """Per-counter difference ``self - earlier``."""
+        return {
+            name: getattr(self, name) - getattr(earlier, name)
+            for name in self.__dataclass_fields__
+        }

@@ -1,0 +1,62 @@
+"""Execution tracing.
+
+Attach a :class:`TraceLog` to a processor to capture one line per
+retired instruction (location, mnemonic, resulting ring) plus any
+events other components contribute.  The examples print these traces so
+a reader can watch a cross-ring call happen instruction by instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..cpu.processor import Processor
+
+
+@dataclass
+class TraceEvent:
+    """One trace line with its instruction-count timestamp."""
+
+    index: int
+    text: str
+
+
+class TraceLog:
+    """An ordered capture of execution events."""
+
+    def __init__(self, limit: int = 10_000):
+        self.limit = limit
+        self.events: List[TraceEvent] = []
+        self._proc: Optional[Processor] = None
+
+    def attach(self, proc: Processor) -> None:
+        """Start receiving instruction events from ``proc``."""
+        self._proc = proc
+        proc.trace_hook = self._on_instruction
+
+    def detach(self) -> None:
+        """Stop tracing."""
+        if self._proc is not None:
+            self._proc.trace_hook = None
+            self._proc = None
+
+    def note(self, text: str) -> None:
+        """Record a non-instruction event (supervisor actions etc.)."""
+        self._append(text)
+
+    def _on_instruction(self, text: str) -> None:
+        self._append(text)
+
+    def _append(self, text: str) -> None:
+        if len(self.events) >= self.limit:
+            return
+        self.events.append(TraceEvent(index=len(self.events), text=text))
+
+    def render(self, last: Optional[int] = None) -> str:
+        """The trace as printable text (optionally only the tail)."""
+        events = self.events if last is None else self.events[-last:]
+        return "\n".join(f"{e.index:6d}  {e.text}" for e in events)
+
+    def __len__(self) -> int:
+        return len(self.events)

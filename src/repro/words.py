@@ -1,0 +1,198 @@
+"""36-bit word model and bit-field helpers.
+
+The simulated machine is word addressed with 36-bit words, following the
+Honeywell 645/6180 family the paper targets.  A *word* is represented on the
+host as a plain Python ``int`` in ``[0, 2**36)``.  This module centralises
+
+* the word geometry constants,
+* masking / sign conversion between the machine's two's-complement view and
+  host integers, and
+* a tiny declarative bit-field facility (:class:`Field`, :func:`pack_fields`)
+  used by :mod:`repro.formats` to define the storage layouts of Figure 3.
+
+Bit numbering follows the Multics convention: bit 0 is the most significant
+bit of the word, bit 35 the least significant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+from .errors import FieldRangeError
+
+#: Number of bits in a machine word.
+WORD_BITS = 36
+
+#: Mask selecting an entire machine word.
+WORD_MASK = (1 << WORD_BITS) - 1
+
+#: Largest unsigned value a word can hold.
+WORD_MAX = WORD_MASK
+
+#: Number of bits in a half-word (address/offset fields).
+HALF_BITS = 18
+
+#: Mask selecting a half-word.
+HALF_MASK = (1 << HALF_BITS) - 1
+
+#: Number of bits in a segment-number field (16384 possible segments).
+SEGNO_BITS = 14
+
+#: Mask selecting a segment-number field.
+SEGNO_MASK = (1 << SEGNO_BITS) - 1
+
+#: Number of bits in a ring-number field (rings 0..7).
+RING_BITS = 3
+
+#: Mask selecting a ring-number field.
+RING_MASK = (1 << RING_BITS) - 1
+
+#: Number of rings expressible in hardware fields.
+MAX_RINGS = 1 << RING_BITS
+
+
+def mask(width: int) -> int:
+    """Return a mask of ``width`` low-order one bits."""
+    return (1 << width) - 1
+
+
+def fits(value: int, width: int) -> bool:
+    """Return True when ``value`` is an unsigned ``width``-bit quantity."""
+    return 0 <= value <= mask(width)
+
+
+def check_field(name: str, value: int, width: int) -> int:
+    """Validate that ``value`` fits in ``width`` bits, returning it.
+
+    Raises :class:`repro.errors.FieldRangeError` otherwise.  Used at every
+    API boundary where a host integer enters a hardware-format field.
+    """
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise FieldRangeError(name, value, width)
+    if not fits(value, width):
+        raise FieldRangeError(name, value, width)
+    return value
+
+
+def to_word(value: int) -> int:
+    """Truncate a host integer to an unsigned 36-bit word."""
+    return value & WORD_MASK
+
+
+def to_signed(word: int) -> int:
+    """Interpret a 36-bit word as a two's-complement signed integer."""
+    word &= WORD_MASK
+    if word >> (WORD_BITS - 1):
+        return word - (1 << WORD_BITS)
+    return word
+
+
+def from_signed(value: int) -> int:
+    """Encode a host integer as a two's-complement 36-bit word.
+
+    Values outside ``[-2**35, 2**35)`` wrap, mirroring hardware overflow.
+    """
+    return value & WORD_MASK
+
+
+def add_words(a: int, b: int) -> int:
+    """36-bit wrap-around addition, as the simulated ALU performs it."""
+    return (a + b) & WORD_MASK
+
+
+def sub_words(a: int, b: int) -> int:
+    """36-bit wrap-around subtraction."""
+    return (a - b) & WORD_MASK
+
+
+def add_offsets(a: int, b: int) -> int:
+    """18-bit wrap-around addition used for word-number arithmetic."""
+    return (a + b) & HALF_MASK
+
+
+@dataclass(frozen=True)
+class Field:
+    """One named bit field inside a 36-bit word.
+
+    ``pos`` is the Multics-style bit position of the field's most
+    significant bit (0 = word MSB); ``width`` is the field width in bits.
+    """
+
+    name: str
+    pos: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.pos and self.pos + self.width <= WORD_BITS):
+            raise FieldRangeError(self.name, self.pos, WORD_BITS)
+        if self.width <= 0:
+            raise FieldRangeError(self.name, self.width, WORD_BITS)
+
+    @property
+    def shift(self) -> int:
+        """Host-side right-shift distance that isolates this field."""
+        return WORD_BITS - self.pos - self.width
+
+    @property
+    def mask(self) -> int:
+        """Mask of this field's width (unshifted)."""
+        return mask(self.width)
+
+    def extract(self, word: int) -> int:
+        """Read this field out of ``word``."""
+        return (word >> self.shift) & self.mask
+
+    def insert(self, word: int, value: int) -> int:
+        """Return ``word`` with this field replaced by ``value``."""
+        check_field(self.name, value, self.width)
+        cleared = word & ~(self.mask << self.shift)
+        return cleared | (value << self.shift)
+
+
+class Layout:
+    """A named collection of :class:`Field` objects covering one word.
+
+    Layouts are the single source of truth for the Figure 3 storage
+    formats; both the simulator and the analysis code read them.
+    """
+
+    def __init__(self, name: str, fields: Iterable[Field]):
+        self.name = name
+        self.fields: Tuple[Field, ...] = tuple(fields)
+        self.by_name: Dict[str, Field] = {f.name: f for f in self.fields}
+        if len(self.by_name) != len(self.fields):
+            raise FieldRangeError(name, len(self.fields), WORD_BITS)
+        used = 0
+        for f in self.fields:
+            fmask = f.mask << f.shift
+            if used & fmask:
+                raise FieldRangeError(f"{name}.{f.name}", f.pos, WORD_BITS)
+            used |= fmask
+
+    def pack(self, **values: int) -> int:
+        """Build a word from keyword field values (missing fields are 0)."""
+        word = 0
+        for key, value in values.items():
+            try:
+                field = self.by_name[key]
+            except KeyError:
+                raise FieldRangeError(f"{self.name}.{key}", value, 0) from None
+            word = field.insert(word, value)
+        return word
+
+    def unpack(self, word: int) -> Dict[str, int]:
+        """Decompose ``word`` into a dict of all field values."""
+        return {f.name: f.extract(word) for f in self.fields}
+
+    def __getitem__(self, name: str) -> Field:
+        return self.by_name[name]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{f.name}[{f.pos}:{f.pos + f.width}]" for f in self.fields)
+        return f"Layout({self.name}: {parts})"
+
+
+def octal(word: int, digits: int = 12) -> str:
+    """Render a word as a zero-padded octal string (the native radix)."""
+    return format(word & WORD_MASK, f"0{digits}o")

@@ -1,0 +1,34 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mem.physical import PhysicalMemory
+from repro.sim.machine import Machine
+
+from tests.helpers import BareMachine
+
+
+@pytest.fixture
+def memory() -> PhysicalMemory:
+    """A fresh 64K-word physical memory."""
+    return PhysicalMemory(1 << 16)
+
+
+@pytest.fixture
+def bare() -> BareMachine:
+    """A bare hardware machine (faults propagate to the test)."""
+    return BareMachine()
+
+
+@pytest.fixture
+def machine() -> Machine:
+    """A full system with supervisor and standard services."""
+    return Machine()
+
+
+@pytest.fixture
+def machine645() -> Machine:
+    """The software-rings (Honeywell 645) baseline system."""
+    return Machine(hardware_rings=False)

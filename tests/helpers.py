@@ -1,0 +1,151 @@
+"""Shared test utilities.
+
+``BareMachine`` assembles a minimal hardware-only configuration — no
+supervisor, no file system — so unit tests can poke exact SDWs and
+observe exact faults.  ``asm_inst`` builds single instruction words
+without going through the assembler.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.cpu.isa import Op
+from repro.cpu.processor import CostModel, Processor
+from repro.cpu.sdwcache import SDWCache
+from repro.formats.indirect import IndirectWord
+from repro.formats.instruction import Instruction, TAG_IMMEDIATE, TAG_INDEX_A, TAG_NONE
+from repro.formats.sdw import SDW
+from repro.mem.descriptor import DescriptorSegment
+from repro.mem.physical import PhysicalMemory
+
+
+def asm_inst(
+    op: Op,
+    offset: int = 0,
+    indirect: bool = False,
+    pr: Optional[int] = None,
+    immediate: bool = False,
+    indexed: bool = False,
+) -> int:
+    """Build one packed instruction word."""
+    tag = TAG_NONE
+    if immediate:
+        tag = TAG_IMMEDIATE
+    elif indexed:
+        tag = TAG_INDEX_A
+    return Instruction(
+        opcode=op.number,
+        offset=offset,
+        indirect=indirect,
+        prflag=pr is not None,
+        prnum=pr or 0,
+        tag=tag,
+    ).pack()
+
+
+def ind_word(segno: int, wordno: int, ring: int = 0, chained: bool = False) -> int:
+    """Build one packed indirect word."""
+    return IndirectWord(
+        segno=segno, wordno=wordno, ring=ring, indirect=chained
+    ).pack()
+
+
+class BareMachine:
+    """Physical memory + descriptor segment + processor, nothing else.
+
+    Faults propagate to the test as :class:`repro.cpu.faults.Fault`
+    because no fault handler is installed.
+    """
+
+    def __init__(
+        self,
+        memory_words: int = 1 << 16,
+        descriptor_bound: int = 64,
+        **proc_kwargs,
+    ):
+        self.memory = PhysicalMemory(memory_words)
+        self.dseg, self.dbr = DescriptorSegment.allocate(
+            self.memory, bound=descriptor_bound
+        )
+        self.proc = Processor(self.memory, self.dbr, **proc_kwargs)
+
+    @property
+    def regs(self):
+        return self.proc.registers
+
+    def add_segment(
+        self,
+        segno: int,
+        words: Sequence[int] = (),
+        size: Optional[int] = None,
+        r1: int = 0,
+        r2: int = 7,
+        r3: int = 7,
+        read: bool = True,
+        write: bool = True,
+        execute: bool = True,
+        gate: int = 0,
+        present: bool = True,
+    ) -> SDW:
+        """Allocate, load, and describe one segment."""
+        bound = size if size is not None else max(len(words), 1)
+        block = self.memory.allocate(bound)
+        if words:
+            self.memory.load_image(block.addr, list(words))
+        sdw = SDW(
+            addr=block.addr,
+            bound=bound,
+            r1=r1,
+            r2=r2,
+            r3=r3,
+            read=read,
+            write=write,
+            execute=execute,
+            gate=gate,
+            present=present,
+        )
+        self.dseg.set(segno, sdw)
+        return sdw
+
+    def add_code(self, segno: int, words: Sequence[int], ring: int = 4, **kw) -> SDW:
+        """A pure-procedure segment executing at exactly ``ring``."""
+        kw.setdefault("r1", ring)
+        kw.setdefault("r2", ring)
+        kw.setdefault("r3", ring)
+        kw.setdefault("read", True)
+        kw.setdefault("write", False)
+        return self.add_segment(segno, words=words, execute=True, **kw)
+
+    def add_data(self, segno: int, words: Sequence[int], ring: int = 7, **kw) -> SDW:
+        """A data segment readable/writable up to ``ring``."""
+        kw.setdefault("r1", ring)
+        kw.setdefault("r2", ring)
+        kw.setdefault("r3", ring)
+        return self.add_segment(segno, words=words, execute=False, **kw)
+
+    def start(self, segno: int, wordno: int = 0, ring: int = 4) -> None:
+        """Point the IPR, with PR rings satisfying the machine invariant.
+
+        Pointer registers are initialised to the conventional per-ring
+        stack base (segment number = ring number, the simple stack rule).
+        """
+        for pr in self.regs.prs:
+            pr.load(ring, 0, ring)
+        self.regs.crr = ring
+        self.regs.ipr.set(ring, segno, wordno)
+
+    def step(self) -> None:
+        self.proc.step()
+
+    def run(self, max_steps: int = 10_000) -> int:
+        return self.proc.run(max_steps=max_steps)
+
+    def seg_word(self, segno: int, wordno: int) -> int:
+        """Read a segment word via the descriptor (uncharged)."""
+        sdw = self.dseg.get(segno)
+        return self.memory.snapshot(sdw.addr + wordno, 1)[0]
+
+
+def halt_word() -> int:
+    return asm_inst(Op.HALT)

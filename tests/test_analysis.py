@@ -1,0 +1,156 @@
+"""Tests for the figure reproductions and the experiment harness."""
+
+import pytest
+
+from repro.analysis.decision_tables import (
+    ALL_BRACKETS,
+    call_decision_table,
+    fetch_decision_table,
+    read_write_decision_table,
+    return_decision_table,
+    summarize_outcomes,
+    transfer_decision_table,
+)
+from repro.analysis.figures import (
+    render_all_figures,
+    render_figure1,
+    render_figure2,
+    render_figure3,
+    render_figure4,
+    render_figure5,
+    render_figure6,
+    render_figure7,
+    render_figure8,
+    render_figure9,
+)
+from repro.analysis.report import (
+    crossing_cost_experiment,
+    format_table,
+    measure_cycles_per_call,
+)
+from repro.core.acl import RingBracketSpec
+
+
+class TestDecisionTables:
+    def test_all_brackets_count(self):
+        """C(10,3) ordered triples over 8 rings = 120."""
+        assert len(ALL_BRACKETS) == 120
+
+    def test_fetch_table_complete(self):
+        rows = fetch_decision_table()
+        assert len(rows) == 120 * 2 * 8
+
+    def test_fetch_table_no_execute_without_flag(self):
+        for row in fetch_decision_table():
+            if not row["execute_flag"]:
+                assert not row["allowed"]
+
+    def test_read_write_table_complete(self):
+        assert len(read_write_decision_table()) == 120 * 4 * 8
+
+    def test_transfer_table_never_allows_ring_change(self):
+        for row in transfer_decision_table():
+            if row["eff_ring"] != row["cur_ring"]:
+                assert not row["allowed"]
+
+    def test_call_table_unreachable_rows_marked(self):
+        for row in call_decision_table():
+            assert row["reachable"] == (row["eff_ring"] >= row["cur_ring"])
+
+    def test_call_table_contains_every_outcome(self):
+        census = summarize_outcomes(call_decision_table())
+        assert set(census) == {
+            "SAME_RING",
+            "DOWNWARD",
+            "TRAP_UPWARD_CALL",
+            "FAULT_NO_EXECUTE",
+            "FAULT_RING_RAISED",
+            "FAULT_OUTSIDE_BRACKET",
+            "FAULT_NOT_GATE",
+        }
+
+    def test_return_table_contains_every_outcome(self):
+        census = summarize_outcomes(return_decision_table())
+        assert set(census) == {
+            "SAME_RING",
+            "UPWARD",
+            "TRAP_DOWNWARD_RETURN",
+            "FAULT_NO_EXECUTE",
+            "FAULT_EXECUTE_BRACKET",
+        }
+
+
+class TestFigureRenderings:
+    def test_every_figure_renders(self):
+        for render in (
+            render_figure1,
+            render_figure2,
+            render_figure3,
+            render_figure4,
+            render_figure5,
+            render_figure6,
+            render_figure7,
+            render_figure8,
+            render_figure9,
+        ):
+            text = render()
+            assert text.startswith("Figure")
+            assert len(text) > 100
+
+    def test_figure1_shows_brackets(self):
+        text = render_figure1()
+        assert "write bracket" in text
+        assert "R1=4 R2=6" in text
+
+    def test_figure2_shows_gate_extension(self):
+        assert "gate extension rings 5..6" in render_figure2()
+
+    def test_figure3_lists_formats(self):
+        text = render_figure3()
+        for name in ("SDW.word0", "INS", "IND", "PR", "IPR"):
+            assert name in text
+
+    def test_figure8_census_totals(self):
+        text = render_figure8()
+        assert "exhaustive census" in text
+
+    def test_render_all_is_ordered(self):
+        text = render_all_figures()
+        positions = [text.index(f"Figure {n}") for n in range(1, 10)]
+        assert positions == sorted(positions)
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        text = format_table(["a", "long header"], [["x", "1"], ["yy", "22"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = format_table(["h"], [["v"]], title="T")
+        assert text.splitlines()[0] == "T"
+
+
+class TestCrossingCostExperiment:
+    def test_marginal_cost_positive(self):
+        cost = measure_cycles_per_call(
+            True, RingBracketSpec.procedure(4), "tsame", n_small=4, n_large=12
+        )
+        assert cost > 0
+
+    def test_experiment_shape_matches_paper(self):
+        """The paper's claim, end to end: hardware makes the downward
+        call nearly same-ring-priced; software rings pay an order of
+        magnitude."""
+        rows = crossing_cost_experiment()
+        by_name = {row.scenario: row for row in rows}
+        same = by_name["same-ring call+return"]
+        down = by_name["downward call+upward return"]
+        # same-ring: both machines identical
+        assert same.hardware_cycles == same.software_cycles
+        # hardware: downward within a few cycles of same-ring
+        assert down.hardware_cycles <= same.hardware_cycles + 5
+        # software: crossing costs many times more
+        assert down.software_cycles > 5 * down.hardware_cycles

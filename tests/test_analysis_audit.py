@@ -1,0 +1,170 @@
+"""The static ring-security auditor."""
+
+import pytest
+
+from repro.analysis.audit import (
+    audit,
+    capability_matrix,
+    gate_surface,
+    injection_escalation_possible,
+    render_audit,
+)
+from repro.core.acl import AclEntry, RingBracketSpec
+from repro.krnl.filesystem import FileSystem
+from repro.krnl.users import User
+from repro.mem.segment import SegmentImage
+
+
+@pytest.fixture
+def world():
+    fs = FileSystem()
+    alice = User("alice")
+    bob = User("bob")
+
+    def img(name, gates=0):
+        image = SegmentImage.zeros(name, 8)
+        image.gate_count = gates
+        return image
+
+    fs.create(
+        ">sys>svc",
+        img("svc", gates=3),
+        alice,
+        acl=[AclEntry("*", RingBracketSpec.procedure(0, callable_from=5, gate=3))],
+    )
+    fs.create(
+        ">udd>alice>data",
+        img("data"),
+        alice,
+        acl=[
+            AclEntry("alice", RingBracketSpec.data(4)),
+            AclEntry("bob", RingBracketSpec.data(4, write=False)),
+        ],
+    )
+    fs.create(
+        ">udd>alice>private",
+        img("private"),
+        alice,
+        acl=[AclEntry("alice", RingBracketSpec.data(2))],
+    )
+    return fs, alice, bob
+
+
+class TestCapabilityMatrix:
+    def test_matrix_respects_acl_matching(self, world):
+        fs, alice, bob = world
+        matrix = capability_matrix(fs, [alice, bob])
+        bob_private = [
+            c for c in matrix if c.user == "bob" and "private" in c.path
+        ]
+        assert bob_private == []
+
+    def test_matrix_reflects_brackets(self, world):
+        fs, alice, bob = world
+        matrix = capability_matrix(fs, [alice, bob])
+        bob_data_writes = [
+            c for c in matrix if c.user == "bob" and c.path.endswith("data") and c.write
+        ]
+        assert bob_data_writes == []  # bob's grant is read-only
+        alice_data_writes = {
+            c.ring
+            for c in matrix
+            if c.user == "alice" and c.path.endswith("data") and c.write
+        }
+        assert alice_data_writes == set(range(5))  # write bracket 0..4
+
+    def test_gate_capability_rows(self, world):
+        fs, alice, bob = world
+        matrix = capability_matrix(fs, [bob])
+        gate_rings = {c.ring for c in matrix if c.path == ">sys>svc" and c.gate}
+        assert gate_rings == {1, 2, 3, 4, 5}
+
+
+class TestGateSurface:
+    def test_surface_lists_svc(self, world):
+        fs, alice, bob = world
+        surface = gate_surface(fs, bob)
+        assert len(surface) == 1
+        gate = surface[0]
+        assert gate.path == ">sys>svc"
+        assert gate.entry_ring == 0
+        assert (gate.callable_from_low, gate.callable_from_high) == (1, 5)
+        assert gate.gate_count == 3
+
+    def test_data_segments_not_on_surface(self, world):
+        fs, alice, bob = world
+        assert all(g.path == ">sys>svc" for g in gate_surface(fs, alice))
+
+
+class TestFindings:
+    def test_clean_world_has_no_warnings(self, world):
+        fs, alice, bob = world
+        report = audit(fs, [alice, bob])
+        assert not [f for f in report.findings if f.severity == "warn"]
+
+    def test_writable_gate_segment_flagged(self, world):
+        fs, alice, bob = world
+        image = SegmentImage.zeros("shady", 8)
+        image.gate_count = 1
+        fs.create(
+            ">udd>alice>shady",
+            image,
+            alice,
+            acl=[
+                AclEntry(
+                    "*",
+                    RingBracketSpec(
+                        r1=2, r2=2, r3=5, read=True, write=True, execute=True, gate=1
+                    ),
+                )
+            ],
+        )
+        report = audit(fs, [alice, bob])
+        warns = [f for f in report.findings if f.severity == "warn"]
+        assert any("writable gate segment" in f.message for f in warns)
+
+    def test_wildcard_inner_ring_write_flagged(self, world):
+        fs, alice, bob = world
+        fs.create(
+            ">sys>loose",
+            SegmentImage.zeros("loose", 4),
+            alice,
+            acl=[AclEntry("*", RingBracketSpec.data(1))],
+        )
+        report = audit(fs, [alice, bob])
+        assert any("wildcard write" in f.message for f in report.findings)
+
+    def test_uncallable_gate_extension_noted(self, world):
+        fs, alice, bob = world
+        fs.create(
+            ">sys>deadgate",
+            SegmentImage.zeros("deadgate", 4),  # no gates in the image
+            alice,
+            acl=[
+                AclEntry(
+                    "*",
+                    RingBracketSpec(r1=0, r2=0, r3=5, read=True, execute=True),
+                )
+            ],
+        )
+        report = audit(fs, [alice, bob])
+        assert any("empty gate list" in f.message for f in report.findings)
+
+
+class TestInjectionTheorem:
+    def test_theorem_holds_on_any_expressible_config(self, world):
+        fs, alice, bob = world
+        assert not injection_escalation_possible(fs, [alice, bob])
+
+    def test_report_records_theorem(self, world):
+        fs, alice, bob = world
+        report = audit(fs, [alice, bob])
+        assert report.injection_theorem_holds
+
+
+class TestRendering:
+    def test_render_contains_sections(self, world):
+        fs, alice, bob = world
+        text = render_audit(audit(fs, [alice, bob]))
+        assert "gate surface of bob" in text
+        assert "no-injection theorem: holds" in text

@@ -1,0 +1,266 @@
+"""Unit tests for the assembler: parsing, two passes, links, listings."""
+
+import pytest
+
+from repro.asm import assemble, listing
+from repro.asm.parser import (
+    parse_line,
+    parse_number,
+    parse_operand,
+    split_expression,
+)
+from repro.cpu.isa import Op
+from repro.errors import AssemblyError
+from repro.formats.indirect import IndirectWord
+from repro.formats.instruction import Instruction, TAG_IMMEDIATE, TAG_INDEX_A
+
+
+class TestParser:
+    def test_blank_and_comment_lines_skipped(self):
+        assert parse_line("", 1) is None
+        assert parse_line("   ; just a comment", 2) is None
+
+    def test_label_and_mnemonic(self):
+        line = parse_line("loop:  lda  =5", 1)
+        assert line.label == "loop"
+        assert not line.exported
+        assert line.op == "lda"
+
+    def test_exported_label(self):
+        line = parse_line("main::  nop", 1)
+        assert line.exported
+
+    def test_label_only_line(self):
+        line = parse_line("here:", 1)
+        assert line.label == "here" and line.op is None
+
+    def test_directive_args(self):
+        line = parse_line("  .word 1, 2, 3", 1)
+        assert line.is_directive
+        assert line.args == ["1", "2", "3"]
+
+    def test_unlabelled_column0_text_rejected(self):
+        with pytest.raises(AssemblyError):
+            parse_line("lda =5", 1)
+
+    def test_operand_immediate(self):
+        op = parse_operand("=42", 1)
+        assert op.immediate and op.expr == "42"
+
+    def test_operand_pr_relative(self):
+        op = parse_operand("pr3|7", 1)
+        assert op.prnum == 3 and op.expr == "7"
+
+    def test_operand_indirect(self):
+        op = parse_operand("link,*", 1)
+        assert op.indirect and op.expr == "link"
+
+    def test_operand_indexed(self):
+        op = parse_operand("table,x", 1)
+        assert op.indexed
+
+    def test_operand_indirect_and_indexed(self):
+        op = parse_operand("table,x,*", 1)
+        assert op.indirect and op.indexed
+
+    def test_immediate_indirect_rejected(self):
+        with pytest.raises(AssemblyError):
+            parse_operand("=5,*", 1)
+
+    def test_numbers(self):
+        assert parse_number("42", 1) == 42
+        assert parse_number("0o777", 1) == 0o777
+        assert parse_number("0x1F", 1) == 31
+        assert parse_number("-3", 1) == -3
+
+    def test_bad_number(self):
+        with pytest.raises(AssemblyError):
+            parse_number("zzz", 1)
+
+    def test_expression_split(self):
+        assert split_expression("label+3", 1) == ("label", 3)
+        assert split_expression("label-2", 1) == ("label", -2)
+        assert split_expression(".", 1) == (".", 0)
+        assert split_expression(".+1", 1) == (".", 1)
+        assert split_expression("17", 1) == ("", 17)
+
+
+class TestAssembler:
+    def test_simple_program(self):
+        image = assemble(
+            """
+        .seg    t
+start:  lda     =5
+        halt
+"""
+        )
+        assert image.name == "t"
+        assert len(image.words) == 2
+        inst = Instruction.unpack(image.words[0])
+        assert inst.opcode == Op.LDA.number
+        assert inst.tag == TAG_IMMEDIATE
+        assert inst.offset == 5
+
+    def test_label_resolution(self):
+        image = assemble(
+            """
+        tra     done
+        nop
+done:   halt
+"""
+        )
+        assert Instruction.unpack(image.words[0]).offset == 2
+
+    def test_forward_and_backward_references(self):
+        image = assemble(
+            """
+a:      tra     b
+b:      tra     a
+"""
+        )
+        assert Instruction.unpack(image.words[0]).offset == 1
+        assert Instruction.unpack(image.words[1]).offset == 0
+
+    def test_exported_entries(self):
+        image = assemble(
+            """
+main::  nop
+inner:  nop
+also::  halt
+"""
+        )
+        assert image.entries == {"main": 0, "also": 2}
+
+    def test_gates_directive(self):
+        image = assemble(
+            """
+        .gates  2
+g0::    nop
+g1::    nop
+        halt
+"""
+        )
+        assert image.gate_count == 2
+        assert image.gates() == [("g0", 0), ("g1", 1)]
+
+    def test_gates_exceeding_length_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("        .gates 5\n        nop\n")
+
+    def test_word_directive(self):
+        image = assemble("        .word 1, 0o10, label\nlabel:  halt\n")
+        assert image.words[:3] == [1, 8, 3]
+
+    def test_zero_directive(self):
+        image = assemble("        .zero 4\n        halt\n")
+        assert image.words == [0, 0, 0, 0] + [image.words[4]]
+
+    def test_equ(self):
+        image = assemble(
+            """
+        .equ    size, 10
+        lda     =size
+        halt
+"""
+        )
+        assert Instruction.unpack(image.words[0]).offset == 10
+
+    def test_pr_relative_operand(self):
+        image = assemble("        sta  pr2|3\n")
+        inst = Instruction.unpack(image.words[0])
+        assert inst.prflag and inst.prnum == 2 and inst.offset == 3
+
+    def test_indirect_operand(self):
+        image = assemble("        lda  0,*\n")
+        assert Instruction.unpack(image.words[0]).indirect
+
+    def test_indexed_operand(self):
+        image = assemble("        lda  5,x\n")
+        assert Instruction.unpack(image.words[0]).tag == TAG_INDEX_A
+
+    def test_its_emits_link_request(self):
+        image = assemble("l:      .its  svc$write, 3\n")
+        assert len(image.links) == 1
+        link = image.links[0]
+        assert link.symbol == "svc$write"
+        assert link.field == "pointer"
+        ind = IndirectWord.unpack(image.words[0])
+        assert ind.ring == 3
+
+    def test_ptr_resolves_wordno_locally(self):
+        image = assemble(
+            """
+p:      .ptr    target, 2
+target: halt
+"""
+        )
+        ind = IndirectWord.unpack(image.words[0])
+        assert ind.wordno == 1 and ind.ring == 2
+        assert image.links[0].field == "segno"
+
+    def test_direct_external_reference_rejected_with_hint(self):
+        with pytest.raises(AssemblyError) as excinfo:
+            assemble("        lda  other$thing\n")
+        assert ".its" in str(excinfo.value)
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("a:  nop\na:  nop\n")
+
+    def test_undefined_symbol_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("        tra  nowhere\n")
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("        frobnicate  5\n")
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("        .frob  5\n")
+
+    def test_halt_with_operand_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("        halt  5\n")
+
+    def test_transfer_immediate_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("        tra  =5\n")
+
+    def test_dot_is_current_location(self):
+        image = assemble(
+            """
+        nop
+        tra     .-1
+"""
+        )
+        assert Instruction.unpack(image.words[1]).offset == 0
+
+    def test_source_map_lines(self):
+        image = assemble("        nop\n        halt\n")
+        assert image.source_map[0] == 1
+        assert image.source_map[1] == 2
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblyError) as excinfo:
+            assemble("        nop\n        tra  nowhere\n")
+        assert "line 2" in str(excinfo.value)
+
+
+class TestListing:
+    def test_listing_contains_words_and_entries(self):
+        source = """
+        .seg    demo
+        .gates  1
+main::  lda     =5
+        halt
+"""
+        image = assemble(source)
+        text = listing(image, source)
+        assert "demo" in text
+        assert "main" in text
+        assert "(gate)" in text
+
+    def test_listing_shows_links(self):
+        image = assemble("l:  .its  svc$write\n")
+        assert "svc$write" in listing(image)

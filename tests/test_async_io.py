@@ -1,0 +1,105 @@
+"""Asynchronous I/O and completion events."""
+
+import pytest
+
+from repro.core.acl import AclEntry, RingBracketSpec
+from repro.cpu.faults import FaultCode
+from repro.errors import ConfigurationError
+from repro.krnl.supervisor import IO_LATENCY
+
+from tests.helpers import BareMachine, asm_inst, halt_word
+from repro.cpu.isa import Op
+
+USER_ACL = [AclEntry("*", RingBracketSpec.procedure(4))]
+
+
+class TestEventMachinery:
+    def test_event_fires_after_count(self, bare):
+        bare.add_code(8, [asm_inst(Op.NOP)] * 20 + [halt_word()], ring=4)
+        seen = []
+        bare.proc.fault_handler = lambda proc, fault: (
+            seen.append((fault.code, proc.stats.instructions)) or "continue"
+        )
+        bare.start(8, 0, ring=4)
+        bare.proc.schedule_event(5, FaultCode.IO_COMPLETION, "disk")
+        bare.run()
+        assert seen == [(FaultCode.IO_COMPLETION, 5)]
+
+    def test_multiple_events_independent(self, bare):
+        bare.add_code(8, [asm_inst(Op.NOP)] * 20 + [halt_word()], ring=4)
+        seen = []
+        bare.proc.fault_handler = lambda proc, fault: (
+            seen.append(fault.detail) or "continue"
+        )
+        bare.start(8, 0, ring=4)
+        bare.proc.schedule_event(3, FaultCode.IO_COMPLETION, "first")
+        bare.proc.schedule_event(7, FaultCode.IO_COMPLETION, "second")
+        bare.run()
+        assert seen == ["first", "second"]
+
+    def test_pending_events_counter(self, bare):
+        bare.proc.schedule_event(10, FaultCode.IO_COMPLETION)
+        assert bare.proc.pending_events == 1
+
+    def test_invalid_delay_rejected(self, bare):
+        with pytest.raises(ConfigurationError):
+            bare.proc.schedule_event(0, FaultCode.IO_COMPLETION)
+
+    def test_event_is_transparent_to_the_program(self, bare):
+        """The computation's result is unchanged by an event firing in
+        the middle of it."""
+        program = [asm_inst(Op.LDA, offset=1, immediate=True)] + [
+            asm_inst(Op.ADA, offset=1, immediate=True)
+        ] * 9 + [halt_word()]
+        bare.add_code(8, program, ring=4)
+        bare.proc.fault_handler = lambda proc, fault: "continue"
+        bare.start(8, 0, ring=4)
+        bare.proc.schedule_event(4, FaultCode.IO_COMPLETION)
+        bare.run()
+        assert bare.regs.a == 10
+
+
+class TestAsyncConsole:
+    def test_completion_delivers_to_console(self, machine):
+        user = machine.add_user("u")
+        spin_body = "\n".join(["        nop"] * (IO_LATENCY + 5))
+        machine.store_program(
+            ">t>prog",
+            f"""
+        .seg    prog
+main::  lda     =77
+        eap4    back
+        call    l_aw,*
+back:   nop
+{spin_body}
+        halt
+l_aw:   .its    svc$awrite
+""",
+            acl=USER_ACL,
+        )
+        process = machine.login(user)
+        machine.initiate(process, ">t>prog")
+        result = machine.run(process, "prog$main", ring=4)
+        assert result.console == [77]
+        assert machine.processor.pending_events == 0
+
+    def test_halting_before_completion_leaves_io_in_flight(self, machine):
+        user = machine.add_user("u")
+        machine.store_program(
+            ">t>quick",
+            """
+        .seg    quick
+main::  lda     =55
+        eap4    back
+        call    l_aw,*
+back:   halt
+l_aw:   .its    svc$awrite
+""",
+            acl=USER_ACL,
+        )
+        process = machine.login(user)
+        machine.initiate(process, ">t>quick")
+        result = machine.run(process, "quick$main", ring=4)
+        assert result.console == []  # the transfer never completed
+        assert machine.processor.pending_events == 1
+        assert len(machine.supervisor._io_in_flight) == 1

@@ -1,0 +1,122 @@
+"""Property tests over random ACL worlds for the auditor and accounting."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.audit import audit, capability_matrix
+from repro.core.acl import AclEntry, RingBracketSpec
+from repro.core.rings import check_read, check_write
+from repro.krnl.filesystem import FileSystem
+from repro.krnl.users import User
+from repro.mem.segment import SegmentImage
+
+rings = st.integers(0, 7)
+
+
+@st.composite
+def specs(draw):
+    triple = sorted(draw(st.tuples(rings, rings, rings)))
+    return RingBracketSpec(
+        r1=triple[0],
+        r2=triple[1],
+        r3=triple[2],
+        read=draw(st.booleans()),
+        write=draw(st.booleans()),
+        execute=draw(st.booleans()),
+        gate=draw(st.integers(0, 3)),
+    )
+
+
+@st.composite
+def worlds(draw):
+    fs = FileSystem()
+    users = [User("alice"), User("bob")]
+    n_segments = draw(st.integers(1, 5))
+    for index in range(n_segments):
+        acl = []
+        for user in users:
+            if draw(st.booleans()):
+                acl.append(AclEntry(user.name, draw(specs())))
+        if not acl:
+            acl.append(AclEntry("*", draw(specs())))
+        image = SegmentImage.zeros(f"s{index}", 4)
+        image.gate_count = draw(st.integers(0, 2))
+        fs.create(f">w>s{index}", image, users[0], acl=acl)
+    return fs, users
+
+
+class TestAuditProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(worlds())
+    def test_audit_never_crashes_and_theorem_holds(self, world):
+        fs, users = world
+        report = audit(fs, users)
+        assert report.injection_theorem_holds
+
+    @settings(max_examples=50, deadline=None)
+    @given(worlds())
+    def test_capability_matrix_agrees_with_policy(self, world):
+        """Every capability row must be re-derivable from the matched
+        ACL entry's brackets — the matrix adds nothing."""
+        fs, users = world
+        for cap in capability_matrix(fs, users):
+            entry = fs.get(cap.path).match(cap.user)
+            assert entry is not None
+            spec = entry.spec
+            assert cap.read == check_read(cap.ring, spec.brackets, spec.read)
+            assert cap.write == check_write(cap.ring, spec.brackets, spec.write)
+
+    @settings(max_examples=50, deadline=None)
+    @given(worlds())
+    def test_capabilities_monotone_in_ring(self, world):
+        """For read/write, a capability at ring m implies it at every
+        ring below — the nested-subset property surfaces in the audit."""
+        fs, users = world
+        rows = capability_matrix(fs, users)
+        by_key = {}
+        for cap in rows:
+            by_key[(cap.path, cap.user, cap.ring)] = cap
+        for cap in rows:
+            for lower in range(cap.ring):
+                lower_cap = by_key.get((cap.path, cap.user, lower))
+                if cap.read:
+                    assert lower_cap is not None and lower_cap.read
+                if cap.write:
+                    assert lower_cap is not None and lower_cap.write
+
+
+class TestAccounting:
+    def test_job_cycles_attributed(self, machine):
+        """Per-job cycle accounting sums (nearly) to the processor's
+        clock; the shortfall is dispatch overhead, charged to the
+        system."""
+        user = machine.add_user("u")
+        for i, count in ((0, 10), (1, 30)):
+            machine.store_program(
+                f">t>w{i}",
+                f"""
+        .seg    w{i}
+main::  lda     ={count}
+loop:   sba     =1
+        tnz     loop
+        halt
+""",
+                acl=[AclEntry("*", RingBracketSpec.procedure(4))],
+            )
+        pa = machine.login(user)
+        pb = machine.login(machine.add_user("v"))
+        machine.initiate(pa, ">t>w0")
+        machine.initiate(pb, ">t>w1")
+        machine.processor.reset_counters()
+        scheduler = machine.make_scheduler(quantum=9)
+        ja = scheduler.add(pa, "w0$main", ring=4)
+        jb = scheduler.add(pb, "w1$main", ring=4)
+        scheduler.run()
+        assert ja.cycles > 0 and jb.cycles > 0
+        assert jb.cycles > ja.cycles  # three times the work
+        accounted = ja.cycles + jb.cycles
+        assert accounted <= machine.processor.cycles
+        # the gap is exactly the dispatch overhead
+        from repro.krnl.scheduler import CONTEXT_SWITCH_CYCLES
+
+        gap = machine.processor.cycles - accounted
+        assert gap == scheduler.context_switches * CONTEXT_SWITCH_CYCLES

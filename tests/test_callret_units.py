@@ -1,0 +1,54 @@
+"""Unit tests for the return-gate stack machinery itself."""
+
+import pytest
+
+from repro.cpu.registers import PointerRegister
+from repro.errors import ConfigurationError
+from repro.krnl.callret import (
+    MAX_UPWARD_DEPTH,
+    ReturnGateRecord,
+    ReturnGateStack,
+)
+
+
+def record(slot, caller=4, callee=6):
+    return ReturnGateRecord(
+        slot=slot,
+        caller_ring=caller,
+        callee_ring=callee,
+        return_segno=8,
+        return_wordno=3,
+        saved_prs=[PointerRegister() for _ in range(8)],
+    )
+
+
+class TestReturnGateStack:
+    def test_lifo_discipline(self):
+        stack = ReturnGateStack()
+        stack.push(record(0))
+        stack.push(record(1))
+        assert stack.top().slot == 1
+        assert stack.pop().slot == 1
+        assert stack.top().slot == 0
+
+    def test_empty_top_is_none(self):
+        assert ReturnGateStack().top() is None
+
+    def test_depth(self):
+        stack = ReturnGateStack()
+        assert stack.depth == 0
+        stack.push(record(0))
+        assert stack.depth == 1
+
+    def test_overflow_refused(self):
+        stack = ReturnGateStack()
+        for slot in range(MAX_UPWARD_DEPTH):
+            stack.push(record(slot))
+        with pytest.raises(ConfigurationError):
+            stack.push(record(MAX_UPWARD_DEPTH))
+
+    def test_record_carries_saved_environment(self):
+        r = record(0)
+        assert len(r.saved_prs) == 8
+        assert (r.return_segno, r.return_wordno) == (8, 3)
+        assert r.caller_ring < r.callee_ring

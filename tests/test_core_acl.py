@@ -1,0 +1,105 @@
+"""Unit tests for ACL entries and their projection onto SDWs."""
+
+import pytest
+
+from repro.core.acl import AclEntry, RingBracketSpec, build_sdw, sdw_fields_from_acl
+from repro.errors import AccessDenied, BracketOrderError
+
+
+class TestRingBracketSpec:
+    def test_bracket_order_enforced(self):
+        with pytest.raises(BracketOrderError):
+            RingBracketSpec(r1=4, r2=2, r3=5)
+
+    def test_brackets_property(self):
+        spec = RingBracketSpec(r1=1, r2=2, r3=3)
+        assert spec.brackets.execute_bracket == (1, 2)
+
+    def test_procedure_constructor(self):
+        spec = RingBracketSpec.procedure(4)
+        assert (spec.r1, spec.r2, spec.r3) == (4, 4, 4)
+        assert spec.read and spec.execute and not spec.write
+
+    def test_procedure_with_gate_extension(self):
+        spec = RingBracketSpec.procedure(0, callable_from=5, gate=3)
+        assert (spec.r1, spec.r2, spec.r3) == (0, 0, 5)
+        assert spec.gate == 3
+
+    def test_procedure_with_wide_bracket(self):
+        spec = RingBracketSpec.procedure(2, top=5, callable_from=6)
+        assert (spec.r1, spec.r2, spec.r3) == (2, 5, 6)
+
+    def test_data_constructor(self):
+        spec = RingBracketSpec.data(4)
+        assert (spec.r1, spec.r2, spec.r3) == (4, 4, 4)
+        assert spec.read and spec.write and not spec.execute
+
+    def test_data_read_only(self):
+        spec = RingBracketSpec.data(4, write=False)
+        assert not spec.write
+
+    def test_data_wider_read(self):
+        spec = RingBracketSpec.data(1, read_to=5)
+        assert (spec.r1, spec.r2) == (1, 5)
+
+
+class TestSoleOccupantRule:
+    """Paper p. 37: a program in ring n cannot specify bracket values
+    below n."""
+
+    def test_allows_brackets_at_or_above_ring(self):
+        RingBracketSpec(r1=4, r2=5, r3=6).check_settable_from(4)
+
+    def test_refuses_r1_below_ring(self):
+        with pytest.raises(AccessDenied):
+            RingBracketSpec(r1=3, r2=5, r3=6).check_settable_from(4)
+
+    def test_ring0_may_set_anything(self):
+        RingBracketSpec(r1=0, r2=0, r3=0).check_settable_from(0)
+
+    def test_refusal_message_names_the_ring(self):
+        with pytest.raises(AccessDenied) as excinfo:
+            RingBracketSpec(r1=0, r2=5, r3=6).check_settable_from(2)
+        assert "ring 2" in str(excinfo.value)
+
+
+class TestAclEntry:
+    def test_exact_match(self):
+        entry = AclEntry("alice", RingBracketSpec())
+        assert entry.matches("alice")
+        assert not entry.matches("bob")
+
+    def test_wildcard_matches_everyone(self):
+        entry = AclEntry("*", RingBracketSpec())
+        assert entry.matches("alice") and entry.matches("bob")
+
+
+class TestProjection:
+    def test_sdw_fields_come_from_acl(self):
+        """Paper p. 16: brackets, flags, and gate count all come from
+        the matching ACL entry."""
+        spec = RingBracketSpec(
+            r1=1, r2=2, r3=3, read=True, write=False, execute=True, gate=5
+        )
+        fields = sdw_fields_from_acl(spec)
+        assert fields == {
+            "r1": 1,
+            "r2": 2,
+            "r3": 3,
+            "read": True,
+            "write": False,
+            "execute": True,
+            "gate": 5,
+        }
+
+    def test_build_sdw_combines_storage_facts(self):
+        spec = RingBracketSpec.procedure(4)
+        sdw = build_sdw(spec, addr=0o1000, bound=64)
+        assert sdw.addr == 0o1000
+        assert sdw.bound == 64
+        assert sdw.present
+        assert (sdw.r1, sdw.r2, sdw.r3) == (4, 4, 4)
+
+    def test_build_sdw_paged(self):
+        sdw = build_sdw(RingBracketSpec.data(4), addr=0o2000, bound=100, paged=True)
+        assert sdw.paged

@@ -1,0 +1,69 @@
+"""Unit tests for the Figure 5 effective-ring computation."""
+
+from repro.core.effective import (
+    effective_ring_after_indirect,
+    effective_ring_after_pr,
+    effective_ring_of_chain,
+    highest_influencer,
+    initial_effective_ring,
+)
+
+
+class TestSteps:
+    def test_initial_is_current_ring(self):
+        assert initial_effective_ring(4) == 4
+
+    def test_pr_raises(self):
+        assert effective_ring_after_pr(4, 6) == 6
+
+    def test_pr_never_lowers(self):
+        """A pointer register with a lower ring cannot reduce the
+        effective ring — the max rule is one-directional."""
+        assert effective_ring_after_pr(4, 1) == 4
+
+    def test_indirect_raises_via_ind_ring(self):
+        assert effective_ring_after_indirect(2, 5, 0) == 5
+
+    def test_indirect_raises_via_holder_write_top(self):
+        """SDW.R1 of the segment holding the indirect word enters the
+        max: the highest ring that could have written the word
+        (paper pp. 26-27)."""
+        assert effective_ring_after_indirect(2, 0, 6) == 6
+
+    def test_indirect_never_lowers(self):
+        assert effective_ring_after_indirect(5, 0, 0) == 5
+
+    def test_indirect_takes_maximum_of_all_three(self):
+        assert effective_ring_after_indirect(3, 4, 5) == 5
+        assert effective_ring_after_indirect(3, 5, 4) == 5
+        assert effective_ring_after_indirect(5, 3, 4) == 5
+
+
+class TestChains:
+    def test_no_pr_no_chain(self):
+        assert effective_ring_of_chain(3) == 3
+
+    def test_pr_only(self):
+        assert effective_ring_of_chain(3, pr_ring=6) == 6
+
+    def test_chain_accumulates(self):
+        assert effective_ring_of_chain(1, chain=[(2, 0), (0, 5), (3, 3)]) == 5
+
+    def test_chain_monotone_prefixes(self):
+        """The effective ring is non-decreasing along a chain."""
+        chain = [(2, 1), (0, 4), (3, 0), (7, 2)]
+        rings = [
+            effective_ring_of_chain(0, chain=chain[:i])
+            for i in range(len(chain) + 1)
+        ]
+        assert rings == sorted(rings)
+
+    def test_result_is_max_of_influences(self):
+        chain = [(2, 1), (0, 4), (3, 0)]
+        flat = [2, 1, 0, 4, 3, 0]
+        assert effective_ring_of_chain(1, pr_ring=2, chain=chain) == max(
+            [1, 2] + flat
+        )
+
+    def test_highest_influencer_alias(self):
+        assert highest_influencer(2, pr_ring=3, chain=[(4, 1)]) == 4

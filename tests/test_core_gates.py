@@ -1,0 +1,197 @@
+"""Unit tests for the Figure 8 (CALL) and Figure 9 (RETURN) decisions."""
+
+import itertools
+
+import pytest
+
+from repro.core.gates import (
+    CallOutcome,
+    ReturnOutcome,
+    decide_call,
+    decide_return,
+    gate_ok,
+)
+from repro.core.rings import RingBrackets
+
+
+def call(eff, cur, brackets, execute=True, wordno=0, gates=4, same=False):
+    return decide_call(eff, cur, brackets, execute, wordno, gates, same)
+
+
+def ret(eff, cur, brackets, execute=True):
+    return decide_return(eff, cur, brackets, execute)
+
+
+class TestGateRule:
+    def test_word_inside_gate_list(self):
+        assert gate_ok(0, 3, same_segment=False)
+        assert gate_ok(2, 3, same_segment=False)
+
+    def test_word_outside_gate_list(self):
+        assert not gate_ok(3, 3, same_segment=False)
+
+    def test_empty_gate_list_blocks_everything(self):
+        assert not gate_ok(0, 0, same_segment=False)
+
+    def test_same_segment_bypasses_gate_list(self):
+        """Internal-procedure calls ignore the gate list (paper p. 29)."""
+        assert gate_ok(100, 0, same_segment=True)
+
+
+class TestCallDecision:
+    GATED = RingBrackets(0, 0, 5)      # ring-0 gate segment, callable to 5
+    USER = RingBrackets(4, 4, 4)       # plain ring-4 procedure
+    WIDE = RingBrackets(2, 5, 6)       # wide execute bracket + extension
+
+    def test_same_ring_call(self):
+        decision = call(4, 4, self.USER)
+        assert decision.outcome is CallOutcome.SAME_RING
+        assert decision.new_ring == 4
+        assert decision.proceeds
+
+    def test_downward_call_switches_to_r2(self):
+        """Ring switches down to the top of the execute bracket."""
+        decision = call(4, 4, self.GATED)
+        assert decision.outcome is CallOutcome.DOWNWARD
+        assert decision.new_ring == 0
+
+    def test_downward_call_wide_bracket(self):
+        decision = call(6, 6, self.WIDE)
+        assert decision.outcome is CallOutcome.DOWNWARD
+        assert decision.new_ring == 5
+
+    def test_call_within_wide_bracket_keeps_ring(self):
+        decision = call(3, 3, self.WIDE)
+        assert decision.outcome is CallOutcome.SAME_RING
+        assert decision.new_ring == 3
+
+    def test_upward_call_traps(self):
+        """Calls from below the execute bracket need software (p. 22)."""
+        decision = call(1, 1, self.WIDE)
+        assert decision.outcome is CallOutcome.TRAP_UPWARD_CALL
+        assert not decision.proceeds
+        assert decision.new_ring is None
+
+    def test_no_execute_flag(self):
+        decision = call(4, 4, self.USER, execute=False)
+        assert decision.outcome is CallOutcome.FAULT_NO_EXECUTE
+
+    def test_above_gate_extension(self):
+        decision = call(6, 6, self.GATED)
+        assert decision.outcome is CallOutcome.FAULT_OUTSIDE_BRACKET
+
+    def test_exactly_top_of_gate_extension_allowed(self):
+        decision = call(5, 5, self.GATED)
+        assert decision.outcome is CallOutcome.DOWNWARD
+
+    def test_not_a_gate(self):
+        decision = call(4, 4, self.GATED, wordno=10, gates=3)
+        assert decision.outcome is CallOutcome.FAULT_NOT_GATE
+
+    def test_gate_required_even_same_ring(self):
+        """An inter-segment CALL must hit a gate even without a ring
+        change (accidental-entry protection, paper p. 29)."""
+        decision = call(4, 4, self.USER, wordno=10, gates=3)
+        assert decision.outcome is CallOutcome.FAULT_NOT_GATE
+
+    def test_same_segment_ignores_gates(self):
+        decision = call(4, 4, self.USER, wordno=10, gates=0, same=True)
+        assert decision.outcome is CallOutcome.SAME_RING
+
+    def test_raised_effective_ring_faults(self):
+        """Paper p. 30: effective ring above the ring of execution is an
+        access violation even when the execute bracket would admit it."""
+        decision = call(4, 3, RingBrackets(3, 4, 5))
+        assert decision.outcome is CallOutcome.FAULT_RING_RAISED
+
+    def test_raised_effective_ring_beats_gate_check(self):
+        decision = call(5, 2, self.GATED, wordno=10, gates=3)
+        assert decision.outcome is CallOutcome.FAULT_RING_RAISED
+
+    def test_execute_flag_checked_first(self):
+        decision = call(5, 2, self.GATED, execute=False)
+        assert decision.outcome is CallOutcome.FAULT_NO_EXECUTE
+
+    def test_gate_checked_before_upward_trap(self):
+        """An upward call must still be aimed at a gate; the gate check
+        precedes the trap so software never sees a non-gate target."""
+        decision = call(1, 1, self.WIDE, wordno=10, gates=3)
+        assert decision.outcome is CallOutcome.FAULT_NOT_GATE
+
+    def test_ring0_caller_into_gate_segment(self):
+        decision = call(0, 0, self.GATED)
+        assert decision.outcome is CallOutcome.SAME_RING
+        assert decision.new_ring == 0
+
+    def test_every_proceeding_call_lands_in_execute_bracket(self):
+        """Whatever the inputs, a completed CALL executes the target in
+        a ring within its execute bracket."""
+        for r1, r2, r3 in itertools.combinations_with_replacement(range(8), 3):
+            brackets = RingBrackets(r1, r2, r3)
+            for eff in range(8):
+                decision = call(eff, eff, brackets)
+                if decision.proceeds:
+                    assert brackets.execute_allowed(decision.new_ring)
+
+    def test_proceeding_call_never_raises_ring(self):
+        """A completed CALL never moves to a higher-numbered ring."""
+        for r1, r2, r3 in itertools.combinations_with_replacement(range(8), 3):
+            brackets = RingBrackets(r1, r2, r3)
+            for eff in range(8):
+                decision = call(eff, eff, brackets)
+                if decision.proceeds:
+                    assert decision.new_ring <= eff
+
+
+class TestReturnDecision:
+    USER = RingBrackets(4, 4, 4)
+    WIDE = RingBrackets(2, 5, 6)
+
+    def test_same_ring_return(self):
+        decision = ret(4, 4, self.USER)
+        assert decision.outcome is ReturnOutcome.SAME_RING
+        assert decision.new_ring == 4
+
+    def test_upward_return(self):
+        decision = ret(4, 0, self.USER)
+        assert decision.outcome is ReturnOutcome.UPWARD
+        assert decision.new_ring == 4
+
+    def test_downward_return_traps(self):
+        decision = ret(2, 5, self.WIDE)
+        assert decision.outcome is ReturnOutcome.TRAP_DOWNWARD_RETURN
+
+    def test_no_execute_flag(self):
+        decision = ret(4, 4, self.USER, execute=False)
+        assert decision.outcome is ReturnOutcome.FAULT_NO_EXECUTE
+
+    def test_destination_below_execute_bracket(self):
+        decision = ret(1, 1, self.WIDE)
+        assert decision.outcome is ReturnOutcome.FAULT_EXECUTE_BRACKET
+
+    def test_destination_above_execute_bracket(self):
+        decision = ret(6, 4, self.WIDE)
+        assert decision.outcome is ReturnOutcome.FAULT_EXECUTE_BRACKET
+
+    def test_return_into_wide_bracket_from_below(self):
+        decision = ret(3, 0, self.WIDE)
+        assert decision.outcome is ReturnOutcome.UPWARD
+        assert decision.new_ring == 3
+
+    def test_proceeding_return_never_lowers_ring(self):
+        """Paper p. 34: the RETURN is guaranteed to reach the caller's
+        ring or higher, never lower."""
+        for r1, r2, r3 in itertools.combinations_with_replacement(range(8), 3):
+            brackets = RingBrackets(r1, r2, r3)
+            for cur in range(8):
+                for eff in range(cur, 8):
+                    decision = ret(eff, cur, brackets)
+                    if decision.proceeds:
+                        assert decision.new_ring >= cur
+
+    def test_return_decision_total_over_reachable_space(self):
+        """Every (eff >= cur) input yields a defined outcome."""
+        for cur in range(8):
+            for eff in range(cur, 8):
+                decision = ret(eff, cur, self.WIDE)
+                assert decision.outcome is not None

@@ -1,0 +1,170 @@
+"""Unit tests for effective-address formation (Figure 5) on live hardware."""
+
+import pytest
+
+from repro.cpu.address import MAX_INDIRECTION, form_effective_address
+from repro.cpu.faults import Fault, FaultCode
+from repro.formats.instruction import Instruction
+
+from tests.helpers import BareMachine, ind_word
+
+
+def make_inst(offset=0, indirect=False, pr=None, indexed=False):
+    from repro.formats.instruction import TAG_INDEX_A, TAG_NONE
+
+    return Instruction(
+        opcode=0o010,  # LDA; the EA unit ignores the opcode
+        offset=offset,
+        indirect=indirect,
+        prflag=pr is not None,
+        prnum=pr or 0,
+        tag=TAG_INDEX_A if indexed else TAG_NONE,
+    )
+
+
+@pytest.fixture
+def bm():
+    machine = BareMachine()
+    machine.add_code(8, [0] * 16, ring=4)   # the "executing" segment
+    machine.add_data(9, [0] * 16, ring=7)   # a data segment
+    machine.start(8, 0, ring=4)
+    return machine
+
+
+class TestDirectAddressing:
+    def test_offset_in_executing_segment(self, bm):
+        tpr = form_effective_address(bm.proc, make_inst(offset=5))
+        assert (tpr.segno, tpr.wordno, tpr.ring) == (8, 5, 4)
+
+    def test_ring_starts_at_ring_of_execution(self, bm):
+        bm.start(8, 0, ring=2)
+        tpr = form_effective_address(bm.proc, make_inst(offset=0))
+        assert tpr.ring == 2
+
+    def test_indexed_adds_a_low_half(self, bm):
+        bm.regs.set_a(3)
+        tpr = form_effective_address(bm.proc, make_inst(offset=5, indexed=True))
+        assert tpr.wordno == 8
+
+    def test_indexed_wraps_18_bits(self, bm):
+        bm.regs.set_a((1 << 18) - 1)
+        tpr = form_effective_address(bm.proc, make_inst(offset=2, indexed=True))
+        assert tpr.wordno == 1
+
+
+class TestPRRelative:
+    def test_segno_and_offset_from_pr(self, bm):
+        bm.regs.pr(3).load(9, 10, 4)
+        tpr = form_effective_address(bm.proc, make_inst(offset=2, pr=3))
+        assert (tpr.segno, tpr.wordno) == (9, 12)
+
+    def test_pr_ring_raises_effective_ring(self, bm):
+        """The heart of argument validation: PRn.RING forces validation
+        at the higher ring (paper p. 26)."""
+        bm.regs.pr(3).load(9, 0, 6)
+        tpr = form_effective_address(bm.proc, make_inst(pr=3))
+        assert tpr.ring == 6
+
+    def test_pr_ring_below_current_does_not_lower(self, bm):
+        bm.start(8, 0, ring=4)
+        bm.regs.pr(3).load(9, 0, 4)
+        bm.regs.pr(3).ring = 0  # forged low ring (not reachable via EAP)
+        tpr = form_effective_address(bm.proc, make_inst(pr=3))
+        assert tpr.ring == 4
+
+    def test_pr_wordno_wraps(self, bm):
+        bm.regs.pr(1).load(9, (1 << 18) - 1, 4)
+        tpr = form_effective_address(bm.proc, make_inst(offset=2, pr=1))
+        assert tpr.wordno == 1
+
+
+class TestIndirection:
+    def test_single_indirect(self, bm):
+        bm.memory.load_image(
+            bm.dseg.get(8).addr + 5, [ind_word(9, 7, ring=0)]
+        )
+        tpr = form_effective_address(bm.proc, make_inst(offset=5, indirect=True))
+        assert (tpr.segno, tpr.wordno) == (9, 7)
+
+    def test_indirect_ring_field_raises(self, bm):
+        bm.memory.load_image(bm.dseg.get(8).addr + 5, [ind_word(9, 7, ring=6)])
+        tpr = form_effective_address(bm.proc, make_inst(offset=5, indirect=True))
+        assert tpr.ring == 6
+
+    def test_holder_write_top_raises(self, bm):
+        """SDW.R1 of the segment holding the indirect word joins the
+        max — the highest ring that could have written it."""
+        bm.add_data(10, [ind_word(9, 3, ring=0)], ring=6)  # r1 = 6
+        bm.regs.pr(2).load(10, 0, 4)
+        tpr = form_effective_address(
+            bm.proc, make_inst(offset=0, pr=2, indirect=True)
+        )
+        assert tpr.ring == 6
+
+    def test_chained_indirection(self, bm):
+        base8 = bm.dseg.get(8).addr
+        base9 = bm.dseg.get(9).addr
+        bm.memory.load_image(base8 + 5, [ind_word(9, 2, ring=0, chained=True)])
+        bm.memory.load_image(base9 + 2, [ind_word(9, 11, ring=0)])
+        tpr = form_effective_address(bm.proc, make_inst(offset=5, indirect=True))
+        assert (tpr.segno, tpr.wordno) == (9, 11)
+
+    def test_ring_accumulates_along_chain(self, bm):
+        base8 = bm.dseg.get(8).addr
+        base9 = bm.dseg.get(9).addr
+        bm.memory.load_image(base8 + 5, [ind_word(9, 2, ring=5, chained=True)])
+        bm.memory.load_image(base9 + 2, [ind_word(9, 11, ring=3)])
+        tpr = form_effective_address(bm.proc, make_inst(offset=5, indirect=True))
+        # max(4, 5 from first hop, 7 = R1 of segment 9, 3) = 7
+        assert tpr.ring == 7
+
+    def test_indirect_word_fetch_is_validated_read(self, bm):
+        """Paper p. 27: retrieval of an indirect word is validated at the
+        TPR.RING in force when it is encountered."""
+        bm.add_data(11, [ind_word(9, 0)], ring=2)  # readable only to ring 2
+        bm.regs.pr(2).load(11, 0, 4)
+        with pytest.raises(Fault) as excinfo:
+            form_effective_address(
+                bm.proc, make_inst(offset=0, pr=2, indirect=True)
+            )
+        assert excinfo.value.code is FaultCode.ACV_READ_BRACKET
+
+    def test_indirect_through_unreadable_segment(self, bm):
+        bm.add_segment(12, [ind_word(9, 0)], read=False)
+        bm.memory.load_image(bm.dseg.get(8).addr + 5, [ind_word(12, 0, chained=False)])
+        # hop 1 lands on segment 12 directly:
+        bm.regs.pr(2).load(12, 0, 4)
+        with pytest.raises(Fault) as excinfo:
+            form_effective_address(
+                bm.proc, make_inst(offset=0, pr=2, indirect=True)
+            )
+        assert excinfo.value.code is FaultCode.ACV_NO_READ
+
+    def test_indirection_loop_faults(self, bm):
+        base9 = bm.dseg.get(9).addr
+        bm.memory.load_image(base9 + 0, [ind_word(9, 0, chained=True)])
+        bm.regs.pr(2).load(9, 0, 4)
+        with pytest.raises(Fault) as excinfo:
+            form_effective_address(
+                bm.proc, make_inst(offset=0, pr=2, indirect=True)
+            )
+        assert excinfo.value.code is FaultCode.ILLEGAL_OPCODE
+        assert str(MAX_INDIRECTION) in excinfo.value.detail
+
+    def test_indirect_out_of_bounds(self, bm):
+        bm.regs.pr(2).load(9, 100, 4)  # beyond bound 16
+        with pytest.raises(Fault) as excinfo:
+            form_effective_address(
+                bm.proc, make_inst(offset=0, pr=2, indirect=True)
+            )
+        assert excinfo.value.code is FaultCode.ACV_OUT_OF_BOUNDS
+
+    def test_effective_ring_never_below_current(self, bm):
+        """Machine-level restatement of the Figure 5 invariant."""
+        base8 = bm.dseg.get(8).addr
+        bm.memory.load_image(base8 + 5, [ind_word(9, 0, ring=0)])
+        for ring in range(8):
+            bm.start(8, 0, ring=ring)
+            # direct
+            tpr = form_effective_address(bm.proc, make_inst(offset=1))
+            assert tpr.ring >= ring

@@ -1,0 +1,337 @@
+"""Hardware CALL (Figure 8) and RETURN (Figure 9) on the live machine.
+
+The test programs are hand-packed instruction words running on a bare
+machine; every ring transition and fault is observed directly.
+"""
+
+import pytest
+
+from repro.cpu.faults import Fault, FaultCode
+from repro.cpu.isa import Op
+from repro.cpu.registers import STACK_BASE_PR
+
+from tests.helpers import BareMachine, asm_inst, halt_word, ind_word
+
+
+@pytest.fixture
+def bm():
+    machine = BareMachine()
+    # per-ring stacks at segnos 0..7, matching DBR.STACK = 0
+    for ring in range(8):
+        machine.add_segment(
+            ring, size=64, r1=ring, r2=ring, r3=ring,
+            read=True, write=True, execute=False,
+        )
+    return machine
+
+
+def load(bm, segno, words):
+    bm.memory.load_image(bm.dseg.get(segno).addr, list(words))
+
+
+class TestSameRingCall:
+    def _setup(self, bm):
+        # segment 8: caller in ring 4; segment 9: gated same-ring callee
+        bm.add_code(8, [0] * 8, ring=4)
+        bm.add_code(9, [0] * 8, ring=4, gate=1)
+        load(bm, 9, [asm_inst(Op.RETURN, offset=0, pr=4), halt_word()])
+        load(
+            bm,
+            8,
+            [
+                asm_inst(Op.EAP4, offset=2),          # PR4 := return point
+                asm_inst(Op.CALL, offset=4, indirect=True),
+                halt_word(),                           # return lands here
+                0,
+                ind_word(9, 0),                        # link to callee gate
+            ],
+        )
+
+    def test_call_and_return(self, bm):
+        self._setup(bm)
+        bm.start(8, 0, ring=4)
+        bm.run()
+        assert bm.proc.halted
+        assert bm.regs.ipr.ring == 4
+
+    def test_no_ring_crossing_recorded(self, bm):
+        self._setup(bm)
+        bm.start(8, 0, ring=4)
+        bm.run()
+        assert bm.proc.stats.ring_crossings == 0
+        assert bm.proc.stats.calls == 1
+        assert bm.proc.stats.returns == 1
+
+    def test_pr0_points_at_stack_base(self, bm):
+        """CALL generates the stack-base pointer in PR0 (paper p. 30)."""
+        self._setup(bm)
+        # stop inside the callee: replace its RETURN with HALT
+        load(bm, 9, [halt_word()])
+        bm.start(8, 0, ring=4)
+        bm.run()
+        pr0 = bm.regs.pr(STACK_BASE_PR)
+        assert (pr0.segno, pr0.wordno, pr0.ring) == (4, 0, 4)
+
+    def test_crr_records_caller_ring(self, bm):
+        self._setup(bm)
+        load(bm, 9, [halt_word()])
+        bm.start(8, 0, ring=4)
+        bm.regs.crr = 7  # noise
+        bm.run()
+        assert bm.regs.crr == 4
+
+
+class TestDownwardCall:
+    def _setup(self, bm, gate_wordno=0):
+        # segment 8: ring-4 caller; segment 9: ring-0 gates ext to 5
+        bm.add_code(8, [0] * 8, ring=4)
+        bm.add_code(9, [0] * 8, ring=0, r3=5, gate=2)
+        load(
+            bm,
+            9,
+            [
+                asm_inst(Op.LDCR),                     # A := caller ring
+                asm_inst(Op.RETURN, offset=0, pr=4),
+            ],
+        )
+        load(
+            bm,
+            8,
+            [
+                asm_inst(Op.EAP4, offset=2),
+                asm_inst(Op.CALL, offset=4, indirect=True),
+                halt_word(),
+                0,
+                ind_word(9, gate_wordno),
+            ],
+        )
+
+    def test_ring_switches_down_to_r2(self, bm):
+        self._setup(bm)
+        load(bm, 9, [halt_word()])
+        bm.start(8, 0, ring=4)
+        bm.run()
+        assert bm.regs.ipr.ring == 0
+
+    def test_call_return_roundtrip_restores_ring(self, bm):
+        self._setup(bm)
+        bm.start(8, 0, ring=4)
+        bm.run()
+        assert bm.proc.halted
+        assert bm.regs.ipr.ring == 4
+        assert bm.regs.a == 4  # LDCR saw the caller's ring
+
+    def test_two_crossings_counted(self, bm):
+        self._setup(bm)
+        bm.start(8, 0, ring=4)
+        bm.run()
+        assert bm.proc.stats.ring_crossings == 2
+
+    def test_pr0_names_ring0_stack(self, bm):
+        self._setup(bm)
+        load(bm, 9, [halt_word()])
+        bm.start(8, 0, ring=4)
+        bm.run()
+        pr0 = bm.regs.pr(STACK_BASE_PR)
+        assert (pr0.segno, pr0.ring) == (0, 0)
+
+    def test_non_gate_word_refused(self, bm):
+        self._setup(bm, gate_wordno=5)  # beyond SDW.GATE = 2
+        bm.start(8, 0, ring=4)
+        with pytest.raises(Fault) as excinfo:
+            bm.run()
+        assert excinfo.value.code is FaultCode.ACV_NOT_GATE
+
+    def test_caller_above_gate_extension_refused(self, bm):
+        self._setup(bm)
+        bm.add_code(10, [0] * 8, ring=6)
+        load(
+            bm,
+            10,
+            [
+                asm_inst(Op.EAP4, offset=2),
+                asm_inst(Op.CALL, offset=4, indirect=True),
+                halt_word(),
+                0,
+                ind_word(9, 0),
+            ],
+        )
+        bm.start(10, 0, ring=6)
+        with pytest.raises(Fault) as excinfo:
+            bm.run()
+        assert excinfo.value.code is FaultCode.ACV_OUTSIDE_CALL_BRACKET
+
+    def test_raised_effective_ring_refused(self, bm):
+        """A CALL whose link was influenced by a higher ring faults
+        (paper p. 30)."""
+        self._setup(bm)
+        # poison the link word's RING field with 6
+        base8 = bm.dseg.get(8).addr
+        bm.memory.load_image(base8 + 4, [ind_word(9, 0, ring=6)])
+        bm.start(8, 0, ring=4)
+        with pytest.raises(Fault) as excinfo:
+            bm.run()
+        assert excinfo.value.code is FaultCode.ACV_RING_RAISED
+
+    def test_upward_call_traps_without_supervisor(self, bm):
+        bm.add_code(8, [0] * 8, ring=4)
+        bm.add_code(11, [halt_word()], ring=6, gate=1)
+        load(
+            bm,
+            8,
+            [
+                asm_inst(Op.EAP4, offset=2),
+                asm_inst(Op.CALL, offset=4, indirect=True),
+                halt_word(),
+                0,
+                ind_word(11, 0),
+            ],
+        )
+        bm.start(8, 0, ring=4)
+        with pytest.raises(Fault) as excinfo:
+            bm.run()
+        assert excinfo.value.code is FaultCode.TRAP_UPWARD_CALL
+
+    def test_call_to_internal_procedure_ignores_gates(self, bm):
+        """A CALL whose operand is in the executing segment bypasses the
+        gate list (paper p. 29)."""
+        bm.add_code(8, [0] * 8, ring=4, gate=1)  # only word 0 is a gate
+        load(
+            bm,
+            8,
+            [
+                asm_inst(Op.EAP4, offset=2),
+                asm_inst(Op.CALL, offset=3),        # direct, same segment
+                halt_word(),
+                asm_inst(Op.RETURN, offset=0, pr=4),  # word 3: not a gate
+            ],
+        )
+        bm.start(8, 0, ring=4)
+        bm.run()
+        assert bm.proc.halted
+
+
+class TestReturn:
+    def test_upward_return_raises_all_pr_rings(self, bm):
+        """Figure 9: on an upward return every PRn.RING is raised to the
+        new ring, preserving the machine invariant."""
+        bm.add_code(8, [0] * 8, ring=4)       # ring-4 code
+        bm.add_code(9, [0] * 8, ring=0, r3=5, gate=1)
+        load(bm, 9, [asm_inst(Op.RETURN, offset=0, pr=4)])
+        load(
+            bm,
+            8,
+            [
+                asm_inst(Op.EAP4, offset=2),
+                asm_inst(Op.CALL, offset=4, indirect=True),
+                halt_word(),
+                0,
+                ind_word(9, 0),
+            ],
+        )
+        bm.start(8, 0, ring=4)
+        bm.run()
+        assert all(pr.ring >= 4 for pr in bm.regs.prs)
+        assert bm.regs.check_ring_invariant()
+
+    def test_return_cannot_reach_lower_ring_than_caller(self, bm):
+        """The RETURN's effective ring comes through PR4, whose RING is
+        invariant-protected: a callee cannot forge a return to ring 0."""
+        bm.add_code(8, [0] * 8, ring=4)
+        bm.add_code(9, [0] * 8, ring=0, r3=5, gate=1)
+        # the callee tries to 'return' directly to its own gate segment
+        # at effective ring 0 via a direct address — but its own RETURN
+        # target must be executable at the effective ring >= caller ring
+        load(bm, 9, [asm_inst(Op.RETURN, offset=0, pr=4)])
+        load(
+            bm,
+            8,
+            [
+                asm_inst(Op.EAP4, offset=2),
+                asm_inst(Op.CALL, offset=4, indirect=True),
+                halt_word(),
+                0,
+                ind_word(9, 0),
+            ],
+        )
+        bm.start(8, 0, ring=4)
+        bm.run()
+        # the return went to ring 4 (the caller's), never lower
+        assert bm.regs.ipr.ring == 4
+
+    def test_return_to_non_executable_target_faults(self, bm):
+        bm.add_code(8, [0] * 8, ring=4)
+        load(bm, 8, [asm_inst(Op.RETURN, offset=0, pr=4), halt_word()])
+        bm.start(8, 0, ring=4)
+        bm.regs.pr(4).load(3, 0, 4)  # stack segment 3: not executable
+        with pytest.raises(Fault) as excinfo:
+            bm.run()
+        assert excinfo.value.code is FaultCode.ACV_NO_EXECUTE
+
+    def test_return_outside_execute_bracket_faults(self, bm):
+        bm.add_code(8, [0] * 8, ring=4)
+        bm.add_code(9, [halt_word()], ring=0)  # executable only in ring 0
+        load(bm, 8, [asm_inst(Op.RETURN, offset=0, pr=4), halt_word()])
+        bm.start(8, 0, ring=4)
+        bm.regs.pr(4).load(9, 0, 4)
+        with pytest.raises(Fault) as excinfo:
+            bm.run()
+        assert excinfo.value.code is FaultCode.ACV_EXECUTE_BRACKET
+
+    def test_same_ring_return_direct(self, bm):
+        bm.add_code(8, [0] * 8, ring=4)
+        load(
+            bm,
+            8,
+            [
+                asm_inst(Op.EAP4, offset=2),
+                asm_inst(Op.RETURN, offset=0, pr=4),  # "return" to word 2
+                halt_word(),
+            ],
+        )
+        bm.start(8, 0, ring=4)
+        bm.run()
+        assert bm.proc.halted
+
+    def test_nested_downward_calls_return_in_order(self, bm):
+        """ring 4 -> ring 2 -> ring 0, then back out 0 -> 2 -> 4.
+
+        Each callee saves PR4 in its own stack before calling deeper and
+        restores it with EAP through the saved indirect word — the
+        paper's standard convention."""
+        bm.add_code(8, [0] * 8, ring=4)                 # caller, ring 4
+        bm.add_code(9, [0] * 16, ring=2, r3=5, gate=1)  # middle, ring 2
+        bm.add_code(10, [0] * 8, ring=0, r3=3, gate=1)  # inner, ring 0
+        load(
+            bm,
+            8,
+            [
+                asm_inst(Op.EAP4, offset=2),
+                asm_inst(Op.CALL, offset=4, indirect=True),
+                halt_word(),
+                0,
+                ind_word(9, 0),
+            ],
+        )
+        load(
+            bm,
+            9,
+            [
+                # gate: grab my stack base before deeper calls clobber PR0
+                asm_inst(Op.EAP6, offset=0, pr=0),       # PR6 := PR0
+                asm_inst(Op.SPR4, offset=1, pr=6),       # save return ptr
+                asm_inst(Op.EAP4, offset=5),             # return point below
+                asm_inst(Op.CALL, offset=7, indirect=True),
+                halt_word(),
+                # word 5: restore PR4 and return to ring 4
+                asm_inst(Op.EAP4, offset=1, pr=6, indirect=True),
+                asm_inst(Op.RETURN, offset=0, pr=4),
+                ind_word(10, 0),                          # word 7: link
+            ],
+        )
+        load(bm, 10, [asm_inst(Op.RETURN, offset=0, pr=4)])
+        bm.start(8, 0, ring=4)
+        bm.run()
+        assert bm.proc.halted
+        assert bm.regs.ipr.ring == 4
+        assert bm.proc.stats.ring_crossings == 4

@@ -1,0 +1,343 @@
+"""Unit tests for the instruction implementations (operand groups)."""
+
+import pytest
+
+from repro.cpu.faults import Fault, FaultCode
+from repro.cpu.isa import Op
+from repro.errors import MachineHalted
+from repro.formats.pointerfmt import PackedPointer
+
+from tests.helpers import BareMachine, asm_inst, halt_word, ind_word
+
+
+def run_one(bm, word, ring=4, segno=8, extra=None):
+    """Place one instruction (plus HALT) in segment ``segno`` and run it.
+
+    Leaves pointer registers and CRR untouched so tests can pre-load
+    them; only the IPR is pointed at the instruction.
+    """
+    base = bm.dseg.get(segno).addr
+    bm.memory.load_image(base, [word, halt_word()] + (extra or []))
+    bm.regs.ipr.set(ring, segno, 0)
+    with pytest.raises(MachineHalted):
+        while True:
+            bm.step()
+
+
+@pytest.fixture
+def bm():
+    machine = BareMachine()
+    machine.add_code(8, [0] * 32, ring=4)
+    machine.add_data(9, [100, 200, 300, 0, 0, 0], ring=7)
+    machine.start(8, 0, ring=4)
+    return machine
+
+
+class TestReadGroup:
+    def test_lda_immediate(self, bm):
+        run_one(bm, asm_inst(Op.LDA, offset=42, immediate=True))
+        assert bm.regs.a == 42
+
+    def test_lda_memory(self, bm):
+        bm.regs.pr(1).load(9, 0, 4)
+        run_one(bm, asm_inst(Op.LDA, offset=1, pr=1))
+        assert bm.regs.a == 200
+
+    def test_ldq(self, bm):
+        bm.regs.pr(1).load(9, 2, 4)
+        run_one(bm, asm_inst(Op.LDQ, offset=0, pr=1))
+        assert bm.regs.q == 300
+
+    def test_ada(self, bm):
+        bm.regs.set_a(1)
+        run_one(bm, asm_inst(Op.ADA, offset=41, immediate=True))
+        assert bm.regs.a == 42
+
+    def test_ada_wraps(self, bm):
+        bm.regs.set_a(2**36 - 1)
+        run_one(bm, asm_inst(Op.ADA, offset=1, immediate=True))
+        assert bm.regs.a == 0
+
+    def test_sba(self, bm):
+        bm.regs.set_a(50)
+        run_one(bm, asm_inst(Op.SBA, offset=8, immediate=True))
+        assert bm.regs.a == 42
+
+    def test_sba_borrows(self, bm):
+        bm.regs.set_a(0)
+        run_one(bm, asm_inst(Op.SBA, offset=1, immediate=True))
+        assert bm.regs.a == 2**36 - 1
+
+    def test_ana_ora_era(self, bm):
+        bm.regs.set_a(0b1100)
+        run_one(bm, asm_inst(Op.ANA, offset=0b1010, immediate=True))
+        assert bm.regs.a == 0b1000
+        bm.regs.set_a(0b1100)
+        run_one(bm, asm_inst(Op.ORA, offset=0b1010, immediate=True))
+        assert bm.regs.a == 0b1110
+        bm.regs.set_a(0b1100)
+        run_one(bm, asm_inst(Op.ERA, offset=0b1010, immediate=True))
+        assert bm.regs.a == 0b0110
+
+    def test_read_requires_read_flag(self, bm):
+        bm.add_segment(10, [5], read=False)
+        bm.regs.pr(1).load(10, 0, 4)
+        with pytest.raises(Fault) as excinfo:
+            run_one(bm, asm_inst(Op.LDA, offset=0, pr=1))
+        assert excinfo.value.code is FaultCode.ACV_NO_READ
+
+    def test_read_validated_at_effective_ring(self, bm):
+        bm.add_data(10, [5], ring=3)  # readable only to ring 3
+        bm.regs.pr(1).load(10, 0, 4)  # but the pointer carries ring 4
+        with pytest.raises(Fault) as excinfo:
+            run_one(bm, asm_inst(Op.LDA, offset=0, pr=1))
+        assert excinfo.value.code is FaultCode.ACV_READ_BRACKET
+
+
+class TestWriteGroup:
+    def test_sta(self, bm):
+        bm.regs.set_a(77)
+        bm.regs.pr(1).load(9, 3, 4)
+        run_one(bm, asm_inst(Op.STA, offset=0, pr=1))
+        assert bm.seg_word(9, 3) == 77
+
+    def test_stq(self, bm):
+        bm.regs.set_q(88)
+        bm.regs.pr(1).load(9, 4, 4)
+        run_one(bm, asm_inst(Op.STQ, offset=0, pr=1))
+        assert bm.seg_word(9, 4) == 88
+
+    def test_stz(self, bm):
+        bm.regs.pr(1).load(9, 0, 4)
+        run_one(bm, asm_inst(Op.STZ, offset=0, pr=1))
+        assert bm.seg_word(9, 0) == 0
+
+    def test_aos_increments(self, bm):
+        bm.regs.pr(1).load(9, 1, 4)
+        run_one(bm, asm_inst(Op.AOS, offset=0, pr=1))
+        assert bm.seg_word(9, 1) == 201
+
+    def test_write_requires_write_flag(self, bm):
+        bm.add_segment(10, [0], write=False)
+        bm.regs.pr(1).load(10, 0, 4)
+        with pytest.raises(Fault) as excinfo:
+            run_one(bm, asm_inst(Op.STA, offset=0, pr=1))
+        assert excinfo.value.code is FaultCode.ACV_NO_WRITE
+
+    def test_write_validated_at_effective_ring(self, bm):
+        bm.add_data(10, [0], ring=3)
+        bm.regs.pr(1).load(10, 0, 4)
+        with pytest.raises(Fault) as excinfo:
+            run_one(bm, asm_inst(Op.STA, offset=0, pr=1))
+        assert excinfo.value.code is FaultCode.ACV_WRITE_BRACKET
+
+    def test_aos_needs_both_permissions(self, bm):
+        bm.add_segment(10, [0], read=False, write=True)
+        bm.regs.pr(1).load(10, 0, 4)
+        with pytest.raises(Fault) as excinfo:
+            run_one(bm, asm_inst(Op.AOS, offset=0, pr=1))
+        assert excinfo.value.code is FaultCode.ACV_NO_READ
+
+    def test_spr_stores_pointer_as_indirect_word(self, bm):
+        bm.regs.pr(2).load(9, 5, 6)
+        bm.regs.pr(1).load(9, 0, 4)
+        run_one(bm, asm_inst(Op.SPR2, offset=0, pr=1))
+        stored = PackedPointer.unpack(bm.seg_word(9, 0))
+        assert (stored.segno, stored.wordno, stored.ring) == (9, 5, 6)
+
+
+class TestEAPGroup:
+    def test_eap_loads_from_tpr(self, bm):
+        run_one(bm, asm_inst(Op.EAP3, offset=7))
+        pr = bm.regs.pr(3)
+        assert (pr.segno, pr.wordno, pr.ring) == (8, 7, 4)
+
+    def test_eap_needs_no_access(self, bm):
+        """EAP performs no validation — the target may be unreadable."""
+        bm.add_segment(10, [0], read=False, write=False, execute=False)
+        bm.regs.pr(1).load(10, 3, 4)
+        run_one(bm, asm_inst(Op.EAP2, offset=0, pr=1))
+        assert bm.regs.pr(2).segno == 10
+
+    def test_eap_transfers_effective_ring(self, bm):
+        bm.regs.pr(1).load(9, 0, 6)
+        run_one(bm, asm_inst(Op.EAP2, offset=0, pr=1))
+        assert bm.regs.pr(2).ring == 6
+
+    def test_eap_through_indirect_word_takes_its_ring(self, bm):
+        """Re-basing an argument pointer preserves the validation ring
+        (paper p. 33)."""
+        # the pointer lives in a segment writable only up to ring 4, so
+        # only the indirect word's own RING field (5) raises the level
+        bm.add_data(11, [ind_word(9, 1, ring=5)], ring=4)
+        bm.regs.pr(1).load(11, 0, 4)
+        run_one(bm, asm_inst(Op.EAP2, offset=0, pr=1, indirect=True))
+        pr = bm.regs.pr(2)
+        assert (pr.segno, pr.wordno, pr.ring) == (9, 1, 5)
+
+    def test_eap_immediate_is_illegal(self, bm):
+        with pytest.raises(Fault) as excinfo:
+            run_one(bm, asm_inst(Op.EAP0, offset=1, immediate=True))
+        assert excinfo.value.code is FaultCode.ILLEGAL_OPCODE
+
+
+class TestMiscellany:
+    def test_nop(self, bm):
+        run_one(bm, asm_inst(Op.NOP))
+
+    def test_halt_raises_machine_halted(self, bm):
+        base = bm.dseg.get(8).addr
+        bm.memory.load_image(base, [halt_word()])
+        bm.start(8, 0, ring=4)
+        with pytest.raises(MachineHalted):
+            bm.step()
+
+    def test_ldcr_reads_caller_ring_register(self, bm):
+        bm.regs.crr = 6
+        run_one(bm, asm_inst(Op.LDCR))
+        assert bm.regs.a == 6
+
+    def test_ars(self, bm):
+        bm.regs.set_a(0b1100)
+        run_one(bm, asm_inst(Op.ARS, offset=2))
+        assert bm.regs.a == 0b11
+
+    def test_als_drops_high_bits(self, bm):
+        bm.regs.set_a(1 << 35)
+        run_one(bm, asm_inst(Op.ALS, offset=1))
+        assert bm.regs.a == 0
+
+    def test_illegal_opcode_faults(self, bm):
+        from repro.formats.instruction import Instruction
+
+        with pytest.raises(Fault) as excinfo:
+            run_one(bm, Instruction(opcode=0o777).pack())
+        assert excinfo.value.code is FaultCode.ILLEGAL_OPCODE
+
+
+class TestPlainTransfers:
+    def test_tra(self, bm):
+        base = bm.dseg.get(8).addr
+        bm.memory.load_image(
+            base,
+            [
+                asm_inst(Op.TRA, offset=3),
+                halt_word(),  # skipped
+                halt_word(),  # skipped
+                asm_inst(Op.LDA, offset=9, immediate=True),
+                halt_word(),
+            ],
+        )
+        bm.start(8, 0, ring=4)
+        bm.run()
+        assert bm.proc.halted
+        assert bm.regs.a == 9
+
+    def test_tze_taken_and_not_taken(self, bm):
+        base = bm.dseg.get(8).addr
+        program = [
+            asm_inst(Op.TZE, offset=3),
+            asm_inst(Op.LDA, offset=1, immediate=True),
+            halt_word(),
+            asm_inst(Op.LDA, offset=2, immediate=True),
+            halt_word(),
+        ]
+        bm.memory.load_image(base, program)
+        bm.regs.set_a(0)
+        bm.start(8, 0, ring=4)
+        bm.run()
+        assert bm.proc.halted
+        assert bm.regs.a == 2  # branch taken
+
+        bm.regs.set_a(5)
+        bm.start(8, 0, ring=4)
+        bm.run()
+        assert bm.proc.halted
+        assert bm.regs.a == 1  # branch not taken
+
+    def test_tnz(self, bm):
+        base = bm.dseg.get(8).addr
+        bm.memory.load_image(
+            base,
+            [
+                asm_inst(Op.TNZ, offset=2),
+                halt_word(),
+                asm_inst(Op.LDA, offset=3, immediate=True),
+                halt_word(),
+            ],
+        )
+        bm.regs.set_a(1)
+        bm.start(8, 0, ring=4)
+        bm.run()
+        assert bm.proc.halted
+        assert bm.regs.a == 3
+
+    def test_tmi_tpl(self, bm):
+        base = bm.dseg.get(8).addr
+        bm.memory.load_image(
+            base,
+            [
+                asm_inst(Op.TMI, offset=2),
+                halt_word(),
+                asm_inst(Op.LDA, offset=7, immediate=True),
+                halt_word(),
+            ],
+        )
+        bm.regs.set_a(1 << 35)  # negative
+        bm.start(8, 0, ring=4)
+        bm.run()
+        assert bm.proc.halted
+        assert bm.regs.a == 7
+
+    def test_transfer_to_other_segment_same_ring(self, bm):
+        bm.add_code(10, [asm_inst(Op.LDA, offset=5, immediate=True), halt_word()], ring=4)
+        base = bm.dseg.get(8).addr
+        base10_ptr = ind_word(10, 0)
+        bm.memory.load_image(base, [asm_inst(Op.TRA, offset=2, indirect=True), halt_word(), base10_ptr])
+        bm.start(8, 0, ring=4)
+        bm.run()
+        assert bm.proc.halted
+        assert bm.regs.a == 5
+        assert bm.regs.ipr.segno == 10
+
+    def test_transfer_refuses_ring_change(self, bm):
+        """A plain transfer whose effective ring was raised faults."""
+        bm.add_code(10, [halt_word()], ring=4)
+        base = bm.dseg.get(8).addr
+        bm.memory.load_image(
+            base,
+            [asm_inst(Op.TRA, offset=2, indirect=True), halt_word(), ind_word(10, 0, ring=6)],
+        )
+        bm.start(8, 0, ring=4)
+        with pytest.raises(Fault) as excinfo:
+            bm.run()
+        assert excinfo.value.code is FaultCode.ACV_TRANSFER_RING
+
+    def test_transfer_advance_check_catches_bad_target(self, bm):
+        """The advance check reports the violation at the transfer, not
+        at the subsequent fetch (debuggability, paper p. 28)."""
+        bm.add_data(10, [0], ring=7)  # not executable
+        base = bm.dseg.get(8).addr
+        bm.memory.load_image(
+            base, [asm_inst(Op.TRA, offset=2, indirect=True), halt_word(), ind_word(10, 0)]
+        )
+        bm.start(8, 0, ring=4)
+        with pytest.raises(Fault) as excinfo:
+            bm.run()
+        assert excinfo.value.code is FaultCode.ACV_NO_EXECUTE
+        # fault is attributed to the TRA instruction's location
+        assert excinfo.value.at_segno == 8
+        assert excinfo.value.at_wordno == 0
+
+    def test_not_taken_branch_still_forms_address(self, bm):
+        """EA formation happens regardless of the condition, so a bad
+        pointer in a not-taken branch still faults (hardware realism)."""
+        base = bm.dseg.get(8).addr
+        bm.memory.load_image(
+            base,
+            [asm_inst(Op.TZE, offset=50), halt_word()],  # offset 50 > bound? bound=32
+        )
+        bm.regs.set_a(1)  # condition false
+        bm.start(8, 0, ring=4)
+        bm.run()  # direct offsets are not validated until used
+        assert bm.proc.halted

@@ -1,0 +1,240 @@
+"""Processor-level tests: fetch, traps, privilege, cost accounting."""
+
+import pytest
+
+from repro.cpu.faults import Fault, FaultCode
+from repro.cpu.isa import Op
+from repro.cpu.processor import CostModel, HANDLER_ABORT, HANDLER_RETRY, Processor
+from repro.errors import ConfigurationError, MachineHalted
+from repro.mem.descriptor import DBR
+
+from tests.helpers import BareMachine, asm_inst, halt_word
+
+
+class TestFetch:
+    def test_fetch_outside_execute_bracket(self, bare):
+        bare.add_code(8, [halt_word()], ring=4)
+        bare.start(8, 0, ring=6)
+        with pytest.raises(Fault) as excinfo:
+            bare.step()
+        assert excinfo.value.code is FaultCode.ACV_EXECUTE_BRACKET
+
+    def test_fetch_from_data_segment(self, bare):
+        bare.add_data(9, [halt_word()], ring=7)
+        bare.start(9, 0, ring=4)
+        with pytest.raises(Fault) as excinfo:
+            bare.step()
+        assert excinfo.value.code is FaultCode.ACV_NO_EXECUTE
+
+    def test_fetch_beyond_bound(self, bare):
+        bare.add_code(8, [halt_word()], ring=4)
+        bare.start(8, 5, ring=4)
+        with pytest.raises(Fault) as excinfo:
+            bare.step()
+        assert excinfo.value.code is FaultCode.ACV_OUT_OF_BOUNDS
+
+    def test_fetch_missing_segment(self, bare):
+        bare.start(20, 0, ring=4)
+        with pytest.raises(Fault) as excinfo:
+            bare.step()
+        assert excinfo.value.code is FaultCode.MISSING_SEGMENT
+
+    def test_fetch_above_descriptor_bound(self, bare):
+        bare.start(63, 0, ring=4)  # bound is 64, segno 63 exists (missing)
+        bare.regs.ipr.set(4, 100, 0)
+        with pytest.raises(Fault) as excinfo:
+            bare.step()
+        assert excinfo.value.code is FaultCode.ACV_SEGNO_BOUND
+
+
+class TestPrivilege:
+    def test_privileged_instruction_outside_ring0(self, bare):
+        bare.add_code(8, [asm_inst(Op.CIOC, offset=1, immediate=True)], ring=4)
+        bare.start(8, 0, ring=4)
+        with pytest.raises(Fault) as excinfo:
+            bare.step()
+        assert excinfo.value.code is FaultCode.ACV_PRIVILEGED
+
+    def test_privileged_instruction_in_ring0(self, bare):
+        bare.add_code(
+            8, [asm_inst(Op.CIOC, offset=1, immediate=True), halt_word()], ring=0
+        )
+        seen = []
+        bare.proc.io_handler = lambda proc, word: seen.append(word)
+        bare.start(8, 0, ring=0)
+        bare.run()
+        assert seen == [1]
+
+    def test_ldbr_is_privileged(self, bare):
+        bare.add_code(8, [asm_inst(Op.LDBR, offset=0)], ring=4)
+        bare.start(8, 0, ring=4)
+        with pytest.raises(Fault) as excinfo:
+            bare.step()
+        assert excinfo.value.code is FaultCode.ACV_PRIVILEGED
+
+    def test_rcu_is_privileged(self, bare):
+        bare.add_code(8, [asm_inst(Op.RCU)], ring=4)
+        bare.start(8, 0, ring=4)
+        with pytest.raises(Fault) as excinfo:
+            bare.step()
+        assert excinfo.value.code is FaultCode.ACV_PRIVILEGED
+
+    def test_ldbr_switches_descriptor_and_clears_cache(self, bare):
+        """LDBR loads a new DBR from memory and flushes the SDW cache."""
+        new_dbr = DBR(addr=0o3000, bound=10, stack=2)
+        w0, w1 = new_dbr.pack()
+        bare.add_code(
+            8,
+            [asm_inst(Op.LDBR, offset=2, pr=1), halt_word()],
+            ring=0,
+        )
+        bare.add_data(9, [0, 0, w0, w1], ring=0)
+        bare.start(8, 0, ring=0)
+        bare.regs.pr(1).load(9, 0, 0)
+        bare.proc.sdw_cache.fill(5, bare.dseg.get(8))
+        bare.step()  # just the LDBR: the old VM is gone afterwards
+        assert bare.proc.dbr == new_dbr
+        assert bare.proc.sdw_cache.lookup(5) is None
+
+
+class TestTrapDelivery:
+    def test_no_handler_propagates(self, bare):
+        bare.start(20, 0, ring=4)
+        with pytest.raises(Fault):
+            bare.step()
+
+    def test_handler_abort_propagates(self, bare):
+        bare.proc.fault_handler = lambda proc, fault: HANDLER_ABORT
+        bare.start(20, 0, ring=4)
+        with pytest.raises(Fault):
+            bare.step()
+
+    def test_handler_retry_reexecutes(self, bare):
+        """The handler repairs the world and the instruction retries."""
+        calls = []
+
+        def handler(proc, fault):
+            calls.append(fault.code)
+            bare.add_code(20, [halt_word()], ring=4)
+            proc.invalidate_sdw(20)
+            return HANDLER_RETRY
+
+        bare.proc.fault_handler = handler
+        bare.start(20, 0, ring=4)
+        bare.run()
+        assert bare.proc.halted
+        assert calls == [FaultCode.MISSING_SEGMENT]
+
+    def test_handler_continue_resumes_where_handler_points(self, bare):
+        """A fetch fault leaves the IPR at the faulting word; a handler
+        continuing past it must advance the IPR itself."""
+        bare.add_code(8, [0o777 << 27, halt_word()], ring=4)  # bad opcode
+
+        def handler(proc, fault):
+            proc.registers.ipr.set(4, fault.at_segno, fault.at_wordno + 1)
+            return "continue"
+
+        bare.proc.fault_handler = handler
+        bare.start(8, 0, ring=4)
+        bare.run()
+        assert bare.proc.halted
+
+    def test_trap_overhead_charged(self, bare):
+        cost = bare.proc.cost
+        bare.add_code(8, [0o777 << 27, halt_word()], ring=4)
+        bare.proc.fault_handler = lambda proc, fault: "continue"
+        bare.start(8, 0, ring=4)
+        before = bare.proc.cycles
+        bare.step()
+        assert bare.proc.cycles - before >= cost.trap_overhead
+
+    def test_fault_carries_instruction_location(self, bare):
+        bare.add_code(8, [asm_inst(Op.LDA, offset=50, pr=1)], ring=4)
+        bare.add_data(9, [0], ring=7)
+        bare.start(8, 0, ring=4)
+        bare.regs.pr(1).load(9, 50, 4)
+        with pytest.raises(Fault) as excinfo:
+            bare.step()
+        assert excinfo.value.at_segno == 8
+        assert excinfo.value.at_wordno == 0
+
+    def test_stats_count_faults(self, bare):
+        bare.start(20, 0, ring=4)
+        with pytest.raises(Fault):
+            bare.step()
+        assert bare.proc.stats.faults == 1
+
+
+class TestRun:
+    def test_run_returns_instruction_count(self, bare):
+        bare.add_code(8, [asm_inst(Op.NOP)] * 5 + [halt_word()], ring=4)
+        bare.start(8, 0, ring=4)
+        assert bare.run() == 6
+
+    def test_runaway_detected(self, bare):
+        bare.add_code(8, [asm_inst(Op.TRA, offset=0)], ring=4)
+        bare.start(8, 0, ring=4)
+        with pytest.raises(ConfigurationError):
+            bare.proc.run(max_steps=100)
+
+    def test_reset_counters(self, bare):
+        bare.add_code(8, [halt_word()], ring=4)
+        bare.start(8, 0, ring=4)
+        bare.run()
+        bare.proc.reset_counters()
+        assert bare.proc.cycles == 0
+        assert bare.proc.stats.instructions == 0
+
+
+class TestCostModel:
+    def test_cycles_scale_with_memory_traffic(self):
+        slow = BareMachine(cost=CostModel(memory_reference=10))
+        fast = BareMachine(cost=CostModel(memory_reference=1))
+        for machine in (slow, fast):
+            machine.add_code(8, [asm_inst(Op.NOP), halt_word()], ring=4)
+            machine.start(8, 0, ring=4)
+            machine.run()
+        assert slow.proc.cycles > fast.proc.cycles
+
+    def test_sdw_cache_saves_cycles(self):
+        cached = BareMachine(sdw_cache=None)  # default enabled cache
+        from repro.cpu.sdwcache import SDWCache
+
+        uncached = BareMachine(sdw_cache=SDWCache(enabled=False))
+        program = [asm_inst(Op.NOP)] * 20 + [halt_word()]
+        for machine in (cached, uncached):
+            machine.add_code(8, program, ring=4)
+            machine.start(8, 0, ring=4)
+            machine.run()
+        assert cached.proc.cycles < uncached.proc.cycles
+
+    def test_invalid_stack_rule_rejected(self, memory):
+        with pytest.raises(ConfigurationError):
+            Processor(memory, stack_rule="bogus")
+
+    def test_invalid_nrings_rejected(self, memory):
+        with pytest.raises(ConfigurationError):
+            Processor(memory, nrings=9)
+
+    def test_stack_rule_simple(self):
+        machine = BareMachine(stack_rule="simple")
+        assert machine.proc.stack_segno_for_call(3, 5) == 3
+
+    def test_stack_rule_dbr_cross_ring(self):
+        machine = BareMachine()
+        machine.proc.dbr.stack = 16
+        assert machine.proc.stack_segno_for_call(3, 5) == 19
+
+    def test_stack_rule_dbr_same_ring_keeps_stack_pointer(self):
+        machine = BareMachine()
+        machine.regs.pr(6).load(42, 10, 4)
+        assert machine.proc.stack_segno_for_call(4, 4) == 42
+
+
+class TestRCU:
+    def test_rcu_without_saved_state_faults(self, bare):
+        bare.add_code(8, [asm_inst(Op.RCU)], ring=0)
+        bare.start(8, 0, ring=0)
+        with pytest.raises(Fault) as excinfo:
+            bare.step()
+        assert excinfo.value.code is FaultCode.ILLEGAL_OPCODE

@@ -1,0 +1,125 @@
+"""Unit tests for the processor register file."""
+
+import pytest
+
+from repro.cpu.registers import (
+    IPR,
+    NUM_PR,
+    PointerRegister,
+    RegisterFile,
+    TPR,
+)
+from repro.errors import ConfigurationError, FieldRangeError
+
+
+class TestPointerRegister:
+    def test_load(self):
+        pr = PointerRegister()
+        pr.load(5, 100, 3)
+        assert (pr.segno, pr.wordno, pr.ring) == (5, 100, 3)
+
+    def test_load_validates_widths(self):
+        pr = PointerRegister()
+        with pytest.raises(FieldRangeError):
+            pr.load(1 << 14, 0, 0)
+
+    def test_raise_ring_only_raises(self):
+        pr = PointerRegister(ring=3)
+        pr.raise_ring(5)
+        assert pr.ring == 5
+        pr.raise_ring(2)
+        assert pr.ring == 5
+
+    def test_packed_roundtrip(self):
+        pr = PointerRegister(segno=7, wordno=42, ring=2)
+        packed = pr.packed()
+        assert (packed.segno, packed.wordno, packed.ring) == (7, 42, 2)
+
+    def test_copy_is_independent(self):
+        pr = PointerRegister(segno=1)
+        other = pr.copy()
+        other.segno = 2
+        assert pr.segno == 1
+
+
+class TestIPR:
+    def test_set(self):
+        ipr = IPR()
+        ipr.set(3, 9, 100)
+        assert (ipr.ring, ipr.segno, ipr.wordno) == (3, 9, 100)
+
+    def test_advance_wraps_at_18_bits(self):
+        ipr = IPR(wordno=(1 << 18) - 1)
+        ipr.advance()
+        assert ipr.wordno == 0
+
+
+class TestTPR:
+    def test_raise_ring(self):
+        tpr = TPR(ring=2)
+        tpr.raise_ring(5)
+        assert tpr.ring == 5
+        tpr.raise_ring(1)
+        assert tpr.ring == 5
+
+    def test_set_masks_fields(self):
+        tpr = TPR()
+        tpr.set(9, 1 << 14, 1 << 18)
+        assert tpr.ring == 1  # 9 & 7
+        assert tpr.segno == 0
+        assert tpr.wordno == 0
+
+
+class TestRegisterFile:
+    def test_eight_pointer_registers(self):
+        regs = RegisterFile()
+        assert len(regs.prs) == NUM_PR == 8
+
+    def test_pr_index_validated(self):
+        regs = RegisterFile()
+        with pytest.raises(ConfigurationError):
+            regs.pr(8)
+
+    def test_set_a_truncates(self):
+        regs = RegisterFile()
+        regs.set_a(1 << 40)
+        assert regs.a == (1 << 40) & (2**36 - 1)
+
+    def test_raise_pr_rings_sweeps_all(self):
+        regs = RegisterFile()
+        for i, pr in enumerate(regs.prs):
+            pr.load(0, 0, i % 3)
+        regs.raise_pr_rings(4)
+        assert all(pr.ring >= 4 for pr in regs.prs)
+
+    def test_ring_invariant_check(self):
+        regs = RegisterFile()
+        regs.ipr.set(4, 0, 0)
+        for pr in regs.prs:
+            pr.load(0, 0, 4)
+        assert regs.check_ring_invariant()
+        regs.prs[3].ring = 2
+        assert not regs.check_ring_invariant()
+
+    def test_snapshot_restore_roundtrip(self):
+        regs = RegisterFile()
+        regs.ipr.set(3, 5, 7)
+        regs.prs[2].load(1, 2, 3)
+        regs.set_a(111)
+        regs.set_q(222)
+        regs.crr = 5
+        saved = regs.snapshot()
+        regs.ipr.set(0, 0, 0)
+        regs.prs[2].load(0, 0, 0)
+        regs.set_a(0)
+        regs.crr = 0
+        regs.restore(saved)
+        assert (regs.ipr.ring, regs.ipr.segno, regs.ipr.wordno) == (3, 5, 7)
+        assert (regs.prs[2].segno, regs.prs[2].wordno, regs.prs[2].ring) == (1, 2, 3)
+        assert regs.a == 111 and regs.q == 222 and regs.crr == 5
+
+    def test_snapshot_is_deep(self):
+        regs = RegisterFile()
+        saved = regs.snapshot()
+        regs.prs[0].load(1, 1, 1)
+        assert saved.prs[0].segno == 0

@@ -1,0 +1,74 @@
+"""Unit tests for the SDW associative memory."""
+
+from repro.cpu.sdwcache import SDWCache
+from repro.formats.sdw import SDW
+
+
+def sdw(addr=0o100):
+    return SDW(addr=addr, bound=10, read=True)
+
+
+class TestSDWCache:
+    def test_miss_then_hit(self):
+        cache = SDWCache()
+        assert cache.lookup(5) is None
+        cache.fill(5, sdw())
+        assert cache.lookup(5) == sdw()
+
+    def test_counters(self):
+        cache = SDWCache()
+        cache.lookup(1)
+        cache.fill(1, sdw())
+        cache.lookup(1)
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_round_robin_eviction(self):
+        cache = SDWCache(slots=2)
+        cache.fill(1, sdw(0o100))
+        cache.fill(2, sdw(0o200))
+        cache.fill(3, sdw(0o300))  # evicts 1
+        assert cache.lookup(1) is None
+        assert cache.lookup(2) is not None
+        assert cache.lookup(3) is not None
+
+    def test_refill_same_segno_does_not_evict(self):
+        cache = SDWCache(slots=2)
+        cache.fill(1, sdw(0o100))
+        cache.fill(2, sdw(0o200))
+        cache.fill(1, sdw(0o300))  # update, not insert
+        assert cache.lookup(2) is not None
+        assert cache.lookup(1).addr == 0o300
+
+    def test_invalidate_single(self):
+        cache = SDWCache()
+        cache.fill(1, sdw())
+        cache.fill(2, sdw())
+        cache.invalidate(1)
+        assert cache.lookup(1) is None
+        assert cache.lookup(2) is not None
+
+    def test_invalidate_all(self):
+        cache = SDWCache()
+        cache.fill(1, sdw())
+        cache.fill(2, sdw())
+        cache.invalidate()
+        assert cache.lookup(1) is None and cache.lookup(2) is None
+
+    def test_invalidate_absent_segno_is_noop(self):
+        cache = SDWCache()
+        cache.fill(1, sdw())
+        cache.invalidate(9)
+        assert cache.lookup(1) is not None
+
+    def test_disabled_cache_always_misses(self):
+        cache = SDWCache(enabled=False)
+        cache.fill(1, sdw())
+        assert cache.lookup(1) is None
+        assert cache.hits == 0
+
+    def test_stats(self):
+        cache = SDWCache()
+        cache.lookup(1)
+        cache.invalidate()
+        stats = cache.stats()
+        assert stats["misses"] == 1 and stats["invalidations"] == 1

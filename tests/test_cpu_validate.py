@@ -1,0 +1,152 @@
+"""Unit tests for per-reference validation (Figures 4, 6, 7)."""
+
+import pytest
+
+from repro.cpu.faults import FaultCode
+from repro.cpu.validate import (
+    brackets_of,
+    check_bound,
+    validate_fetch,
+    validate_read,
+    validate_transfer,
+    validate_write,
+)
+from repro.formats.sdw import SDW
+
+
+def sdw(r1=0, r2=7, r3=7, read=True, write=True, execute=True, bound=100, gate=0):
+    return SDW(
+        addr=0,
+        bound=bound,
+        r1=r1,
+        r2=r2,
+        r3=r3,
+        read=read,
+        write=write,
+        execute=execute,
+        gate=gate,
+    )
+
+
+class TestBound:
+    def test_inside(self):
+        assert check_bound(sdw(bound=10), 9) is None
+
+    def test_at_bound(self):
+        assert check_bound(sdw(bound=10), 10) is FaultCode.ACV_OUT_OF_BOUNDS
+
+    def test_zero_bound_segment(self):
+        assert check_bound(sdw(bound=0), 0) is FaultCode.ACV_OUT_OF_BOUNDS
+
+
+class TestFetch:
+    def test_allowed_in_bracket(self):
+        assert validate_fetch(sdw(r1=2, r2=4), 3, 0) is None
+
+    def test_flag_off(self):
+        assert (
+            validate_fetch(sdw(execute=False), 3, 0) is FaultCode.ACV_NO_EXECUTE
+        )
+
+    def test_below_bracket(self):
+        assert (
+            validate_fetch(sdw(r1=2, r2=4), 1, 0)
+            is FaultCode.ACV_EXECUTE_BRACKET
+        )
+
+    def test_above_bracket(self):
+        assert (
+            validate_fetch(sdw(r1=2, r2=4), 5, 0)
+            is FaultCode.ACV_EXECUTE_BRACKET
+        )
+
+    def test_flag_checked_before_bracket(self):
+        assert (
+            validate_fetch(sdw(r1=2, r2=4, execute=False), 7, 0)
+            is FaultCode.ACV_NO_EXECUTE
+        )
+
+    def test_bracket_checked_before_bound(self):
+        assert (
+            validate_fetch(sdw(r1=2, r2=4, bound=1), 7, 5)
+            is FaultCode.ACV_EXECUTE_BRACKET
+        )
+
+    def test_bound_checked_last(self):
+        assert (
+            validate_fetch(sdw(r1=2, r2=4, bound=1), 3, 5)
+            is FaultCode.ACV_OUT_OF_BOUNDS
+        )
+
+
+class TestRead:
+    def test_allowed(self):
+        assert validate_read(sdw(r2=4), 4, 0) is None
+
+    def test_flag_off(self):
+        assert validate_read(sdw(read=False), 0, 0) is FaultCode.ACV_NO_READ
+
+    def test_above_bracket(self):
+        assert validate_read(sdw(r2=4), 5, 0) is FaultCode.ACV_READ_BRACKET
+
+    def test_read_has_no_lower_limit(self):
+        """Reads are monotone: ring 0 can read anything readable."""
+        assert validate_read(sdw(r1=4, r2=4), 0, 0) is None
+
+
+class TestWrite:
+    def test_allowed(self):
+        assert validate_write(sdw(r1=4), 4, 0) is None
+
+    def test_flag_off(self):
+        assert validate_write(sdw(write=False), 0, 0) is FaultCode.ACV_NO_WRITE
+
+    def test_above_bracket(self):
+        assert validate_write(sdw(r1=4), 5, 0) is FaultCode.ACV_WRITE_BRACKET
+
+    def test_write_bracket_tighter_than_read(self):
+        """With R1 < R2, rings in (R1, R2] may read but not write."""
+        descriptor = sdw(r1=2, r2=5)
+        assert validate_read(descriptor, 4, 0) is None
+        assert validate_write(descriptor, 4, 0) is FaultCode.ACV_WRITE_BRACKET
+
+
+class TestTransfer:
+    def test_allowed_same_ring(self):
+        assert validate_transfer(sdw(r1=3, r2=5), 4, 4, 0) is None
+
+    def test_ring_change_refused(self):
+        """Figure 7: plain transfers may not change the ring."""
+        assert (
+            validate_transfer(sdw(r1=0, r2=7), 5, 4, 0)
+            is FaultCode.ACV_TRANSFER_RING
+        )
+
+    def test_ring_check_precedes_execute_check(self):
+        assert (
+            validate_transfer(sdw(execute=False), 5, 4, 0)
+            is FaultCode.ACV_TRANSFER_RING
+        )
+
+    def test_advance_check_execute_flag(self):
+        assert (
+            validate_transfer(sdw(execute=False), 4, 4, 0)
+            is FaultCode.ACV_NO_EXECUTE
+        )
+
+    def test_advance_check_bracket(self):
+        assert (
+            validate_transfer(sdw(r1=0, r2=2), 4, 4, 0)
+            is FaultCode.ACV_EXECUTE_BRACKET
+        )
+
+    def test_advance_check_bound(self):
+        assert (
+            validate_transfer(sdw(bound=5), 4, 4, 9)
+            is FaultCode.ACV_OUT_OF_BOUNDS
+        )
+
+
+class TestBracketsOf:
+    def test_extracts_triple(self):
+        assert brackets_of(sdw(r1=1, r2=2, r3=3)).execute_bracket == (1, 2)

@@ -1,0 +1,125 @@
+"""Segment deactivation and transparent reactivation."""
+
+import pytest
+
+from repro.core.acl import AclEntry, RingBracketSpec
+from repro.sim.machine import Machine
+
+USER_ACL = [AclEntry("*", RingBracketSpec.procedure(4))]
+
+
+@pytest.fixture
+def system(machine):
+    user = machine.add_user("u")
+    machine.store_data(
+        ">t>counter", [100], acl=[AclEntry("*", RingBracketSpec.data(4))]
+    )
+    machine.store_program(
+        ">t>prog",
+        """
+        .seg    prog
+main::  aos     l_c,*
+        aos     l_c,*
+        lda     l_c,*
+        halt
+l_c:    .its    counter
+""",
+        acl=USER_ACL,
+    )
+    process = machine.login(user)
+    machine.initiate(process, ">t>prog")
+    return machine, process
+
+
+class TestDeactivation:
+    def test_deactivate_frees_memory(self, system):
+        machine, process = system
+        machine.initiate(process, ">t>counter")
+        free_before = machine.memory.free_words()
+        assert machine.supervisor.deactivate(
+            ">t>counter", processors=[machine.processor]
+        )
+        assert machine.memory.free_words() > free_before
+
+    def test_deactivate_inactive_is_false(self, system):
+        machine, process = system
+        machine.store_data(
+            ">t>idle", [0], acl=[AclEntry("*", RingBracketSpec.data(4))]
+        )
+        assert not machine.supervisor.deactivate(">t>idle")  # never active
+
+    def test_dirty_contents_written_back(self, system):
+        """Deactivation flushes modified words to the backing store, so
+        reactivation sees the program's writes."""
+        machine, process = system
+        result = machine.run(process, "prog$main", ring=4)
+        assert result.a == 102
+        machine.supervisor.deactivate(">t>counter", processors=[machine.processor])
+        # run again: the counter resumes from 102, not from its original 100
+        result = machine.run(process, "prog$main", ring=4)
+        assert result.a == 104
+
+    def test_reactivation_is_transparent_to_running_program(self, system):
+        """Evicting a segment mid-run costs traps, not correctness."""
+        machine, process = system
+        machine.start(process, "prog$main", ring=4)
+        machine.processor.step()  # first AOS (demand-initiates counter)
+        machine.supervisor.deactivate(">t>counter", processors=[machine.processor])
+        from repro.errors import MachineHalted
+
+        with pytest.raises(MachineHalted):
+            for _ in range(20):
+                machine.processor.step()
+        # the program finished with the correct value despite the eviction
+        assert machine.processor.registers.a == 102
+
+    def test_reactivation_reuses_segment_number(self, system):
+        """Global numbering requires the segno to survive eviction —
+        link words in other segments hold it."""
+        machine, process = system
+        machine.initiate(process, ">t>counter")
+        before = machine.supervisor.activate(">t>counter").segno
+        machine.supervisor.deactivate(">t>counter", processors=[machine.processor])
+        after = machine.supervisor.activate(">t>counter").segno
+        assert before == after
+
+    def test_missing_segment_faults_counted(self, system):
+        machine, process = system
+        result = machine.run(process, "prog$main", ring=4)
+        first_faults = result.faults
+        machine.supervisor.deactivate(">t>counter", processors=[machine.processor])
+        result = machine.run(process, "prog$main", ring=4)
+        assert result.faults >= 1  # the reactivation trap
+
+
+class TestDeactivationVsLazyLinking:
+    def test_segment_with_unsnapped_links_not_evictable(self):
+        """Evicting a lazily linked segment before its links snap would
+        leave the linkage registry pointing at freed storage; the
+        supervisor refuses."""
+        from repro.sim.machine import Machine
+
+        machine = Machine(lazy_linking=True, services=False)
+        user = machine.add_user("u")
+        machine.store_data(
+            ">t>target", [1], acl=[AclEntry("*", RingBracketSpec.data(4))]
+        )
+        machine.store_program(
+            ">t>lazyprog",
+            """
+        .seg    lazyprog
+main::  lda     l_t,*
+        halt
+l_t:    .its    target
+""",
+            acl=USER_ACL,
+        )
+        process = machine.login(user)
+        machine.initiate(process, ">t>lazyprog")
+        # link not yet referenced: eviction refused
+        assert not machine.supervisor.deactivate(">t>lazyprog")
+        # after the run the link is snapped; eviction proceeds
+        machine.run(process, "lazyprog$main", ring=4)
+        assert machine.supervisor.deactivate(
+            ">t>lazyprog", processors=[machine.processor]
+        )

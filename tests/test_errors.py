@@ -1,0 +1,63 @@
+"""The host-level error hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AccessDenied,
+    AssemblyError,
+    BracketOrderError,
+    ConfigurationError,
+    FieldRangeError,
+    FileSystemError,
+    LinkError,
+    MachineHalted,
+    ReproError,
+    SegmentBoundsError,
+)
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for cls in (
+            FieldRangeError,
+            SegmentBoundsError,
+            ConfigurationError,
+            BracketOrderError,
+            AssemblyError,
+            LinkError,
+            FileSystemError,
+            AccessDenied,
+            MachineHalted,
+        ):
+            assert issubclass(cls, ReproError)
+
+    def test_field_range_is_also_value_error(self):
+        assert issubclass(FieldRangeError, ValueError)
+
+    def test_segment_bounds_is_also_index_error(self):
+        assert issubclass(SegmentBoundsError, IndexError)
+
+    def test_bracket_order_is_configuration(self):
+        assert issubclass(BracketOrderError, ConfigurationError)
+
+    def test_one_except_clause_catches_all(self):
+        with pytest.raises(ReproError):
+            raise AssemblyError("bad", 3)
+
+
+class TestPayloads:
+    def test_field_range_error_fields(self):
+        err = FieldRangeError("SDW.R1", 9, 3)
+        assert err.field == "SDW.R1"
+        assert err.value == 9
+        assert err.width == 3
+        assert "9" in str(err) and "SDW.R1" in str(err)
+
+    def test_assembly_error_line_prefix(self):
+        assert "line 7" in str(AssemblyError("oops", 7))
+
+    def test_assembly_error_without_line(self):
+        assert str(AssemblyError("oops")) == "oops"
+
+    def test_machine_halted_carries_cycles(self):
+        assert MachineHalted(cycles=42).cycles == 42

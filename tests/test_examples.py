@@ -1,0 +1,37 @@
+"""Every example script must run cleanly end to end."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+def _run(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys):
+    _run(path)
+    out = capsys.readouterr().out
+    assert len(out) > 100  # every example narrates what it proved
+
+
+def test_all_five_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "protected_subsystem",
+        "layered_supervisor",
+        "debug_ring5",
+        "grading_sandbox",
+        "hardware_vs_software_rings",
+    } <= names

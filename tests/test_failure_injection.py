@@ -1,0 +1,218 @@
+"""Failure injection: corrupted state, exhaustion, revocation, limits."""
+
+import pytest
+
+from repro.core.acl import AclEntry, RingBracketSpec
+from repro.cpu.faults import Fault, FaultCode
+from repro.errors import ConfigurationError
+from repro.formats.sdw import SDW, SDW_W0
+from repro.sim.machine import Machine
+
+from tests.helpers import BareMachine, asm_inst, halt_word
+
+USER_ACL = [AclEntry("*", RingBracketSpec.procedure(4))]
+
+
+class TestCorruptedSDW:
+    def test_bracket_order_corruption_is_a_machine_fault(self, bare):
+        """Forged R1 > R2 in descriptor memory traps INVALID_SDW instead
+        of crashing the host simulation."""
+        from repro.cpu.isa import Op
+
+        bare.add_code(8, [halt_word()], ring=4)
+        sdw = bare.dseg.get(8)
+        w0, w1 = sdw.pack()
+        w0 = SDW_W0["R1"].insert(w0, 7)  # R1=7 > R2=4
+        bare.memory.load_image(bare.dbr.sdw_addr(8), [w0, w1])
+        bare.proc.invalidate_sdw(8)
+        bare.start(8, 0, ring=4)
+        with pytest.raises(Fault) as excinfo:
+            bare.step()
+        assert excinfo.value.code is FaultCode.INVALID_SDW
+        assert excinfo.value.segno == 8
+
+    def test_stale_cache_would_mask_corruption_until_invalidated(self, bare):
+        """The associative memory serves the old SDW until the
+        supervisor invalidates — which is exactly why every SDW store
+        must be followed by an invalidate."""
+        from repro.cpu.isa import Op
+        from repro.errors import MachineHalted
+
+        bare.add_code(8, [asm_inst(Op.NOP), halt_word()], ring=4)
+        bare.start(8, 0, ring=4)
+        bare.step()  # fills the cache
+        sdw = bare.dseg.get(8)
+        w0, w1 = sdw.pack()
+        w0 = SDW_W0["R1"].insert(w0, 7)
+        bare.memory.load_image(bare.dbr.sdw_addr(8), [w0, w1])
+        with pytest.raises(MachineHalted):
+            bare.step()  # cached: the HALT still executes, no INVALID_SDW
+
+
+class TestExhaustion:
+    def test_activation_fails_cleanly_when_memory_exhausted(self):
+        machine = Machine(memory_words=1 << 12, services=False)
+        user = machine.add_user("u")
+        machine.store_data(
+            ">big", [0] * 3000, acl=[AclEntry("*", RingBracketSpec.data(4))]
+        )
+        process = machine.login(user)
+        with pytest.raises(ConfigurationError):
+            machine.initiate(process, ">big")
+
+    def test_upward_call_nesting_limit(self, machine):
+        """Recursive upward calls exhaust the return-gate stack and fail
+        as a host configuration error, not silent corruption."""
+        user = machine.add_user("u")
+        machine.store_program(
+            ">t>caller",
+            """
+        .seg    caller
+main::  eap4    back
+        call    l_high,*
+back:   halt
+l_high: .its    high$entry
+""",
+            acl=USER_ACL,
+        )
+        # the ring-6 callee calls itself upward... impossible (same ring);
+        # instead ring-5 callee upward-calls a ring-6 callee recursively
+        machine.store_program(
+            ">t>high",
+            """
+        .seg    high
+        .gates  1
+entry:: eap4    again          ; never returns: re-calls itself via gate
+again:  call    l_self,*
+        return  pr4|0
+l_self: .its    high$entry
+""",
+            acl=[AclEntry("*", RingBracketSpec.procedure(6))],
+        )
+        process = machine.login(user)
+        machine.initiate(process, ">t>caller")
+        with pytest.raises((ConfigurationError, Fault)):
+            machine.run(process, "caller$main", ring=4, max_steps=5000)
+
+
+class TestLiveRevocation:
+    """Paper p. 9: SDW changes are immediately effective."""
+
+    def _system(self, machine):
+        alice = machine.add_user("alice")
+        bob = machine.add_user("bob")
+        machine.store_data(
+            ">d",
+            [5],
+            owner=alice,
+            acl=[AclEntry("*", RingBracketSpec.data(4))],
+        )
+        machine.store_program(
+            ">t>looper",
+            """
+        .seg    looper
+main::  lda     l_d,*
+        tra     main
+l_d:    .its    d
+""",
+            owner=bob,
+            acl=USER_ACL,
+        )
+        process = machine.login(bob)
+        machine.initiate(process, ">t>looper")
+        machine.initiate(process, ">d")
+        return alice, process
+
+    def test_bracket_tightening_takes_effect_mid_run(self, machine):
+        alice, process = self._system(machine)
+        machine.start(process, "looper$main", ring=4)
+        for _ in range(10):
+            machine.processor.step()  # reading happily
+        changed = machine.supervisor.update_access(
+            ">d",
+            alice,
+            [AclEntry("*", RingBracketSpec.data(2))],  # read bracket now 2
+            processors=[machine.processor],
+        )
+        assert changed == 1
+        with pytest.raises(Fault) as excinfo:
+            for _ in range(10):
+                machine.processor.step()
+        assert excinfo.value.code is FaultCode.ACV_READ_BRACKET
+
+    def test_total_revocation_mid_run(self, machine):
+        alice, process = self._system(machine)
+        machine.start(process, "looper$main", ring=4)
+        for _ in range(6):
+            machine.processor.step()
+        machine.supervisor.update_access(
+            ">d",
+            alice,
+            [AclEntry("alice", RingBracketSpec.data(4))],  # bob removed
+            processors=[machine.processor],
+        )
+        with pytest.raises(Fault) as excinfo:
+            for _ in range(10):
+                machine.processor.step()
+        assert excinfo.value.code is FaultCode.MISSING_SEGMENT
+
+    def test_without_cache_invalidate_change_is_delayed(self, machine):
+        """The flip side: forgetting the invalidate leaves the stale SDW
+        in the associative memory — the hazard the supervisor contract
+        exists to prevent."""
+        alice, process = self._system(machine)
+        machine.start(process, "looper$main", ring=4)
+        for _ in range(6):
+            machine.processor.step()
+        machine.supervisor.update_access(
+            ">d", alice, [AclEntry("*", RingBracketSpec.data(2))], processors=[]
+        )
+        for _ in range(10):
+            machine.processor.step()  # still running on the stale SDW
+        assert machine.processor.registers.a == 5
+
+
+class TestLiveGateChange:
+    def test_gate_count_shrink_takes_effect_immediately(self, machine):
+        """Revoking a gate (shrinking SDW.GATE) stops further calls to
+        it on the very next attempt (paper p. 9's immediacy, applied to
+        the gate list)."""
+        alice = machine.add_user("alice")
+        bob = machine.add_user("bob")
+        machine.store_program(
+            ">t>twogates",
+            """
+        .seg    twogates
+        .gates  2
+g0::    return  pr4|0
+g1::    return  pr4|0
+""",
+            owner=alice,
+            acl=[AclEntry("*", RingBracketSpec.procedure(2, callable_from=5, gate=2))],
+        )
+        machine.store_program(
+            ">t>caller2",
+            """
+        .seg    caller2
+main::  eap4    back
+        call    l_g1,*
+back:   halt
+l_g1:   .its    twogates$g1
+""",
+            owner=bob,
+            acl=USER_ACL,
+        )
+        process = machine.login(bob)
+        machine.initiate(process, ">t>caller2")
+        result = machine.run(process, "caller2$main", ring=4)
+        assert result.halted  # gate 1 callable
+
+        machine.supervisor.update_access(
+            ">t>twogates",
+            alice,
+            [AclEntry("*", RingBracketSpec.procedure(2, callable_from=5, gate=1))],
+            processors=[machine.processor],
+        )
+        with pytest.raises(Fault) as excinfo:
+            machine.run(process, "caller2$main", ring=4)
+        assert excinfo.value.code is FaultCode.ACV_NOT_GATE

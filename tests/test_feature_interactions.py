@@ -1,0 +1,130 @@
+"""Cross-feature interactions.
+
+Each configuration axis (paging, lazy linking, software rings, the
+interval timer, time-sharing) is tested in isolation elsewhere; these
+tests turn several on at once and require identical architectural
+results — the axes must compose.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.acl import AclEntry, RingBracketSpec
+from repro.sim.machine import Machine
+
+USER_ACL = [AclEntry("*", RingBracketSpec.procedure(4))]
+
+PROGRAM = """
+        .seg    prog
+main::  lda     =5
+        eap4    back
+        call    l_add,*
+back:   eap4    back2
+        call    l_add,*
+back2:  halt
+l_add:  .its    adder$entry
+"""
+
+ADDER = """
+        .seg    adder
+        .gates  1
+entry:: ada     =10
+        return  pr4|0
+"""
+
+
+def run_config(**kwargs):
+    machine = Machine(services=False, **kwargs)
+    user = machine.add_user("u")
+    machine.store_program(
+        ">t>adder",
+        ADDER,
+        acl=[AclEntry("*", RingBracketSpec.procedure(0, callable_from=5))],
+    )
+    machine.store_program(">t>prog", PROGRAM, acl=USER_ACL)
+    process = machine.login(user)
+    machine.initiate(process, ">t>prog")
+    return machine.run(process, "prog$main", ring=4)
+
+
+class TestAllCombinations:
+    @pytest.mark.parametrize(
+        "paged,lazy,hardware",
+        list(itertools.product([False, True], repeat=3)),
+    )
+    def test_identical_results_across_axes(self, paged, lazy, hardware):
+        result = run_config(
+            paged=paged, lazy_linking=lazy, hardware_rings=hardware
+        )
+        assert result.halted
+        assert result.a == 25
+        assert result.ring == 4
+
+    def test_every_feature_adds_cost_but_not_behaviour(self):
+        baseline = run_config()
+        loaded = run_config(paged=True, lazy_linking=True, hardware_rings=False)
+        assert loaded.a == baseline.a
+        assert loaded.cycles > baseline.cycles
+
+
+class TestTimerWithScheduler:
+    def test_timer_rearmed_across_dispatches(self, machine):
+        """The supervisor's timer quantum and the scheduler's quantum
+        coexist: timer runouts inside a job are serviced and the job
+        still completes under time-sharing."""
+        machine.supervisor.timer_quantum = 7
+        machine.supervisor.timer_limit = 1000
+        user = machine.add_user("u")
+        for i in range(2):
+            machine.store_program(
+                f">t>w{i}",
+                f"""
+        .seg    w{i}
+main::  lda     =30
+loop:   sba     =1
+        tnz     loop
+        halt
+""",
+                acl=USER_ACL,
+            )
+        pa = machine.login(user)
+        machine.initiate(pa, ">t>w0")
+        pb = machine.login(machine.add_user("v"))
+        machine.initiate(pb, ">t>w1")
+        scheduler = machine.make_scheduler(quantum=13)
+        ja = scheduler.add(pa, "w0$main", ring=4)
+        jb = scheduler.add(pb, "w1$main", ring=4)
+        scheduler.run()
+        assert ja.halted and jb.halted
+        assert machine.supervisor.timer_runouts(pa) > 0
+
+
+class TestLazyPagedLinkage:
+    def test_unsnapped_link_survives_page_eviction(self):
+        """A lazily linked, paged segment: evicting the page holding an
+        unsnapped link and paging it back must preserve the faulting
+        word (the backing store holds it), and the snap then works."""
+        machine = Machine(services=False, paged=True, lazy_linking=True)
+        user = machine.add_user("u")
+        machine.store_data(
+            ">t>target", [99], acl=[AclEntry("*", RingBracketSpec.data(4))]
+        )
+        machine.store_program(
+            ">t>prog",
+            """
+        .seg    prog
+main::  lda     l_t,*
+        halt
+l_t:    .its    target
+""",
+            acl=USER_ACL,
+        )
+        process = machine.login(user)
+        machine.initiate(process, ">t>prog")
+        active = machine.supervisor.activate(">t>prog")
+        active.placed.page_table.unmap_page(0)
+        machine.processor.invalidate_sdw(active.segno)
+        result = machine.run(process, "prog$main", ring=4)
+        assert result.halted and result.a == 99
+        assert machine.supervisor.linkage.snaps == 1

@@ -1,0 +1,189 @@
+"""Unit tests for the Figure 3 storage formats."""
+
+import pytest
+
+from repro.errors import BracketOrderError, FieldRangeError
+from repro.formats.indirect import IndirectWord
+from repro.formats.instruction import (
+    Instruction,
+    TAG_IMMEDIATE,
+    TAG_INDEX_A,
+)
+from repro.formats.pointerfmt import PackedPointer
+from repro.formats.sdw import SDW
+
+
+class TestSDW:
+    def test_roundtrip_all_fields(self):
+        sdw = SDW(
+            addr=0o1234567,
+            bound=0o400,
+            r1=1,
+            r2=3,
+            r3=5,
+            read=True,
+            write=False,
+            execute=True,
+            gate=7,
+            present=True,
+            paged=True,
+        )
+        assert SDW.unpack(*sdw.pack()) == sdw
+
+    def test_roundtrip_zero(self):
+        sdw = SDW()
+        assert SDW.unpack(*sdw.pack()) == sdw
+
+    def test_missing_constructor(self):
+        assert not SDW.missing().present
+
+    def test_bracket_order_enforced(self):
+        with pytest.raises(BracketOrderError):
+            SDW(r1=3, r2=2, r3=4)
+
+    def test_bracket_order_r2_r3(self):
+        with pytest.raises(BracketOrderError):
+            SDW(r1=1, r2=4, r3=3)
+
+    def test_equal_brackets_allowed(self):
+        sdw = SDW(r1=4, r2=4, r3=4)
+        assert (sdw.r1, sdw.r2, sdw.r3) == (4, 4, 4)
+
+    def test_addr_width(self):
+        with pytest.raises(FieldRangeError):
+            SDW(addr=1 << 24)
+
+    def test_bound_width(self):
+        with pytest.raises(FieldRangeError):
+            SDW(bound=1 << 18)
+
+    def test_gate_width(self):
+        with pytest.raises(FieldRangeError):
+            SDW(gate=1 << 14)
+
+    def test_unpack_corrupt_brackets_raises(self):
+        sdw = SDW(r1=2, r2=2, r3=2)
+        w0, w1 = sdw.pack()
+        # forge R1 = 5 > R2 = 2 in the packed image
+        from repro.formats.sdw import SDW_W0
+
+        w0 = SDW_W0["R1"].insert(w0, 5)
+        with pytest.raises(BracketOrderError):
+            SDW.unpack(w0, w1)
+
+    def test_with_brackets(self):
+        sdw = SDW(r1=0, r2=0, r3=0).with_brackets(1, 2, 3)
+        assert (sdw.r1, sdw.r2, sdw.r3) == (1, 2, 3)
+
+    def test_with_flags_partial(self):
+        sdw = SDW(read=True).with_flags(write=True)
+        assert sdw.read and sdw.write and not sdw.execute
+
+    def test_describe_mentions_missing(self):
+        assert "MISSING" in SDW.missing().describe()
+
+    def test_describe_flags(self):
+        text = SDW(read=True, execute=True).describe()
+        assert "r-e" in text
+
+    def test_pack_is_two_words(self):
+        w0, w1 = SDW(addr=1, bound=2).pack()
+        assert 0 <= w0 < 2**36 and 0 <= w1 < 2**36
+
+    def test_distinct_images_for_distinct_brackets(self):
+        a = SDW(r1=1, r2=1, r3=1).pack()
+        b = SDW(r1=1, r2=1, r3=2).pack()
+        assert a != b
+
+
+class TestInstruction:
+    def test_roundtrip_full(self):
+        inst = Instruction(
+            opcode=0o123,
+            offset=0o654321,
+            indirect=True,
+            prflag=True,
+            prnum=5,
+            tag=TAG_INDEX_A,
+        )
+        assert Instruction.unpack(inst.pack()) == inst
+
+    def test_roundtrip_minimal(self):
+        inst = Instruction(opcode=0)
+        assert Instruction.unpack(inst.pack()) == inst
+
+    def test_immediate_property(self):
+        assert Instruction(opcode=1, tag=TAG_IMMEDIATE).immediate
+        assert not Instruction(opcode=1).immediate
+
+    def test_indexed_property(self):
+        assert Instruction(opcode=1, tag=TAG_INDEX_A).indexed
+
+    def test_opcode_width(self):
+        with pytest.raises(FieldRangeError):
+            Instruction(opcode=1 << 9)
+
+    def test_offset_width(self):
+        with pytest.raises(FieldRangeError):
+            Instruction(opcode=0, offset=1 << 18)
+
+    def test_prnum_width(self):
+        with pytest.raises(FieldRangeError):
+            Instruction(opcode=0, prnum=8)
+
+    def test_flags_independent(self):
+        word = Instruction(opcode=1, indirect=True).pack()
+        decoded = Instruction.unpack(word)
+        assert decoded.indirect and not decoded.prflag
+
+
+class TestIndirectWord:
+    def test_roundtrip(self):
+        ind = IndirectWord(segno=0o1234, wordno=0o654321, ring=5, indirect=True)
+        assert IndirectWord.unpack(ind.pack()) == ind
+
+    def test_ring_zero_default(self):
+        assert IndirectWord(segno=1, wordno=2).ring == 0
+
+    def test_segno_width(self):
+        with pytest.raises(FieldRangeError):
+            IndirectWord(segno=1 << 14, wordno=0)
+
+    def test_wordno_width(self):
+        with pytest.raises(FieldRangeError):
+            IndirectWord(segno=0, wordno=1 << 18)
+
+    def test_ring_width(self):
+        with pytest.raises(FieldRangeError):
+            IndirectWord(segno=0, wordno=0, ring=8)
+
+    def test_with_ring(self):
+        assert IndirectWord(segno=1, wordno=2).with_ring(6).ring == 6
+
+    def test_chained(self):
+        assert IndirectWord(segno=1, wordno=2).chained().indirect
+
+    def test_fields_do_not_interfere(self):
+        ind = IndirectWord.unpack(IndirectWord(segno=0, wordno=0, ring=7).pack())
+        assert ind.segno == 0 and ind.wordno == 0 and ind.ring == 7
+
+
+class TestPackedPointer:
+    def test_roundtrip(self):
+        ptr = PackedPointer(segno=9, wordno=100, ring=3)
+        assert PackedPointer.unpack(ptr.pack()) == ptr
+
+    def test_pointer_and_indirect_word_formats_coincide(self):
+        """The paper: indirect words contain the same information as PRs."""
+        ptr = PackedPointer(segno=9, wordno=100, ring=3)
+        ind = IndirectWord.unpack(ptr.pack())
+        assert (ind.segno, ind.wordno, ind.ring) == (9, 100, 3)
+        assert not ind.indirect
+
+    def test_as_indirect(self):
+        ind = PackedPointer(segno=1, wordno=2, ring=3).as_indirect(chained=True)
+        assert ind.indirect and ind.ring == 3
+
+    def test_field_widths(self):
+        with pytest.raises(FieldRangeError):
+            PackedPointer(segno=1 << 14, wordno=0)

@@ -1,0 +1,189 @@
+"""The grand integration test: a miniature computer utility.
+
+Everything at once — multiple users, ACLs, a protected subsystem, the
+layered supervisor services, upward calls, and preemptive time-sharing —
+on one machine.  If the pieces compose, this passes; it is the closest
+thing to "boot Multics" the reproduction has.
+"""
+
+import pytest
+
+from repro.core.acl import AclEntry, RingBracketSpec
+from repro.cpu.faults import Fault
+from repro.sim.machine import Machine
+
+USER_ACL = [AclEntry("*", RingBracketSpec.procedure(4))]
+
+
+@pytest.fixture
+def utility():
+    """A populated system: three users, shared library, audit subsystem."""
+    machine = Machine()
+    alice = machine.add_user("alice")
+    bob = machine.add_user("bob")
+    carol = machine.add_user("carol")
+
+    # alice's audited counter subsystem in ring 2, gates open to 5
+    machine.store_data(
+        ">udd>alice>vault",
+        [0],
+        owner=alice,
+        acl=[AclEntry("*", RingBracketSpec.data(2))],
+    )
+    machine.store_program(
+        ">udd>alice>vaultd",
+        """
+        .seg    vaultd
+        .gates  1
+deposit:: aos   l_vault,*      ; A is ignored; each call deposits 1
+        lda     l_vault,*
+        return  pr4|0
+l_vault: .its   vault
+""",
+        owner=alice,
+        acl=[AclEntry("*", RingBracketSpec.procedure(2, callable_from=5))],
+    )
+
+    # a shared ring-4 library, certified for rings 3-5 (wide bracket)
+    machine.store_program(
+        ">lib>double",
+        """
+        .seg    double
+        .gates  1
+entry:: ada     =0             ; A := 2*A via shift
+        als     1
+        return  pr4|0
+""",
+        acl=[AclEntry("*", RingBracketSpec(r1=3, r2=5, r3=5, read=True, execute=True, gate=1))],
+    )
+
+    # bob's worker: deposit twice, double the result, log to console
+    machine.store_program(
+        ">udd>bob>work",
+        """
+        .seg    work
+main::  eap4    b1
+        call    l_dep,*
+b1:     eap4    b2
+        call    l_dep,*
+b2:     eap4    b3
+        call    l_double,*
+b3:     eap4    b4
+        call    l_write,*
+b4:     halt
+l_dep:    .its  vaultd$deposit
+l_double: .its  double$entry
+l_write:  .its  svc$write
+""",
+        owner=bob,
+        acl=USER_ACL,
+    )
+
+    # carol's worker: deposits in a loop
+    machine.store_program(
+        ">udd>carol>work2",
+        """
+        .seg    work2
+main::  ldq     =3
+again:  eap4    back
+        call    l_dep,*
+back:   lda     =0
+        sta     pr6|2
+        lda     pr6|2
+        ldq     pr6|3          ; scratch shuffle to touch the stack
+        eap4    done
+        tra     next
+next:   sba     =0
+        aos     pr6|4
+        lda     pr6|4
+        sba     =3
+        tze     done
+        lda     =0
+        tra     again
+done:   halt
+l_dep:  .its    vaultd$deposit
+""",
+        owner=carol,
+        acl=USER_ACL,
+    )
+    return machine, alice, bob, carol
+
+
+class TestComputerUtility:
+    def test_everything_composes_under_time_sharing(self, utility):
+        machine, alice, bob, carol = utility
+        p_bob = machine.login(bob)
+        p_carol = machine.login(carol)
+        machine.initiate(p_bob, ">udd>bob>work")
+        machine.initiate(p_carol, ">udd>carol>work2")
+
+        scheduler = machine.make_scheduler(quantum=9)
+        job_bob = scheduler.add(p_bob, "work$main", ring=4)
+        job_carol = scheduler.add(p_carol, "work2$main", ring=4)
+        scheduler.run()
+        assert scheduler.all_halted
+
+        vault = machine.supervisor.activate(">udd>alice>vault")
+        deposits = machine.memory.snapshot(vault.placed.addr, 1)[0]
+        # bob deposits 2, carol deposits 3 — all audited in ring 2
+        assert deposits == 5
+        # bob's console write is 2 * (his second deposit's reading)
+        assert len(machine.console) == 1
+        assert job_bob.quanta >= 1 and job_carol.quanta >= 1
+
+    def test_cross_ring_depth_under_preemption(self, utility):
+        """Preempting in the middle of cross-ring activity must be safe:
+        a quantum of 1 instruction context-switches between every single
+        instruction, including inside ring 2 and ring 0."""
+        machine, alice, bob, carol = utility
+        p_bob = machine.login(bob)
+        machine.initiate(p_bob, ">udd>bob>work")
+        scheduler = machine.make_scheduler(quantum=1)
+        job = scheduler.add(p_bob, "work$main", ring=4)
+        scheduler.run(max_quanta=100_000)
+        assert job.halted
+        vault = machine.supervisor.activate(">udd>alice>vault")
+        assert machine.memory.snapshot(vault.placed.addr, 1)[0] == 2
+
+    def test_acl_separation_still_enforced(self, utility):
+        """carol cannot read the vault directly even while the
+        subsystem is in active use by others."""
+        machine, alice, bob, carol = utility
+        p_carol = machine.login(carol)
+        machine.store_program(
+            ">udd>carol>peek",
+            """
+        .seg    peek
+main::  lda     l_vault,*
+        halt
+l_vault: .its   vault
+""",
+            owner=carol,
+            acl=USER_ACL,
+        )
+        machine.initiate(p_carol, ">udd>carol>peek")
+        with pytest.raises(Fault):
+            machine.run(p_carol, "peek$main", ring=4)
+
+    def test_library_shared_across_rings(self, utility):
+        """The wide-bracket library executes in whatever ring calls it
+        (rings 3-5), the paper's certified-library case (p. 15)."""
+        machine, alice, bob, carol = utility
+        user = machine.add_user("dave")
+        machine.store_program(
+            ">udd>dave>use5",
+            """
+        .seg    use5
+main::  lda     =21
+        eap4    back
+        call    l_double,*
+back:   halt
+""" + "l_double: .its double$entry\n",
+            acl=[AclEntry("*", RingBracketSpec.procedure(5))],
+        )
+        process = machine.login(user)
+        machine.initiate(process, ">udd>dave>use5")
+        result = machine.run(process, "use5$main", ring=5)
+        assert result.a == 42
+        assert result.ring == 5
+        assert result.ring_crossings == 0  # same-ring: library ran in 5

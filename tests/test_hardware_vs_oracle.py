@@ -1,0 +1,188 @@
+"""Cross-checks: the live hardware path against the enumerated oracles.
+
+The decision tables in :mod:`repro.analysis.decision_tables` are built
+from the pure policy functions; these tests drive the *machine* through
+sampled rows and verify the hardware produces the same outcome — the
+policy and the silicon cannot drift apart.
+"""
+
+import itertools
+
+import pytest
+
+from repro.analysis.decision_tables import (
+    ALL_BRACKETS,
+    call_decision_table,
+    fetch_decision_table,
+    return_decision_table,
+    summarize_outcomes,
+)
+from repro.core.gates import CallOutcome, ReturnOutcome
+from repro.cpu.faults import Fault, FaultCode
+from repro.cpu.isa import Op
+from repro.errors import MachineHalted
+
+from tests.helpers import BareMachine, asm_inst, halt_word, ind_word
+
+
+class TestFetchOracle:
+    def test_machine_matches_table_on_sampled_brackets(self):
+        """Every 10th fetch-table row is replayed on the live machine."""
+        rows = fetch_decision_table()[::10]
+        for row in rows:
+            bm = BareMachine()
+            bm.add_segment(
+                8,
+                [halt_word()],
+                r1=row["r1"],
+                r2=row["r2"],
+                r3=row["r3"],
+                execute=row["execute_flag"],
+                read=True,
+                write=False,
+            )
+            bm.start(8, 0, ring=row["ring"])
+            if row["allowed"]:
+                with pytest.raises(MachineHalted):
+                    bm.step()
+            else:
+                with pytest.raises(Fault) as excinfo:
+                    bm.step()
+                expected = (
+                    FaultCode.ACV_NO_EXECUTE
+                    if row["outcome"] == "no-execute-flag"
+                    else FaultCode.ACV_EXECUTE_BRACKET
+                )
+                assert excinfo.value.code is expected, row
+
+
+def _call_machine(row):
+    """Build a machine realising one CALL-table row and execute the CALL."""
+    bm = BareMachine()
+    for ring in range(8):
+        bm.add_segment(
+            ring, size=16, r1=ring, r2=ring, r3=ring,
+            read=True, write=True, execute=False,
+        )
+    target_segno = 8 if row["same_segment"] else 9
+    cur = row["cur_ring"]
+    # caller segment: wide bracket so any cur_ring can execute there
+    caller_words = [
+        asm_inst(Op.CALL, offset=14, indirect=True),
+        halt_word(),
+    ] + [halt_word()] * 10
+    bm.add_segment(
+        8,
+        caller_words + [0, 0, ind_word(target_segno, row["wordno"], ring=row["eff_ring"])],
+        r1=0,
+        r2=7,
+        r3=7,
+        read=True,
+        write=False,
+        execute=True,
+        gate=16 if row["same_segment"] else 0,
+    )
+    if not row["same_segment"]:
+        bm.add_segment(
+            9,
+            [halt_word()] * 8,
+            r1=row["r1"],
+            r2=row["r2"],
+            r3=row["r3"],
+            read=True,
+            write=False,
+            execute=row["execute_flag"],
+            gate=row["gate_count"],
+        )
+    else:
+        # rebuild segment 8 with the row's brackets: the call is internal
+        bm.add_segment(
+            10, [0], read=True, write=True, execute=False,
+        )
+    bm.start(8, 0, ring=cur)
+    return bm
+
+
+class TestCallOracle:
+    def test_machine_matches_table_on_sample(self):
+        """Replay a stratified sample of inter-segment CALL rows."""
+        rows = [
+            r
+            for r in call_decision_table()
+            if not r["same_segment"] and r["eff_ring"] >= r["cur_ring"]
+        ]
+        # take a spread of rows covering every outcome
+        by_outcome = {}
+        for row in rows:
+            by_outcome.setdefault(row["outcome"], []).append(row)
+        sample = list(
+            itertools.chain.from_iterable(v[:: max(1, len(v) // 8)] for v in by_outcome.values())
+        )
+        fault_map = {
+            CallOutcome.FAULT_NO_EXECUTE.name: FaultCode.ACV_NO_EXECUTE,
+            CallOutcome.FAULT_RING_RAISED.name: FaultCode.ACV_RING_RAISED,
+            CallOutcome.FAULT_OUTSIDE_BRACKET.name: FaultCode.ACV_OUTSIDE_CALL_BRACKET,
+            CallOutcome.FAULT_NOT_GATE.name: FaultCode.ACV_NOT_GATE,
+            CallOutcome.TRAP_UPWARD_CALL.name: FaultCode.TRAP_UPWARD_CALL,
+        }
+        assert len(sample) > 40  # roughly 8 rows per distinct outcome
+        for row in sample:
+            bm = _call_machine(row)
+            outcome = row["outcome"]
+            if outcome in (
+                CallOutcome.SAME_RING.name,
+                CallOutcome.DOWNWARD.name,
+            ):
+                bm.step()  # the CALL itself
+                assert bm.regs.ipr.ring == row["new_ring"], row
+                assert bm.regs.ipr.segno == 9
+            else:
+                with pytest.raises(Fault) as excinfo:
+                    bm.step()
+                assert excinfo.value.code is fault_map[outcome], row
+
+    def test_call_table_outcome_census_is_stable(self):
+        """The exhaustive census is a fixed point of the architecture;
+        any change to the decision procedure shows up here."""
+        census = summarize_outcomes(call_decision_table())
+        assert sum(census.values()) == len(ALL_BRACKETS) * 2 * 8 * 8 * 2 * 2
+
+    def test_return_table_census_is_stable(self):
+        census = summarize_outcomes(return_decision_table())
+        assert sum(census.values()) == len(ALL_BRACKETS) * 2 * 8 * 8
+
+
+class TestReturnOracle:
+    def test_machine_matches_table_on_sample(self):
+        rows = [
+            r for r in return_decision_table() if r["eff_ring"] >= r["cur_ring"]
+        ]
+        sample = rows[:: max(1, len(rows) // 200)]
+        fault_map = {
+            ReturnOutcome.FAULT_NO_EXECUTE.name: FaultCode.ACV_NO_EXECUTE,
+            ReturnOutcome.FAULT_EXECUTE_BRACKET.name: FaultCode.ACV_EXECUTE_BRACKET,
+        }
+        for row in sample:
+            bm = BareMachine()
+            cur, eff = row["cur_ring"], row["eff_ring"]
+            bm.add_segment(
+                8,
+                [asm_inst(Op.RETURN, offset=0, pr=4)] + [halt_word()] * 3,
+                r1=0, r2=7, r3=7, read=True, write=False, execute=True,
+            )
+            bm.add_segment(
+                9,
+                [halt_word()] * 4,
+                r1=row["r1"], r2=row["r2"], r3=row["r3"],
+                read=True, write=False, execute=row["execute_flag"],
+            )
+            bm.start(8, 0, ring=cur)
+            bm.regs.pr(4).load(9, 0, eff)
+            outcome = row["outcome"]
+            if outcome in (ReturnOutcome.SAME_RING.name, ReturnOutcome.UPWARD.name):
+                bm.step()
+                assert bm.regs.ipr.ring == row["new_ring"], row
+            else:
+                with pytest.raises(Fault) as excinfo:
+                    bm.step()
+                assert excinfo.value.code is fault_map[outcome], row

@@ -1,0 +1,345 @@
+"""Integration tests: the scenarios of the paper's "Use of Rings" section.
+
+Each test is a miniature of a use the paper describes — a protected
+subsystem auditing access to sensitive data, debugging in ring 5, a
+layered supervisor, grading student programs in ring 6 — running as
+real machine code on the full system.
+"""
+
+import pytest
+
+from repro.core.acl import AclEntry, RingBracketSpec
+from repro.cpu.faults import Fault, FaultCode
+from repro.sim.machine import Machine
+
+USER4 = [AclEntry("*", RingBracketSpec.procedure(4))]
+
+
+class TestProtectedSubsystem:
+    """User A shares a sensitive segment with user B, but only through
+    A's audit program in ring 2 (paper pp. 9-10, 36-37)."""
+
+    def _build(self, machine):
+        alice = machine.add_user("alice")
+        bob = machine.add_user("bob")
+        # The sensitive data: readable/writable only in ring 2, and only
+        # by alice's and bob's processes.
+        machine.store_data(
+            ">udd>alice>secrets",
+            [1111, 2222, 3333, 0],
+            owner=alice,
+            acl=[AclEntry("*", RingBracketSpec.data(2))],
+        )
+        # The audit subsystem: executes in ring 2, gates callable from
+        # rings 3-5; reads the secret, counts the access, returns it.
+        machine.store_program(
+            ">udd>alice>audit",
+            """
+        .seg    audit
+        .gates  1
+read::  aos     l_count,*      ; audit trail: count every access
+        lda     l_secret,*     ; fetch the sensitive word
+        return  pr4|0
+l_count: .its   secrets+3
+l_secret: .its  secrets
+""",
+            owner=alice,
+            acl=[AclEntry("*", RingBracketSpec.procedure(2, callable_from=5))],
+        )
+        machine.store_program(
+            ">udd>bob>reader",
+            """
+        .seg    reader
+main::  eap4    back
+        call    l_read,*
+back:   halt
+l_read: .its    audit$read
+""",
+            owner=bob,
+            acl=USER4,
+        )
+        machine.store_program(
+            ">udd>bob>thief",
+            """
+        .seg    thief
+main::  lda     l_secret,*     ; bypass the audit gate
+        halt
+l_secret: .its  secrets
+""",
+            owner=bob,
+            acl=USER4,
+        )
+        return alice, bob
+
+    def test_access_through_audit_gate_works(self, machine):
+        alice, bob = self._build(machine)
+        process = machine.login(bob)
+        machine.initiate(process, ">udd>bob>reader")
+        result = machine.run(process, "reader$main", ring=4)
+        assert result.halted
+        assert result.a == 1111
+        assert result.ring == 4
+
+    def test_audit_trail_recorded(self, machine):
+        alice, bob = self._build(machine)
+        process = machine.login(bob)
+        machine.initiate(process, ">udd>bob>reader")
+        machine.run(process, "reader$main", ring=4)
+        machine.run(process, "reader$main", ring=4)
+        secrets = machine.supervisor.activate(">udd>alice>secrets")
+        count = machine.memory.snapshot(secrets.placed.addr + 3, 1)[0]
+        assert count == 2
+
+    def test_direct_access_refused(self, machine):
+        """B's ring-4 program cannot read the ring-2 data directly."""
+        alice, bob = self._build(machine)
+        process = machine.login(bob)
+        machine.initiate(process, ">udd>bob>thief")
+        with pytest.raises(Fault) as excinfo:
+            machine.run(process, "thief$main", ring=4)
+        assert excinfo.value.code is FaultCode.ACV_READ_BRACKET
+
+    def test_subsystem_protected_from_ring4_write(self, machine):
+        """Ring 4 cannot patch the audit code either."""
+        alice, bob = self._build(machine)
+        patcher_src = """
+        .seg    patcher
+main::  lda     =0
+        sta     l_audit,*
+        halt
+l_audit: .its   audit$read
+"""
+        machine.store_program(">udd>bob>patcher", patcher_src, owner=bob, acl=USER4)
+        process = machine.login(bob)
+        machine.initiate(process, ">udd>bob>patcher")
+        with pytest.raises(Fault) as excinfo:
+            machine.run(process, "patcher$main", ring=4)
+        assert excinfo.value.code is FaultCode.ACV_NO_WRITE
+
+
+class TestDebugRing5:
+    """Running an untested program in ring 5 confines its damage
+    (paper p. 37)."""
+
+    def _build(self, machine):
+        user = machine.add_user("dev")
+        machine.store_data(
+            ">udd>dev>precious",
+            [7] * 4,
+            acl=[AclEntry("*", RingBracketSpec.data(4))],  # ring-4 data
+        )
+        machine.store_program(
+            ">udd>dev>buggy",
+            """
+        .seg    buggy
+main::  lda     =123
+        sta     l_data,*       ; addressing error: touches ring-4 data
+        halt
+l_data: .its    precious
+""",
+            acl=[AclEntry("*", RingBracketSpec.procedure(5))],
+        )
+        process = machine.login(user)
+        machine.initiate(process, ">udd>dev>buggy")
+        return process
+
+    def test_bug_caught_in_ring5(self, machine):
+        process = self._build(machine)
+        with pytest.raises(Fault) as excinfo:
+            machine.run(process, "buggy$main", ring=5)
+        assert excinfo.value.code is FaultCode.ACV_WRITE_BRACKET
+
+    def test_ring4_data_unharmed(self, machine):
+        process = self._build(machine)
+        with pytest.raises(Fault):
+            machine.run(process, "buggy$main", ring=5)
+        active = machine.supervisor.activate(">udd>dev>precious")
+        assert machine.memory.snapshot(active.placed.addr, 4) == [7] * 4
+
+    def test_same_program_certified_in_ring4_succeeds(self, machine):
+        """The same binary, trusted into ring 4, works — protection
+        environment changed without altering the program (programming
+        generality, paper p. 5)."""
+        user = machine.add_user("dev2")
+        machine.store_data(
+            ">udd>dev2>precious2",
+            [7] * 4,
+            acl=[AclEntry("*", RingBracketSpec.data(4))],
+        )
+        machine.store_program(
+            ">udd>dev2>fixed",
+            """
+        .seg    fixed
+main::  lda     =123
+        sta     l_data,*
+        halt
+l_data: .its    precious2
+""",
+            acl=[AclEntry("*", RingBracketSpec.procedure(4))],
+        )
+        process = machine.login(user)
+        machine.initiate(process, ">udd>dev2>fixed")
+        result = machine.run(process, "fixed$main", ring=4)
+        assert result.halted
+        active = machine.supervisor.activate(">udd>dev2>precious2")
+        assert machine.memory.snapshot(active.placed.addr, 1) == [123]
+
+
+class TestLayeredSupervisor:
+    """Ring-0/ring-1 supervisor layering with an internal gate between
+    the layers (paper pp. 34-36)."""
+
+    def _build(self, machine):
+        user = machine.add_user("u")
+        # ring-0 core: a gate reachable only from ring 1
+        machine.store_program(
+            ">sys>core",
+            """
+        .seg    core
+        .gates  1
+prim::  ada     =1000          ; the privileged primitive
+        return  pr4|0
+""",
+            acl=[AclEntry("*", RingBracketSpec.procedure(0, callable_from=1))],
+        )
+        # ring-1 layer: callable from user rings, calls down into core
+        machine.store_program(
+            ">sys>layer1",
+            """
+        .seg    layer1
+        .gates  1
+serve:: eap6    pr0|0
+        spr4    pr6|1
+        ada     =100
+        eap4    back
+        call    l_prim,*
+back:   eap4    pr6|1,*
+        return  pr4|0
+l_prim: .its    core$prim
+""",
+            acl=[AclEntry("*", RingBracketSpec.procedure(1, callable_from=5))],
+        )
+        machine.store_program(
+            ">udd>u>app",
+            """
+        .seg    app
+main::  lda     =1
+        eap4    back
+        call    l_serve,*
+back:   halt
+l_serve: .its   layer1$serve
+""",
+            acl=USER4,
+        )
+        process = machine.login(user)
+        machine.initiate(process, ">udd>u>app")
+        return process
+
+    def test_layered_call_chain(self, machine):
+        process = self._build(machine)
+        result = machine.run(process, "app$main", ring=4)
+        assert result.halted
+        assert result.a == 1101  # 1 + 100 (ring 1) + 1000 (ring 0)
+        assert result.ring == 4
+
+    def test_user_cannot_call_core_directly(self, machine):
+        process = self._build(machine)
+        machine.store_program(
+            ">udd>u>direct",
+            """
+        .seg    direct
+main::  eap4    back
+        call    l_prim,*
+back:   halt
+l_prim: .its    core$prim
+""",
+            acl=USER4,
+        )
+        machine.initiate(process, ">udd>u>direct")
+        with pytest.raises(Fault) as excinfo:
+            machine.run(process, "direct$main", ring=4)
+        assert excinfo.value.code is FaultCode.ACV_OUTSIDE_CALL_BRACKET
+
+    def test_layer1_change_does_not_touch_ring0(self, machine):
+        """Modifying the ring-1 layer leaves ring-0 data intact — the
+        error-confinement argument for layering (paper p. 36)."""
+        process = self._build(machine)
+        result = machine.run(process, "app$main", ring=4)
+        crossings = result.ring_crossings
+        assert crossings == 4  # 4->1, 1->0, 0->1, 1->4
+
+
+class TestGradingSandbox:
+    """A grader in ring 4 runs a student program in ring 6 via an
+    upward call (paper p. 37)."""
+
+    def _build(self, machine, student_src):
+        user = machine.add_user("grader")
+        machine.store_program(
+            ">udd>grader>grader",
+            """
+        .seg    grader
+main::  lda     =5
+        eap4    back
+        call    l_student,*
+back:   halt                   ; A holds the student's answer
+l_student: .its student$solve
+""",
+            acl=USER4,
+        )
+        machine.store_program(
+            ">udd>grader>student",
+            student_src,
+            acl=[AclEntry("*", RingBracketSpec.procedure(6))],
+        )
+        process = machine.login(user)
+        machine.initiate(process, ">udd>grader>grader")
+        return process
+
+    def test_honest_student_graded(self, machine):
+        process = self._build(
+            machine,
+            """
+        .seg    student
+        .gates  1
+solve:: ada     =37
+        return  pr4|0
+""",
+        )
+        result = machine.run(process, "grader$main", ring=4)
+        assert result.a == 42
+        assert result.ring == 4
+
+    def test_student_cannot_call_supervisor_gates(self, machine):
+        """Ring 6 is outside every supervisor gate extension."""
+        process = self._build(
+            machine,
+            """
+        .seg    student
+        .gates  1
+solve:: eap4    back
+        call    l_cheat,*
+back:   return  pr4|0
+l_cheat: .its   svc$write
+""",
+        )
+        with pytest.raises(Fault) as excinfo:
+            machine.run(process, "grader$main", ring=4)
+        assert excinfo.value.code is FaultCode.ACV_OUTSIDE_CALL_BRACKET
+
+    def test_student_cannot_touch_grader_stack(self, machine):
+        process = self._build(
+            machine,
+            """
+        .seg    student
+        .gates  1
+solve:: lda     =0
+        sta     pr6|1          ; PR6 still names the ring-4 stack...
+        return  pr4|0
+""",
+        )
+        with pytest.raises(Fault) as excinfo:
+            machine.run(process, "grader$main", ring=4)
+        # ...but its RING was raised to 6 on the upward call, and the
+        # ring-4 stack is invisible above ring 4
+        assert excinfo.value.code is FaultCode.ACV_WRITE_BRACKET

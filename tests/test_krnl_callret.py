@@ -1,0 +1,146 @@
+"""Upward calls and downward returns through the software assist."""
+
+import pytest
+
+from repro.core.acl import AclEntry, RingBracketSpec
+from repro.cpu.faults import Fault, FaultCode
+from repro.sim.machine import Machine
+
+USER_ACL = [AclEntry("*", RingBracketSpec.procedure(4))]
+HIGH_ACL = [AclEntry("*", RingBracketSpec.procedure(6))]
+
+
+def build(machine, caller_src, callee_src, callee_acl=None):
+    user = machine.add_user("u")
+    machine.store_program(">t>caller", caller_src, acl=USER_ACL)
+    machine.store_program(">t>high", callee_src, acl=callee_acl or HIGH_ACL)
+    process = machine.login(user)
+    machine.initiate(process, ">t>caller")
+    return process
+
+
+CALLER = """
+        .seg    caller
+main::  lda     =7
+        eap4    back
+        call    l_high,*
+back:   sta     pr6|2
+        halt
+l_high: .its    high$entry
+"""
+
+CALLEE = """
+        .seg    high
+        .gates  1
+entry:: ada     =1
+        return  pr4|0
+"""
+
+
+class TestUpwardCall:
+    def test_roundtrip_returns_to_caller_ring(self, machine):
+        process = build(machine, CALLER, CALLEE)
+        result = machine.run(process, "caller$main", ring=4)
+        assert result.halted
+        assert result.ring == 4
+        assert result.a == 8
+
+    def test_callee_executes_in_bracket_bottom_ring(self, machine):
+        src = """
+        .seg    high
+        .gates  1
+entry:: lda     =1
+        sta     pr0|3          ; prove we can use OUR ring's stack
+        return  pr4|0
+"""
+        process = build(machine, CALLER, src)
+        result = machine.run(process, "caller$main", ring=4)
+        assert result.halted
+        # the ring-6 stack received the store
+        stack6 = process.dseg.get(process.stack_segno(6))
+        assert machine.memory.snapshot(stack6.addr + 3, 1) == [1]
+
+    def test_upward_call_still_needs_gate(self, machine):
+        """The gate check precedes the upward-call trap."""
+        no_gate_callee = """
+        .seg    high
+filler: nop
+entry:: return  pr4|0
+"""
+        # no .gates: gate_count = 0, entry at word 1
+        process = build(machine, CALLER, no_gate_callee)
+        with pytest.raises(Fault) as excinfo:
+            machine.run(process, "caller$main", ring=4)
+        assert excinfo.value.code is FaultCode.ACV_NOT_GATE
+
+    def test_nested_upward_calls(self, machine):
+        """ring 4 -> ring 5 -> ring 6, unwound in LIFO order through the
+        stacked return gates."""
+        user = machine.add_user("u")
+        machine.store_program(">t>caller", """
+        .seg    caller
+main::  lda     =0
+        eap4    back
+        call    l_mid,*
+back:   halt
+l_mid:  .its    mid$entry
+""", acl=USER_ACL)
+        machine.store_program(">t>mid", """
+        .seg    mid
+        .gates  1
+entry:: eap6    pr0|0
+        spr4    pr6|1
+        ada     =10
+        eap4    back
+        call    l_top,*
+back:   eap4    pr6|1,*
+        return  pr4|0
+l_top:  .its    top$entry
+""", acl=[AclEntry("*", RingBracketSpec.procedure(5))])
+        machine.store_program(">t>top", """
+        .seg    top
+        .gates  1
+entry:: ada     =100
+        return  pr4|0
+""", acl=[AclEntry("*", RingBracketSpec.procedure(6))])
+        process = machine.login(user)
+        machine.initiate(process, ">t>caller")
+        result = machine.run(process, "caller$main", ring=4)
+        assert result.halted
+        assert result.a == 110
+        assert result.ring == 4
+
+    def test_wrong_return_gate_slot_is_violation(self, machine):
+        """Only the top of the return-gate stack is usable: a callee
+        returning through a stale slot gets an access violation."""
+        process = build(machine, CALLER, CALLEE)
+        machine.start(process, "caller$main", ring=4)
+        # run until the upward call has happened (we're in ring 6)
+        for _ in range(100):
+            machine.processor.step()
+            if machine.processor.registers.ipr.ring == 6:
+                break
+        assert machine.processor.registers.ipr.ring == 6
+        # forge PR4 to name slot 7 of the return-gate segment
+        assist = machine.supervisor.assist_for(process)
+        machine.processor.registers.pr(4).load(assist.gate_segno, 7, 6)
+        with pytest.raises(Fault) as excinfo:
+            for _ in range(10):
+                machine.processor.step()
+        assert excinfo.value.code is FaultCode.ACV_NO_EXECUTE
+
+    def test_caller_prs_restored_after_downward_return(self, machine):
+        """The assist restores the caller's pointer registers so its
+        pointers validate at the original rings again."""
+        process = build(machine, CALLER, CALLEE)
+        result = machine.run(process, "caller$main", ring=4)
+        assert result.halted
+        regs = machine.processor.registers
+        # PR6 (stack pointer) is back to the ring-4 stack with ring 4
+        assert regs.pr(6).ring == 4
+        assert regs.pr(6).segno == process.stack_segno(4)
+
+    def test_return_gate_stack_empties(self, machine):
+        process = build(machine, CALLER, CALLEE)
+        machine.run(process, "caller$main", ring=4)
+        assert machine.supervisor.assist_for(process).stack.depth == 0

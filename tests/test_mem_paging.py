@@ -1,0 +1,86 @@
+"""Unit tests for the transparent paging layer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mem.paging import (
+    PAGE_WORDS,
+    PageFaultSignal,
+    PageTable,
+    pages_for,
+    translate_paged,
+)
+
+
+class TestPagesFor:
+    def test_exact_multiple(self):
+        assert pages_for(2 * PAGE_WORDS) == 2
+
+    def test_rounds_up(self):
+        assert pages_for(PAGE_WORDS + 1) == 2
+
+    def test_zero(self):
+        assert pages_for(0) == 0
+
+    def test_one_word(self):
+        assert pages_for(1) == 1
+
+
+class TestPageTable:
+    def test_build_allocates_frames(self, memory):
+        table = PageTable.build(memory, bound=3 * PAGE_WORDS)
+        assert table.npages == 3
+
+    def test_load_and_read_words(self, memory):
+        table = PageTable.build(memory, bound=2 * PAGE_WORDS)
+        words = list(range(2 * PAGE_WORDS))
+        table.load_words(words)
+        assert table.read_word(0) == 0
+        assert table.read_word(PAGE_WORDS) == PAGE_WORDS
+        assert table.read_word(2 * PAGE_WORDS - 1) == 2 * PAGE_WORDS - 1
+
+    def test_translate_present_page(self, memory):
+        table = PageTable.build(memory, bound=PAGE_WORDS)
+        table.load_words([7] * PAGE_WORDS)
+        addr = translate_paged(memory, table.addr, 5)
+        assert memory.snapshot(addr, 1) == [7]
+
+    def test_translate_charges_one_read(self, memory):
+        table = PageTable.build(memory, bound=PAGE_WORDS)
+        memory.reset_counters()
+        translate_paged(memory, table.addr, 0)
+        assert memory.reads == 1  # the PTW fetch
+
+    def test_missing_page_signals(self, memory):
+        table = PageTable.build(memory, bound=2 * PAGE_WORDS)
+        table.unmap_page(1)
+        with pytest.raises(PageFaultSignal) as excinfo:
+            translate_paged(memory, table.addr, PAGE_WORDS + 3)
+        assert excinfo.value.page_index == 1
+
+    def test_remap_after_unmap(self, memory):
+        table = PageTable.build(memory, bound=PAGE_WORDS)
+        table.unmap_page(0)
+        frame = memory.allocate(PAGE_WORDS)
+        table.map_page(0, frame.addr)
+        assert translate_paged(memory, table.addr, 0) == frame.addr
+
+    def test_scattered_frames_are_transparent(self, memory):
+        """Pages land in scattered blocks; word addressing is unchanged."""
+        table = PageTable.build(memory, bound=3 * PAGE_WORDS)
+        words = list(range(3 * PAGE_WORDS))
+        table.load_words(words)
+        for wordno in (0, PAGE_WORDS - 1, PAGE_WORDS, 3 * PAGE_WORDS - 1):
+            addr = translate_paged(memory, table.addr, wordno)
+            assert memory.snapshot(addr, 1) == [wordno]
+
+    def test_map_page_index_validated(self, memory):
+        table = PageTable.build(memory, bound=PAGE_WORDS)
+        with pytest.raises(ConfigurationError):
+            table.map_page(5, 0)
+
+    def test_read_word_missing_page(self, memory):
+        table = PageTable.build(memory, bound=PAGE_WORDS)
+        table.unmap_page(0)
+        with pytest.raises(PageFaultSignal):
+            table.read_word(0)

@@ -1,0 +1,59 @@
+"""Unit tests for host-side segment images."""
+
+import pytest
+
+from repro.errors import SegmentBoundsError
+from repro.mem.segment import LinkRequest, SegmentImage
+
+
+class TestSegmentImage:
+    def test_zeros(self):
+        image = SegmentImage.zeros("data", 10)
+        assert len(image) == 10
+        assert image.word(9) == 0
+
+    def test_from_values_truncates(self):
+        image = SegmentImage.from_values("d", [1 << 40])
+        assert image.word(0) == (1 << 40) & (2**36 - 1)
+
+    def test_bound_matches_length(self):
+        assert SegmentImage.zeros("d", 5).bound == 5
+
+    def test_word_bounds(self):
+        image = SegmentImage.zeros("d", 3)
+        with pytest.raises(SegmentBoundsError):
+            image.word(3)
+
+    def test_set_word(self):
+        image = SegmentImage.zeros("d", 3)
+        image.set_word(1, 42)
+        assert image.word(1) == 42
+
+    def test_patch_offset_keeps_high_bits(self):
+        image = SegmentImage.from_values("d", [(0o123 << 27) | 0o777])
+        image.patch_offset(0, 0o42)
+        assert image.word(0) == (0o123 << 27) | 0o42
+
+    def test_entry_lookup(self):
+        image = SegmentImage("p", words=[0, 0], entries={"main": 1})
+        assert image.entry("main") == 1
+
+    def test_entry_missing_lists_available(self):
+        image = SegmentImage("p", words=[0], entries={"a": 0})
+        with pytest.raises(SegmentBoundsError) as excinfo:
+            image.entry("b")
+        assert "'a'" in str(excinfo.value)
+
+    def test_gates_are_entries_below_gate_count(self):
+        image = SegmentImage(
+            "p",
+            words=[0] * 5,
+            entries={"g0": 0, "g1": 1, "inner": 4},
+            gate_count=2,
+        )
+        assert image.gates() == [("g0", 0), ("g1", 1)]
+
+    def test_link_request_defaults(self):
+        link = LinkRequest(wordno=3, symbol="svc$write")
+        assert link.field == "offset"
+        assert link.ring is None

@@ -1,0 +1,110 @@
+"""Two processors on one memory.
+
+The paper's processor mechanisms are per-processor (each has its own
+DBR, PRs, ring of execution); the memory, descriptor segments, and
+segments are shared system state.  These tests interleave two Processor
+instances over one PhysicalMemory — two users running simultaneously,
+each in its own virtual memory, sharing one data segment.
+"""
+
+import pytest
+
+from repro.core.acl import AclEntry, RingBracketSpec
+from repro.cpu.processor import Processor
+from repro.errors import MachineHalted
+from repro.sim.machine import Machine
+
+USER_ACL = [AclEntry("*", RingBracketSpec.procedure(4))]
+
+WORKER = """
+        .seg    NAME
+main::  lda     =COUNT
+loop:   aos     l_shared,*
+        sba     =1
+        tnz     loop
+        halt
+l_shared: .its  shared
+"""
+
+
+def build(machine):
+    alice = machine.add_user("alice")
+    bob = machine.add_user("bob")
+    machine.store_data(">shared", [0], acl=[AclEntry("*", RingBracketSpec.data(4))])
+    machine.store_program(
+        ">a>wa", WORKER.replace("NAME", "wa").replace("COUNT", "15"), acl=USER_ACL
+    )
+    machine.store_program(
+        ">b>wb", WORKER.replace("NAME", "wb").replace("COUNT", "10"), acl=USER_ACL
+    )
+    pa = machine.login(alice)
+    pb = machine.login(bob)
+    machine.initiate(pa, ">a>wa")
+    machine.initiate(pb, ">b>wb")
+    return pa, pb
+
+
+def start_on(machine, cpu, process, ref, ring=4):
+    machine.supervisor.attach(cpu, process)
+    segno, wordno = process.entry_of(ref)
+    stack = process.stack_segno(ring)
+    for pr in cpu.registers.prs:
+        pr.load(stack, 0, ring)
+    cpu.registers.crr = ring
+    cpu.registers.ipr.set(ring, segno, wordno)
+
+
+class TestTwoProcessors:
+    def test_interleaved_execution_shares_memory(self, machine):
+        pa, pb = build(machine)
+        cpu_a = machine.processor
+        cpu_b = Processor(machine.memory)
+        start_on(machine, cpu_a, pa, "wa$main")
+        start_on(machine, cpu_b, pb, "wb$main")
+
+        halted = {cpu_a: False, cpu_b: False}
+        for _ in range(2000):
+            for cpu in (cpu_a, cpu_b):
+                if halted[cpu]:
+                    continue
+                try:
+                    cpu.step()
+                except MachineHalted:
+                    halted[cpu] = True
+            if all(halted.values()):
+                break
+        assert all(halted.values())
+
+        shared = machine.supervisor.activate(">shared")
+        assert machine.memory.snapshot(shared.placed.addr, 1) == [25]
+
+    def test_each_processor_has_its_own_ring_state(self, machine):
+        """Processor A can sit in ring 0 while B runs ring 4 — ring of
+        execution is per-processor, not per-system."""
+        pa, pb = build(machine)
+        cpu_a = machine.processor
+        cpu_b = Processor(machine.memory)
+        start_on(machine, cpu_a, pa, "wa$main", ring=4)
+        start_on(machine, cpu_b, pb, "wb$main", ring=4)
+        cpu_b.registers.ipr.ring = 4
+        # force A's registers into ring 0 briefly (supervisor-style)
+        cpu_a.registers.ipr.ring = 0
+        assert cpu_a.registers.ipr.ring != cpu_b.registers.ipr.ring
+
+    def test_separate_dbrs_separate_virtual_memories(self, machine):
+        pa, pb = build(machine)
+        cpu_a = machine.processor
+        cpu_b = Processor(machine.memory)
+        machine.supervisor.attach(cpu_a, pa)
+        machine.supervisor.attach(cpu_b, pb)
+        # the same segment number (a stack) maps to different storage
+        sdw_a = cpu_a.fetch_sdw(4)
+        sdw_b = cpu_b.fetch_sdw(4)
+        assert sdw_a.addr != sdw_b.addr
+        # but a shared global segment maps to the same storage
+        shared_segno = machine.initiate(pa, ">shared")
+        assert machine.initiate(pb, ">shared") == shared_segno
+        assert (
+            cpu_a.fetch_sdw(shared_segno).addr
+            == cpu_b.fetch_sdw(shared_segno).addr
+        )

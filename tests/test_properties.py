@@ -1,0 +1,237 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These pin the properties the paper's security argument rests on:
+
+* nested-subset monotonicity of read/write capabilities;
+* the effective ring is monotone, exceeds the current ring, and equals
+  the maximum over all influences;
+* SDW/instruction/indirect encodings are lossless bijections;
+* CALL never raises the ring and always lands in the execute bracket;
+* RETURN never drops below the caller's ring;
+* the live machine maintains ``PRn.RING >= IPR.RING`` across random
+  instruction sequences.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.effective import effective_ring_of_chain
+from repro.core.gates import CallOutcome, decide_call, decide_return
+from repro.core.rings import RingBrackets, check_read, check_write, permission_table
+from repro.formats.indirect import IndirectWord
+from repro.formats.instruction import Instruction
+from repro.formats.sdw import SDW
+
+rings = st.integers(min_value=0, max_value=7)
+bools = st.booleans()
+
+
+@st.composite
+def brackets(draw):
+    triple = sorted(draw(st.tuples(rings, rings, rings)))
+    return RingBrackets(*triple)
+
+
+@st.composite
+def sdws(draw):
+    b = draw(brackets())
+    return SDW(
+        addr=draw(st.integers(0, (1 << 24) - 1)),
+        bound=draw(st.integers(0, (1 << 18) - 1)),
+        r1=b.r1,
+        r2=b.r2,
+        r3=b.r3,
+        read=draw(bools),
+        write=draw(bools),
+        execute=draw(bools),
+        gate=draw(st.integers(0, (1 << 14) - 1)),
+        present=draw(bools),
+        paged=draw(bools),
+    )
+
+
+class TestEncodingRoundtrips:
+    @given(sdws())
+    def test_sdw_pack_unpack_identity(self, sdw):
+        assert SDW.unpack(*sdw.pack()) == sdw
+
+    @given(
+        st.integers(0, 511),
+        st.integers(0, (1 << 18) - 1),
+        bools,
+        bools,
+        st.integers(0, 7),
+        st.integers(0, 15),
+    )
+    def test_instruction_roundtrip(self, opcode, offset, ind, prflag, prnum, tag):
+        inst = Instruction(
+            opcode=opcode,
+            offset=offset,
+            indirect=ind,
+            prflag=prflag,
+            prnum=prnum,
+            tag=tag,
+        )
+        assert Instruction.unpack(inst.pack()) == inst
+
+    @given(st.integers(0, (1 << 14) - 1), st.integers(0, (1 << 18) - 1), rings, bools)
+    def test_indirect_roundtrip(self, segno, wordno, ring, chained):
+        ind = IndirectWord(segno=segno, wordno=wordno, ring=ring, indirect=chained)
+        assert IndirectWord.unpack(ind.pack()) == ind
+
+    @given(sdws())
+    def test_distinct_sdws_distinct_images(self, sdw):
+        """pack is injective over the flag bits (spot-check via flips)."""
+        flipped = sdw.with_flags(read=not sdw.read)
+        assert flipped.pack() != sdw.pack()
+
+
+class TestNestedSubset:
+    @given(brackets(), bools, bools)
+    def test_read_write_monotone(self, b, rflag, wflag):
+        """Ring m's read/write capability implies ring n's for n < m."""
+        for m in range(8):
+            for n in range(m):
+                if check_read(m, b, rflag):
+                    assert check_read(n, b, rflag)
+                if check_write(m, b, wflag):
+                    assert check_write(n, b, wflag)
+
+    @given(brackets(), bools, bools, bools)
+    def test_write_implies_read_bracket(self, b, rflag, wflag, eflag):
+        """The write bracket is always inside the read bracket."""
+        table = permission_table(b, rflag and True, wflag and True, eflag)
+        for row in table:
+            if row["write"] and rflag:
+                assert check_read(row["ring"], b, rflag)
+
+
+class TestEffectiveRing:
+    chain = st.lists(st.tuples(rings, rings), max_size=8)
+
+    @given(rings, st.one_of(st.none(), rings), chain)
+    def test_at_least_current_ring(self, cur, pr, chain):
+        assert effective_ring_of_chain(cur, pr, chain) >= cur
+
+    @given(rings, st.one_of(st.none(), rings), chain)
+    def test_equals_max_of_influences(self, cur, pr, chain):
+        influences = [cur]
+        if pr is not None:
+            influences.append(pr)
+        influences.extend(itertools.chain.from_iterable(chain))
+        assert effective_ring_of_chain(cur, pr, chain) == max(influences)
+
+    @given(rings, st.one_of(st.none(), rings), chain, st.tuples(rings, rings))
+    def test_monotone_in_chain_extension(self, cur, pr, chain, extra):
+        base = effective_ring_of_chain(cur, pr, chain)
+        extended = effective_ring_of_chain(cur, pr, list(chain) + [extra])
+        assert extended >= base
+
+
+class TestCallReturnDecisions:
+    @given(rings, rings, brackets(), bools, st.integers(0, 100), st.integers(0, 50), bools)
+    def test_call_decision_is_total(self, eff, cur, b, eflag, wordno, gates, same):
+        decision = decide_call(eff, cur, b, eflag, wordno, gates, same)
+        assert decision.outcome is not None
+        if decision.proceeds:
+            assert decision.new_ring is not None
+
+    @given(rings, brackets(), bools, st.integers(0, 100), st.integers(0, 50), bools)
+    def test_call_never_raises_ring(self, eff, b, eflag, wordno, gates, same):
+        decision = decide_call(eff, eff, b, eflag, wordno, gates, same)
+        if decision.proceeds:
+            assert decision.new_ring <= eff
+
+    @given(rings, brackets(), bools, st.integers(0, 100), st.integers(0, 50), bools)
+    def test_call_lands_in_execute_bracket(self, eff, b, eflag, wordno, gates, same):
+        decision = decide_call(eff, eff, b, eflag, wordno, gates, same)
+        if decision.proceeds:
+            assert b.execute_allowed(decision.new_ring)
+
+    @given(rings, rings, brackets(), bools, st.integers(0, 100), st.integers(0, 50))
+    def test_call_with_raised_ring_never_proceeds(
+        self, eff, cur, b, eflag, wordno, gates
+    ):
+        """The p. 30 rule: eff > cur is always refused."""
+        if eff > cur:
+            decision = decide_call(eff, cur, b, eflag, wordno, gates, False)
+            assert not decision.proceeds
+
+    @given(rings, rings, brackets(), bools)
+    def test_return_never_below_caller(self, eff, cur, b, eflag):
+        decision = decide_return(eff, cur, b, eflag)
+        if decision.proceeds:
+            assert decision.new_ring >= cur
+
+    @given(rings, rings, brackets())
+    def test_return_lands_in_execute_bracket(self, eff, cur, b):
+        decision = decide_return(eff, cur, b, True)
+        if decision.proceeds:
+            assert b.execute_allowed(decision.new_ring)
+
+    @given(rings, brackets(), st.integers(0, 50), bools)
+    def test_gateless_segment_rejects_intersegment_calls(self, eff, b, wordno, eflag):
+        decision = decide_call(eff, eff, b, eflag, wordno, 0, False)
+        assert decision.outcome in (
+            CallOutcome.FAULT_NOT_GATE,
+            CallOutcome.FAULT_NO_EXECUTE,
+            CallOutcome.FAULT_OUTSIDE_BRACKET,
+        )
+
+
+class TestMachineInvariant:
+    """Random programs can never break PRn.RING >= IPR.RING."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["eap", "call", "return", "lda", "spr"]),
+                st.integers(0, 7),   # pr selector / target variance
+                rings,               # a ring to poke into pointers
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_pr_ring_invariant_over_random_sequences(self, script):
+        from repro.cpu.isa import Op
+        from repro.errors import MachineHalted
+        from repro.cpu.faults import Fault
+
+        from tests.helpers import BareMachine, asm_inst, halt_word, ind_word
+
+        bm = BareMachine()
+        for ring in range(8):
+            bm.add_segment(
+                ring, size=32, r1=ring, r2=ring, r3=ring,
+                read=True, write=True, execute=False,
+            )
+        # a gated ring-0 segment and a ring-4 main segment
+        bm.add_code(9, [asm_inst(Op.RETURN, offset=0, pr=4)], ring=0, r3=5, gate=1)
+        words = []
+        for kind, sel, ring in script:
+            if kind == "eap":
+                words.append(asm_inst(Op.EAP0.__class__["EAP%d" % (sel % 8)], offset=sel))
+            elif kind == "lda":
+                words.append(asm_inst(Op.LDA, offset=sel, immediate=True))
+            elif kind == "spr":
+                words.append(asm_inst(Op.SPR1, offset=1, pr=0))
+            elif kind == "call":
+                words.append(asm_inst(Op.CALL, offset=30, indirect=True))
+            else:
+                words.append(asm_inst(Op.RETURN, offset=0, pr=4))
+        words.append(halt_word())
+        while len(words) < 30:
+            words.append(halt_word())
+        words.append(ind_word(9, 0))  # word 30: link to the gate
+        bm.add_code(8, words, ring=4)
+        bm.start(8, 0, ring=4)
+        bm.regs.pr(4).load(8, len(script), 4)  # plausible return pointer
+        for _ in range(200):
+            try:
+                bm.step()
+            except (MachineHalted, Fault):
+                break
+            assert bm.regs.check_ring_invariant()

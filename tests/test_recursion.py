@@ -1,0 +1,88 @@
+"""Recursion with real stack frames.
+
+The paper's stack machinery (per-ring stack segments, the stack-base
+pointer from CALL, pointer stores/loads through frames) exists to make
+ordinary programming idioms work; this test runs a genuinely recursive
+procedure — triangular numbers by self-call — with hand-built frames:
+
+    frame[0] = saved return pointer (SPR4)
+    frame[1] = saved argument
+    PR6      = frame pointer, advanced 2 words per call
+
+Restoring the return pointer with ``eap4 pr6|0,*`` exercises the
+indirect-word path: the saved PR4 *is* an indirect word, and EAP through
+it reconstructs the pointer including its ring field.
+"""
+
+import pytest
+
+from repro.core.acl import AclEntry, RingBracketSpec
+from repro.errors import ConfigurationError
+from repro.sim.machine import Machine
+
+USER_ACL = [AclEntry("*", RingBracketSpec.procedure(4))]
+
+RECURSIVE_SUM = """
+        .seg    rsum
+        .gates  1
+; entry: A = n.  exit: A = n + (n-1) + ... + 1 + 0.
+sum::   tze     done           ; base case: n == 0
+        spr4    pr6|0          ; save my return pointer
+        sta     pr6|1          ; save my n
+        eap6    pr6|2          ; push a frame
+        sba     =1             ; argument n-1
+        eap4    after
+        call    sum            ; recurse (same segment: no gate check)
+after:  eap6    pr6|-2         ; pop my frame
+        ada     pr6|1          ; A += my n
+        eap4    pr6|0,*        ; restore my return pointer
+done:   return  pr4|0
+"""
+
+MAIN = """
+        .seg    driver
+main::  eap6    pr0|2          ; frames start above the stack header
+        lda     =N
+        eap4    back
+        call    l_sum,*
+back:   halt
+l_sum:  .its    rsum$sum
+"""
+
+
+def run_sum(n, ring=4):
+    machine = Machine(services=False)
+    user = machine.add_user("u")
+    machine.store_program(">t>rsum", RECURSIVE_SUM, acl=USER_ACL)
+    machine.store_program(">t>driver", MAIN.replace("N", str(n)), acl=USER_ACL)
+    process = machine.login(user)
+    machine.initiate(process, ">t>driver")
+    return machine.run(process, f"driver$main", ring=ring)
+
+
+class TestRecursion:
+    @pytest.mark.parametrize("n,expected", [(0, 0), (1, 1), (5, 15), (10, 55)])
+    def test_triangular_numbers(self, n, expected):
+        result = run_sum(n)
+        assert result.halted
+        assert result.a == expected
+
+    def test_deep_recursion_until_stack_bound(self):
+        """Frames eventually run off the 256-word stack segment — and
+        the failure is a clean bound violation, not corruption."""
+        from repro.cpu.faults import Fault, FaultCode
+
+        with pytest.raises(Fault) as excinfo:
+            run_sum(200)  # 200 frames * 2 words + header > 256
+        assert excinfo.value.code is FaultCode.ACV_OUT_OF_BOUNDS
+
+    def test_recursion_depth_within_stack(self):
+        result = run_sum(100)
+        assert result.a == 5050
+
+    def test_return_pointer_survives_nesting(self):
+        """After full unwinding, execution is back in the driver at
+        ring 4 with the stack pointer where main put it."""
+        result = run_sum(7)
+        assert result.ring == 4
+        assert result.a == 28

@@ -1,0 +1,91 @@
+"""The sole-occupant rule for protected-subsystem rings (pp. 37-38)."""
+
+import pytest
+
+from repro.core.acl import AclEntry, RingBracketSpec
+from repro.errors import AccessDenied
+from repro.sim.machine import Machine
+
+USER_ACL = [AclEntry("*", RingBracketSpec.procedure(4))]
+
+SUBSYS = """
+        .seg    NAME
+        .gates  1
+entry:: return  pr4|0
+"""
+
+
+def store_subsystem(machine, path, name, owner, ring=2):
+    machine.store_program(
+        path,
+        SUBSYS.replace("NAME", name),
+        owner=owner,
+        acl=[AclEntry("*", RingBracketSpec.procedure(ring, callable_from=5))],
+    )
+
+
+@pytest.fixture
+def world(machine):
+    vendor_a = machine.add_user("vendor_a")
+    vendor_b = machine.add_user("vendor_b")
+    customer = machine.add_user("customer")
+    store_subsystem(machine, ">subs>alpha", "alpha", vendor_a, ring=2)
+    store_subsystem(machine, ">subs>beta", "beta", vendor_b, ring=2)
+    store_subsystem(machine, ">subs>gamma", "gamma", vendor_b, ring=3)
+    store_subsystem(machine, ">subs>alpha2", "alpha2", vendor_a, ring=2)
+    return machine, vendor_a, vendor_b, customer
+
+
+class TestSoleOccupant:
+    def test_two_vendors_cannot_share_one_ring(self, world):
+        machine, vendor_a, vendor_b, customer = world
+        process = machine.login(customer)
+        machine.initiate(process, ">subs>alpha")
+        with pytest.raises(AccessDenied) as excinfo:
+            machine.initiate(process, ">subs>beta")
+        assert "sole-occupant" in str(excinfo.value)
+
+    def test_same_vendor_may_add_more_segments(self, world):
+        machine, vendor_a, vendor_b, customer = world
+        process = machine.login(customer)
+        machine.initiate(process, ">subs>alpha")
+        machine.initiate(process, ">subs>alpha2")  # same owner: fine
+
+    def test_different_rings_different_occupants(self, world):
+        """Ring 2 for vendor A, ring 3 for vendor B — both coexist."""
+        machine, vendor_a, vendor_b, customer = world
+        process = machine.login(customer)
+        machine.initiate(process, ">subs>alpha")   # ring 2, vendor A
+        machine.initiate(process, ">subs>gamma")   # ring 3, vendor B
+        assert machine.supervisor.ring_occupant(process, 2) == "vendor_a"
+        assert machine.supervisor.ring_occupant(process, 3) == "vendor_b"
+
+    def test_different_processes_different_occupants(self, world):
+        """'A given ring may simultaneously protect different subsystems
+        in different processes.'"""
+        machine, vendor_a, vendor_b, customer = world
+        other = machine.add_user("other")
+        p1 = machine.login(customer)
+        p2 = machine.login(other)
+        machine.initiate(p1, ">subs>alpha")  # ring 2 <- vendor A
+        machine.initiate(p2, ">subs>beta")   # ring 2 <- vendor B, other process
+        assert machine.supervisor.ring_occupant(p1, 2) == "vendor_a"
+        assert machine.supervisor.ring_occupant(p2, 2) == "vendor_b"
+
+    def test_user_rings_unaffected(self, world):
+        """Ring 4 code is not a protected subsystem; many owners mix."""
+        machine, vendor_a, vendor_b, customer = world
+        machine.store_program(
+            ">udd>a>p1", SUBSYS.replace("NAME", "p1"), owner=vendor_a, acl=USER_ACL
+        )
+        machine.store_program(
+            ">udd>b>p2", SUBSYS.replace("NAME", "p2"), owner=vendor_b, acl=USER_ACL
+        )
+        process = machine.login(customer)
+        machine.initiate(process, ">udd>a>p1")
+        machine.initiate(process, ">udd>b>p2")
+
+    def test_occupancy_of_unclaimed_ring_is_none(self, world):
+        machine, *_ , customer = world
+        process = machine.login(customer)
+        assert machine.supervisor.ring_occupant(process, 2) is None

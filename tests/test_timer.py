@@ -1,0 +1,136 @@
+"""The interval timer and runaway control."""
+
+import pytest
+
+from repro.core.acl import AclEntry, RingBracketSpec
+from repro.cpu.faults import Fault, FaultCode
+from repro.errors import ConfigurationError
+from repro.sim.machine import Machine
+
+from tests.helpers import BareMachine, asm_inst, halt_word
+from repro.cpu.isa import Op
+
+USER_ACL = [AclEntry("*", RingBracketSpec.procedure(4))]
+
+
+class TestProcessorTimer:
+    def test_timer_fault_fires_after_count(self, bare):
+        bare.add_code(8, [asm_inst(Op.NOP)] * 10 + [halt_word()], ring=4)
+        bare.start(8, 0, ring=4)
+        bare.proc.set_timer(3)
+        with pytest.raises(Fault) as excinfo:
+            bare.run()
+        assert excinfo.value.code is FaultCode.TIMER
+        assert bare.proc.stats.instructions == 3
+
+    def test_timer_fault_is_resumable(self, bare):
+        """The fault fires between instructions; continuing runs the
+        program to completion with nothing lost."""
+        bare.add_code(
+            8,
+            [asm_inst(Op.LDA, offset=1, immediate=True)]
+            + [asm_inst(Op.ADA, offset=1, immediate=True)] * 9
+            + [halt_word()],
+            ring=4,
+        )
+        fired = []
+
+        def handler(proc, fault):
+            fired.append(fault.code)
+            return "continue"
+
+        bare.proc.fault_handler = handler
+        bare.start(8, 0, ring=4)
+        bare.proc.set_timer(4)
+        bare.run()
+        assert bare.proc.halted
+        assert bare.regs.a == 10  # 1 + 9 adds, untouched by the timer
+        assert fired == [FaultCode.TIMER]
+
+    def test_timer_disarmed_after_firing(self, bare):
+        bare.add_code(8, [asm_inst(Op.NOP)] * 20 + [halt_word()], ring=4)
+        bare.proc.fault_handler = lambda proc, fault: "continue"
+        bare.start(8, 0, ring=4)
+        bare.proc.set_timer(5)
+        bare.run()
+        assert bare.proc.timer is None
+
+    def test_invalid_count_rejected(self, bare):
+        with pytest.raises(ConfigurationError):
+            bare.proc.set_timer(0)
+
+    def test_timer_none_disarms(self, bare):
+        bare.proc.set_timer(5)
+        bare.proc.set_timer(None)
+        bare.add_code(8, [asm_inst(Op.NOP)] * 20 + [halt_word()], ring=4)
+        bare.start(8, 0, ring=4)
+        bare.run()
+        assert bare.proc.halted
+
+
+class TestRunawayControl:
+    def _runaway_machine(self, quantum=50, limit=3):
+        machine = Machine(services=False)
+        machine.supervisor.timer_quantum = quantum
+        machine.supervisor.timer_limit = limit
+        user = machine.add_user("u")
+        machine.store_program(
+            ">t>spin",
+            """
+        .seg    spin
+main::  tra     main
+""",
+            acl=USER_ACL,
+        )
+        process = machine.login(user)
+        machine.initiate(process, ">t>spin")
+        return machine, process
+
+    def test_runaway_program_is_stopped(self):
+        machine, process = self._runaway_machine(quantum=50, limit=3)
+        with pytest.raises(Fault) as excinfo:
+            machine.run(process, "spin$main", ring=4, max_steps=100_000)
+        assert excinfo.value.code is FaultCode.TIMER
+        assert machine.supervisor.timer_runouts(process) == 4  # 3 allowed + 1
+
+    def test_wellbehaved_program_unaffected(self):
+        machine = Machine()
+        machine.supervisor.timer_quantum = 50
+        machine.supervisor.timer_limit = 3
+        user = machine.add_user("u")
+        machine.store_program(
+            ">t>quick",
+            """
+        .seg    quick
+main::  lda     =1
+        halt
+""",
+            acl=USER_ACL,
+        )
+        process = machine.login(user)
+        machine.initiate(process, ">t>quick")
+        result = machine.run(process, "quick$main", ring=4)
+        assert result.halted and result.a == 1
+        assert machine.supervisor.timer_runouts(process) == 0
+
+    def test_budgeted_long_program_completes(self):
+        machine = Machine(services=False)
+        machine.supervisor.timer_quantum = 20
+        machine.supervisor.timer_limit = 100
+        user = machine.add_user("u")
+        machine.store_program(
+            ">t>longer",
+            """
+        .seg    longer
+main::  lda     =60
+loop:   sba     =1
+        tnz     loop
+        halt
+""",
+            acl=USER_ACL,
+        )
+        process = machine.login(user)
+        machine.initiate(process, ">t>longer")
+        result = machine.run(process, "longer$main", ring=4)
+        assert result.halted
+        assert machine.supervisor.timer_runouts(process) >= 5

@@ -1,0 +1,71 @@
+"""The self-verification module and its CLI command."""
+
+from repro.analysis.verify import (
+    ALL_CHECKS,
+    CheckResult,
+    check_call_invariants,
+    check_crossing_claim,
+    check_effective_ring,
+    check_encodings,
+    check_live_machine,
+    check_nested_subset,
+    check_return_invariants,
+    render_report,
+    verify_all,
+)
+from repro.cli import main
+
+
+class TestChecks:
+    def test_every_check_passes(self):
+        for result in verify_all():
+            assert result.ok, f"{result.name}: {result.detail}"
+
+    def test_individual_checks(self):
+        assert check_encodings().ok
+        assert check_nested_subset().ok
+        assert check_call_invariants().ok
+        assert check_return_invariants().ok
+        assert check_effective_ring().ok
+
+    def test_live_machine_check(self):
+        result = check_live_machine()
+        assert result.ok
+        assert "crossings=2" in result.detail
+
+    def test_crossing_claim_check(self):
+        result = check_crossing_claim()
+        assert result.ok
+        assert "x)" in result.detail
+
+    def test_all_checks_registered(self):
+        assert len(ALL_CHECKS) == 7
+
+    def test_crashing_check_reported_not_raised(self, monkeypatch):
+        import repro.analysis.verify as verify_mod
+
+        def boom():
+            raise RuntimeError("injected")
+
+        monkeypatch.setattr(verify_mod, "ALL_CHECKS", [boom])
+        results = verify_mod.verify_all()
+        assert len(results) == 1
+        assert not results[0].ok
+        assert "injected" in results[0].detail
+
+
+class TestReport:
+    def test_render_marks_failures(self):
+        text = render_report(
+            [
+                CheckResult("good", True, "fine"),
+                CheckResult("bad", False, "broken"),
+            ]
+        )
+        assert "[ok  ] good" in text
+        assert "[FAIL] bad" in text
+        assert "1/2 checks passed" in text
+
+    def test_cli_verify_exit_status(self, capsys):
+        assert main(["verify"]) == 0
+        assert "7/7 checks passed" in capsys.readouterr().out

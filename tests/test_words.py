@@ -1,0 +1,189 @@
+"""Unit tests for the 36-bit word model and bit-field machinery."""
+
+import pytest
+
+from repro.errors import FieldRangeError
+from repro.words import (
+    Field,
+    HALF_MASK,
+    Layout,
+    MAX_RINGS,
+    RING_MASK,
+    SEGNO_MASK,
+    WORD_BITS,
+    WORD_MASK,
+    add_offsets,
+    add_words,
+    check_field,
+    fits,
+    from_signed,
+    mask,
+    octal,
+    sub_words,
+    to_signed,
+    to_word,
+)
+
+
+class TestConstants:
+    def test_word_geometry(self):
+        assert WORD_BITS == 36
+        assert WORD_MASK == 2**36 - 1
+
+    def test_half_word(self):
+        assert HALF_MASK == 2**18 - 1
+
+    def test_segno_field(self):
+        assert SEGNO_MASK == 2**14 - 1
+
+    def test_ring_field(self):
+        assert RING_MASK == 7
+        assert MAX_RINGS == 8
+
+
+class TestMasks:
+    def test_mask_widths(self):
+        assert mask(0) == 0
+        assert mask(1) == 1
+        assert mask(36) == WORD_MASK
+
+    def test_fits_boundaries(self):
+        assert fits(0, 3)
+        assert fits(7, 3)
+        assert not fits(8, 3)
+        assert not fits(-1, 3)
+
+    def test_check_field_passes_value_through(self):
+        assert check_field("x", 5, 3) == 5
+
+    def test_check_field_rejects_overflow(self):
+        with pytest.raises(FieldRangeError):
+            check_field("x", 8, 3)
+
+    def test_check_field_rejects_negative(self):
+        with pytest.raises(FieldRangeError):
+            check_field("x", -1, 3)
+
+    def test_check_field_rejects_bool(self):
+        with pytest.raises(FieldRangeError):
+            check_field("x", True, 3)
+
+    def test_check_field_rejects_non_int(self):
+        with pytest.raises(FieldRangeError):
+            check_field("x", 1.5, 3)
+
+    def test_field_range_error_carries_context(self):
+        with pytest.raises(FieldRangeError) as excinfo:
+            check_field("SDW.R1", 9, 3)
+        assert excinfo.value.field == "SDW.R1"
+        assert excinfo.value.value == 9
+        assert excinfo.value.width == 3
+
+
+class TestSignedConversion:
+    def test_positive_roundtrip(self):
+        assert to_signed(from_signed(12345)) == 12345
+
+    def test_negative_roundtrip(self):
+        assert to_signed(from_signed(-12345)) == -12345
+
+    def test_minimum_value(self):
+        assert to_signed(from_signed(-(2**35))) == -(2**35)
+
+    def test_maximum_value(self):
+        assert to_signed(from_signed(2**35 - 1)) == 2**35 - 1
+
+    def test_minus_one_is_all_ones(self):
+        assert from_signed(-1) == WORD_MASK
+
+    def test_wraparound(self):
+        assert from_signed(2**35) == to_word(2**35)
+        assert to_signed(from_signed(2**35)) == -(2**35)
+
+
+class TestArithmetic:
+    def test_add_words_plain(self):
+        assert add_words(1, 2) == 3
+
+    def test_add_words_wraps(self):
+        assert add_words(WORD_MASK, 1) == 0
+
+    def test_sub_words_borrows(self):
+        assert sub_words(0, 1) == WORD_MASK
+
+    def test_add_offsets_wraps_at_18_bits(self):
+        assert add_offsets(HALF_MASK, 1) == 0
+        assert add_offsets(HALF_MASK, 2) == 1
+
+
+class TestField:
+    def test_extract_msb_field(self):
+        f = Field("OP", 0, 9)
+        word = 0o123 << (36 - 9)
+        assert f.extract(word) == 0o123
+
+    def test_extract_lsb_field(self):
+        f = Field("OFF", 18, 18)
+        assert f.extract(0o654321) == 0o654321
+
+    def test_insert_preserves_other_bits(self):
+        f = Field("MID", 9, 1)
+        word = WORD_MASK
+        cleared = f.insert(word, 0)
+        assert f.extract(cleared) == 0
+        assert cleared | (1 << f.shift) == WORD_MASK
+
+    def test_insert_rejects_oversized_value(self):
+        f = Field("R", 24, 3)
+        with pytest.raises(FieldRangeError):
+            f.insert(0, 8)
+
+    def test_field_outside_word_rejected(self):
+        with pytest.raises(FieldRangeError):
+            Field("BAD", 30, 10)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(FieldRangeError):
+            Field("BAD", 0, 0)
+
+
+class TestLayout:
+    def _layout(self):
+        return Layout("T", [Field("A", 0, 9), Field("B", 9, 9), Field("C", 18, 18)])
+
+    def test_pack_unpack_roundtrip(self):
+        layout = self._layout()
+        word = layout.pack(A=0o123, B=0o456, C=0o111111)
+        assert layout.unpack(word) == {"A": 0o123, "B": 0o456, "C": 0o111111}
+
+    def test_missing_fields_default_zero(self):
+        layout = self._layout()
+        assert layout.unpack(layout.pack(B=1)) == {"A": 0, "B": 1, "C": 0}
+
+    def test_unknown_field_rejected(self):
+        layout = self._layout()
+        with pytest.raises(FieldRangeError):
+            layout.pack(Z=1)
+
+    def test_overlapping_fields_rejected(self):
+        with pytest.raises(FieldRangeError):
+            Layout("BAD", [Field("A", 0, 9), Field("B", 8, 9)])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(FieldRangeError):
+            Layout("BAD", [Field("A", 0, 9), Field("A", 9, 9)])
+
+    def test_getitem(self):
+        layout = self._layout()
+        assert layout["B"].pos == 9
+
+
+class TestOctal:
+    def test_padding(self):
+        assert octal(0) == "0" * 12
+
+    def test_value(self):
+        assert octal(0o777) == "000000000777"
+
+    def test_truncates_to_word(self):
+        assert octal(WORD_MASK + 1) == "0" * 12
