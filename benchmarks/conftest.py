@@ -29,6 +29,7 @@ def build_call_loop_machine(
     stack_rule: str = "dbr",
     sdw_cache_enabled: bool = True,
     paged: bool = False,
+    fast_path_enabled: bool = True,
 ):
     """A machine whose ``caller$main`` performs ``count`` call/return
     pairs against a gated callee executing at ``target_ring``."""
@@ -38,6 +39,7 @@ def build_call_loop_machine(
         stack_rule=stack_rule,
         sdw_cache_enabled=sdw_cache_enabled,
         paged=paged,
+        fast_path_enabled=fast_path_enabled,
     )
     user = machine.add_user("bench")
     spec = (

@@ -21,17 +21,13 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from ..core.effective import (
-    effective_ring_after_indirect,
-    effective_ring_after_pr,
-    initial_effective_ring,
-)
+from ..core.effective import effective_ring_after_indirect
 from ..formats.indirect import IndirectWord
 from ..formats.instruction import Instruction
 from ..words import HALF_MASK
+from .access_cache import GROUP_READ
 from .faults import Fault, FaultCode
 from .registers import TPR
-from .validate import validate_read
 
 if TYPE_CHECKING:  # pragma: no cover
     from .processor import Processor
@@ -48,27 +44,48 @@ def form_effective_address(proc: "Processor", inst: Instruction) -> TPR:
     Returns a fresh :class:`~repro.cpu.registers.TPR`.  Raises
     :class:`~repro.cpu.faults.Fault` on any violation encountered while
     retrieving indirect words.
+
+    The overwhelmingly common non-indirect case is a single specialised
+    step (the in-line arithmetic below implements
+    :func:`~repro.core.effective.initial_effective_ring` and
+    :func:`~repro.core.effective.effective_ring_after_pr`, which the
+    instruction fast path relies on being loop-free); indirect chains
+    take the full Figure 5 walk in :func:`_chase_indirect`.
     """
     regs = proc.registers
-    tpr = TPR()
-    tpr.ring = initial_effective_ring(regs.ipr.ring)
+    ring = regs.ipr.ring  # initial_effective_ring is the identity
 
     offset = inst.offset
     if inst.indexed:
         offset = (offset + (regs.a & HALF_MASK)) & HALF_MASK
 
     if inst.prflag:
-        pr = regs.pr(inst.prnum)
-        tpr.segno = pr.segno
-        tpr.wordno = (pr.wordno + offset) & HALF_MASK
-        tpr.ring = effective_ring_after_pr(tpr.ring, pr.ring)
+        pr = regs.prs[inst.prnum]  # PRNUM is 3 bits: always a valid index
+        segno = pr.segno
+        wordno = (pr.wordno + offset) & HALF_MASK
+        if pr.ring > ring:  # effective_ring_after_pr's max rule
+            ring = pr.ring
     else:
-        tpr.segno = regs.ipr.segno
-        tpr.wordno = offset
+        segno = regs.ipr.segno
+        wordno = offset
 
-    chase = inst.indirect
+    tpr = TPR(ring, segno, wordno)
+    if not inst.indirect:
+        return tpr
+    return _chase_indirect(proc, tpr)
+
+
+def _chase_indirect(proc: "Processor", tpr: TPR) -> TPR:
+    """Follow an indirection chain, validating each retrieval.
+
+    Each indirect-word read is a validated *read* at the effective ring
+    in force at that moment (it rides the processor's PTLB like any
+    other read), and each retrieved word raises the effective ring per
+    the Figure 5 max rule.
+    """
+    regs = proc.registers
     hops = 0
-    while chase:
+    while True:
         hops += 1
         if hops > MAX_INDIRECTION:
             raise Fault(
@@ -79,8 +96,9 @@ def form_effective_address(proc: "Processor", inst: Instruction) -> TPR:
                 cur_ring=regs.ipr.ring,
                 detail=f"indirection chain exceeds {MAX_INDIRECTION}",
             )
-        sdw = proc.fetch_sdw(tpr.segno, tpr.wordno)
-        code = validate_read(sdw, tpr.ring, tpr.wordno)
+        sdw, code = proc.validate_access(
+            tpr.segno, tpr.ring, tpr.wordno, GROUP_READ
+        )
         if code is not None:
             raise Fault(
                 code,
@@ -95,6 +113,5 @@ def form_effective_address(proc: "Processor", inst: Instruction) -> TPR:
         tpr.ring = effective_ring_after_indirect(tpr.ring, ind.ring, sdw.r1)
         tpr.segno = ind.segno
         tpr.wordno = ind.wordno
-        chase = ind.indirect
-
-    return tpr
+        if not ind.indirect:
+            return tpr

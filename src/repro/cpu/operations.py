@@ -18,16 +18,18 @@ retryable after the supervisor repairs the world.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from ..core.gates import CallOutcome, ReturnOutcome, decide_call, decide_return
 from ..errors import MachineHalted
 from ..formats.instruction import Instruction
 from ..words import WORD_MASK, add_words, sub_words
+from .access_cache import GROUP_EXECUTE, GROUP_READ, GROUP_WRITE
 from .faults import Fault, FaultCode
 from .isa import Op
 from .registers import STACK_BASE_PR, TPR
-from .validate import brackets_of, check_bound, validate_read, validate_transfer, validate_write
+from .validate import brackets_of, check_bound, validate_write
 
 if TYPE_CHECKING:  # pragma: no cover
     from .processor import Processor
@@ -71,8 +73,7 @@ def read_operand(proc: "Processor", inst: Instruction, tpr: Optional[TPR]) -> in
     if inst.immediate:
         return inst.offset
     assert tpr is not None
-    sdw = proc.fetch_sdw(tpr.segno, tpr.wordno)
-    code = validate_read(sdw, tpr.ring, tpr.wordno)
+    sdw, code = proc.validate_access(tpr.segno, tpr.ring, tpr.wordno, GROUP_READ)
     if code is not None:
         raise _operand_fault(code, proc, tpr, "operand read")
     return proc.read_word(sdw, tpr.segno, tpr.wordno)
@@ -80,8 +81,7 @@ def read_operand(proc: "Processor", inst: Instruction, tpr: Optional[TPR]) -> in
 
 def write_operand(proc: "Processor", tpr: TPR, value: int) -> None:
     """Store a write-group operand after Figure 6 validation."""
-    sdw = proc.fetch_sdw(tpr.segno, tpr.wordno)
-    code = validate_write(sdw, tpr.ring, tpr.wordno)
+    sdw, code = proc.validate_access(tpr.segno, tpr.ring, tpr.wordno, GROUP_WRITE)
     if code is not None:
         raise _operand_fault(code, proc, tpr, "operand write")
     proc.write_word(sdw, tpr.segno, tpr.wordno, value)
@@ -148,11 +148,15 @@ def op_stz(proc: "Processor", inst: Instruction, tpr: TPR) -> None:
 
 
 def op_aos(proc: "Processor", inst: Instruction, tpr: TPR) -> None:
-    """Add one to storage: a read-modify-write needing both permissions."""
-    sdw = proc.fetch_sdw(tpr.segno, tpr.wordno)
-    code = validate_read(sdw, tpr.ring, tpr.wordno) or validate_write(
-        sdw, tpr.ring, tpr.wordno
-    )
+    """Add one to storage: a read-modify-write needing both permissions.
+
+    The read half rides the PTLB; the write half revalidates against the
+    same SDW (no second fetch, so the cycle accounting matches the
+    single SDW fetch the hardware would do).
+    """
+    sdw, code = proc.validate_access(tpr.segno, tpr.ring, tpr.wordno, GROUP_READ)
+    if code is None:
+        code = validate_write(sdw, tpr.ring, tpr.wordno)
     if code is not None:
         raise _operand_fault(code, proc, tpr, "read-modify-write")
     value = proc.read_word(sdw, tpr.segno, tpr.wordno)
@@ -204,14 +208,22 @@ def _transfer_condition(proc: "Processor", op: Op) -> bool:
 
 
 def op_plain_transfer(proc: "Processor", inst: Instruction, tpr: TPR, op: Op) -> None:
-    """Plain transfers: advance-checked, forbidden from changing rings."""
+    """Plain transfers: advance-checked, forbidden from changing rings.
+
+    The Figure 7 decision (``validate_transfer``) is split so the
+    advance fetch check can ride the PTLB: the ring-equality test is
+    wordno- and SDW-independent, and what remains *is* ``validate_fetch``.
+    """
     if not _transfer_condition(proc, op):
         return
-    sdw = proc.fetch_sdw(tpr.segno, tpr.wordno)
-    code = validate_transfer(sdw, tpr.ring, proc.registers.ipr.ring, tpr.wordno)
+    ipr = proc.registers.ipr
+    if tpr.ring != ipr.ring:
+        raise _operand_fault(
+            FaultCode.ACV_TRANSFER_RING, proc, tpr, f"{op.name} advance check"
+        )
+    _, code = proc.validate_access(tpr.segno, ipr.ring, tpr.wordno, GROUP_EXECUTE)
     if code is not None:
         raise _operand_fault(code, proc, tpr, f"{op.name} advance check")
-    ipr = proc.registers.ipr
     ipr.set(ipr.ring, tpr.segno, tpr.wordno)
 
 
@@ -339,10 +351,9 @@ def op_ldbr(proc: "Processor", inst: Instruction, tpr: TPR) -> None:
     Privileged (checked by the dispatcher).  Loading the DBR switches
     virtual memories, so the SDW associative memory is cleared.
     """
-    sdw = proc.fetch_sdw(tpr.segno, tpr.wordno)
-    code = validate_read(sdw, tpr.ring, tpr.wordno) or check_bound(
-        sdw, tpr.wordno + 1
-    )
+    sdw, code = proc.validate_access(tpr.segno, tpr.ring, tpr.wordno, GROUP_READ)
+    if code is None:
+        code = check_bound(sdw, tpr.wordno + 1)
     if code is not None:
         raise _operand_fault(code, proc, tpr, "LDBR operand")
     w0 = proc.read_word(sdw, tpr.segno, tpr.wordno)
@@ -401,6 +412,40 @@ def needs_effective_address(op: Op, inst: Instruction) -> bool:
     if inst.immediate and op.operand == "read":
         return False
     return True
+
+
+def _eap_entry(op: Op, proc: "Processor", inst: Instruction, tpr: TPR) -> None:
+    op_eap(proc, inst, tpr, op)
+
+
+def _spr_entry(op: Op, proc: "Processor", inst: Instruction, tpr: TPR) -> None:
+    op_spr(proc, inst, tpr, op)
+
+
+def _transfer_entry(op: Op, proc: "Processor", inst: Instruction, tpr: TPR) -> None:
+    op_plain_transfer(proc, inst, tpr, op)
+
+
+def resolve_handler(
+    op: Op, inst: Instruction
+) -> Optional[Callable[["Processor", Instruction, Optional[TPR]], None]]:
+    """Pre-resolve :func:`execute`'s dispatch for one decoded instruction.
+
+    The decoded-instruction cache stores the result so repeat executions
+    skip the group tests below.  Returns None for the combinations the
+    generic path must reject at run time (illegal immediate tags,
+    unassigned handlers) — those stay on :func:`execute` so the faults
+    raised are identical with the cache on or off.
+    """
+    if inst.immediate and (op.is_eap or op.is_spr or op.transfer):
+        return None
+    if op.is_eap:
+        return partial(_eap_entry, op)
+    if op.is_spr:
+        return partial(_spr_entry, op)
+    if op.transfer and op not in (Op.CALL, Op.RETURN):
+        return partial(_transfer_entry, op)
+    return _SIMPLE.get(op)
 
 
 def execute(proc: "Processor", op: Op, inst: Instruction, tpr: Optional[TPR]) -> None:

@@ -36,11 +36,26 @@ from ..mem.descriptor import DBR
 from ..mem.paging import PageFaultSignal, translate_paged
 from ..mem.physical import PhysicalMemory
 from . import operations
+from .access_cache import (
+    DecodedInstructionCache,
+    GROUP_EXECUTE,
+    GROUP_READ,
+    GROUP_WRITE,
+    ValidatedTranslationCache,
+)
 from .address import form_effective_address
 from .faults import Fault, FaultCode
 from .isa import BY_NUMBER, Op
 from .registers import RegisterFile, STACK_PTR_PR, TPR
 from .sdwcache import SDWCache
+from .validate import validate_fetch, validate_read, validate_write
+
+#: PTLB access-group -> slow-path validator (Figures 4 and 6).
+_VALIDATORS = {
+    GROUP_READ: validate_read,
+    GROUP_WRITE: validate_write,
+    GROUP_EXECUTE: validate_fetch,
+}
 
 #: Action strings a fault handler may return.
 HANDLER_RETRY = "retry"
@@ -109,6 +124,7 @@ class Processor:
         stack_rule: str = "dbr",
         hardware_rings: bool = True,
         nrings: int = 8,
+        fast_path: bool = True,
     ):
         if stack_rule not in ("simple", "dbr"):
             raise ConfigurationError(f"unknown stack rule {stack_rule!r}")
@@ -118,6 +134,10 @@ class Processor:
         self.dbr = dbr or DBR()
         self.cost = cost or CostModel()
         self.sdw_cache = sdw_cache or SDWCache()
+        #: host-side fast path (see repro.cpu.access_cache): cycle
+        #: accounting is identical with these on or off
+        self.access_cache = ValidatedTranslationCache(enabled=fast_path)
+        self.inst_cache = DecodedInstructionCache(enabled=fast_path)
         self.stack_rule = stack_rule
         self.hardware_rings = hardware_rings
         self.nrings = nrings
@@ -144,10 +164,21 @@ class Processor:
         self.cycles += cycles
 
     def reset_counters(self) -> None:
-        """Zero the clock and statistics (benchmark hygiene)."""
+        """Zero the clock and statistics (benchmark hygiene).
+
+        Covers every counter a benchmark can read: the clock, the
+        processor stats, memory traffic, and the hit/miss/invalidation
+        statistics of the SDW associative memory and both fast-path
+        tiers — otherwise warm-up runs pollute the measured figures.
+        Cache *contents* survive, exactly like real hardware across a
+        counter reset.
+        """
         self.cycles = 0
         self.stats = ProcessorStats()
         self.memory.reset_counters()
+        self.sdw_cache.reset_stats()
+        self.access_cache.reset_stats()
+        self.inst_cache.reset_stats()
 
     # ------------------------------------------------------------------
     # address translation and memory access
@@ -213,6 +244,42 @@ class Processor:
                 detail=f"page {sig.page_index}",
             ) from None
 
+    def validate_access(
+        self, segno: int, ring: int, wordno: int, group: str
+    ) -> Tuple[SDW, Optional[FaultCode]]:
+        """``fetch_sdw`` + Figure 4/6 validation, memoized in the PTLB.
+
+        Returns ``(sdw, code)`` with ``code`` None on success; raises
+        :class:`~repro.cpu.faults.Fault` exactly like :meth:`fetch_sdw`
+        for descriptor-bound and missing-segment conditions.
+
+        A PTLB entry is honoured only while the SDW associative memory
+        still holds the identical SDW object, so any eviction, refetch,
+        or supervisor invalidation retires it automatically; the bound
+        check is repeated per word because the word number is not part
+        of the key.  On a hit the counters a slow-path reference would
+        have bumped (an SDW-cache hit) are mirrored and no cycles are
+        charged — exactly what the slow path does when the SDW is in
+        the associative memory, which the identity check guarantees.
+        """
+        cache = self.access_cache
+        if cache.enabled:
+            sdw = cache._entries.get((segno, ring, group))
+            if (
+                sdw is not None
+                and self.sdw_cache._entries.get(segno) is sdw
+                and wordno < sdw.bound
+            ):
+                cache.hits += 1
+                self.sdw_cache.hits += 1
+                return sdw, None
+            cache.misses += 1
+        sdw = self.fetch_sdw(segno, wordno)
+        code = _VALIDATORS[group](sdw, ring, wordno)
+        if code is None and cache.enabled:
+            cache._entries[(segno, ring, group)] = sdw
+        return sdw, code
+
     def read_word(self, sdw: SDW, segno: int, wordno: int) -> int:
         """Charged, translated read of one virtual word (pre-validated)."""
         addr = self.translate(sdw, segno, wordno)
@@ -224,39 +291,69 @@ class Processor:
         addr = self.translate(sdw, segno, wordno)
         self.charge(self.cost.memory_reference)
         self.memory.write(addr, value)
+        # Self-modifying code: drop the decoded entry for the written
+        # word (writes the processor cannot see are caught by the
+        # decoded cache's word-compare on the next fetch).
+        if self.inst_cache.enabled:
+            self.inst_cache.invalidate_word(segno, wordno)
 
     # ------------------------------------------------------------------
     # instruction cycle
     # ------------------------------------------------------------------
 
-    def fetch_instruction(self) -> Tuple[Op, Instruction]:
-        """Figure 4: validate and retrieve the next instruction."""
-        ipr = self.registers.ipr
-        sdw = self.fetch_sdw(ipr.segno, ipr.wordno)
-        from .validate import validate_fetch  # local to avoid cycle at import
+    def fetch_instruction(self) -> tuple:
+        """Figure 4: validate, retrieve, and decode the next instruction.
 
-        code = validate_fetch(sdw, ipr.ring, ipr.wordno)
+        Returns the decoded-instruction-cache entry tuple
+        ``(word, op, inst, needs_ea, handler)``; see
+        :class:`~repro.cpu.access_cache.DecodedInstructionCache`.  The
+        instruction word is always read (and charged) through the
+        normal translated path; only the host-side decode work is
+        memoized, and a cached decode is used only when the word just
+        read equals the word it was decoded from.
+        """
+        ipr = self.registers.ipr
+        segno, wordno, ring = ipr.segno, ipr.wordno, ipr.ring
+        sdw, code = self.validate_access(segno, ring, wordno, GROUP_EXECUTE)
         if code is not None:
             raise Fault(
                 code,
-                segno=ipr.segno,
-                wordno=ipr.wordno,
-                ring=ipr.ring,
-                cur_ring=ipr.ring,
+                segno=segno,
+                wordno=wordno,
+                ring=ring,
+                cur_ring=ring,
                 detail="instruction fetch",
             )
-        word = self.read_word(sdw, ipr.segno, ipr.wordno)
+        word = self.read_word(sdw, segno, wordno)
+        icache = self.inst_cache
+        if icache.enabled:
+            seg = icache._entries.get(segno)
+            if seg is not None:
+                entry = seg.get(wordno)
+                if entry is not None and entry[0] == word:
+                    icache.hits += 1
+                    return entry
+            icache.misses += 1
         inst = Instruction.unpack(word)
         op = BY_NUMBER.get(inst.opcode)
         if op is None:
             raise Fault(
                 FaultCode.ILLEGAL_OPCODE,
-                segno=ipr.segno,
-                wordno=ipr.wordno,
-                cur_ring=ipr.ring,
+                segno=segno,
+                wordno=wordno,
+                cur_ring=ring,
                 detail=f"opcode {inst.opcode:#o}",
             )
-        return op, inst
+        entry = (
+            word,
+            op,
+            inst,
+            operations.needs_effective_address(op, inst),
+            operations.resolve_handler(op, inst),
+        )
+        if icache.enabled:
+            icache.fill(segno, wordno, entry)
+        return entry
 
     def step(self) -> None:
         """Execute one instruction, delivering any fault it raises."""
@@ -264,7 +361,7 @@ class Processor:
         at = (ipr.ring, ipr.segno, ipr.wordno)
         try:
             self.charge(self.cost.instruction_base)
-            op, inst = self.fetch_instruction()
+            _, op, inst, needs_ea, handler = self.fetch_instruction()
             if op.privileged and ipr.ring != 0:
                 raise Fault(
                     FaultCode.ACV_PRIVILEGED,
@@ -275,11 +372,14 @@ class Processor:
                 )
             self.registers.ipr.advance()
             tpr: Optional[TPR] = None
-            if operations.needs_effective_address(op, inst):
+            if needs_ea:
                 tpr = form_effective_address(self, inst)
             before_ring = self.registers.ipr.ring
             try:
-                operations.execute(self, op, inst, tpr)
+                if handler is not None:
+                    handler(self, inst, tpr)
+                else:
+                    operations.execute(self, op, inst, tpr)
             except MachineHalted:
                 self.stats.instructions += 1
                 raise
@@ -450,14 +550,23 @@ class Processor:
         return self.dbr.stack_segno(new_ring)
 
     def load_dbr_words(self, w0: int, w1: int) -> None:
-        """LDBR: install a new DBR and clear the SDW associative memory."""
+        """LDBR: install a new DBR and clear the SDW associative memory.
+
+        Both fast-path tiers are flushed too: a DBR load switches
+        descriptor segments, so every cached validation and every
+        cached decode is for the wrong virtual memory.
+        """
         self.dbr = DBR.unpack(w0, w1)
         self.sdw_cache.invalidate()
+        self.access_cache.invalidate()
+        self.inst_cache.invalidate()
 
     def set_dbr(self, dbr: DBR) -> None:
         """Supervisor-side DBR switch (process dispatch)."""
         self.dbr = dbr
         self.sdw_cache.invalidate()
+        self.access_cache.invalidate()
+        self.inst_cache.invalidate()
 
     def connect_io(self, word: int) -> None:
         """CIOC: hand a channel-program word to the attached I/O system."""
@@ -465,5 +574,13 @@ class Processor:
             self.io_handler(self, word)
 
     def invalidate_sdw(self, segno: Optional[int] = None) -> None:
-        """Supervisor notification that SDWs changed in memory."""
+        """Supervisor notification that SDWs changed in memory.
+
+        Clears the affected entries in the SDW associative memory and
+        in both fast-path tiers, making the change immediately
+        effective (paper p. 9): the next reference revalidates against
+        the descriptor segment's current contents.
+        """
         self.sdw_cache.invalidate(segno)
+        self.access_cache.invalidate(segno)
+        self.inst_cache.invalidate(segno)

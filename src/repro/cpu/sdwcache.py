@@ -10,11 +10,19 @@ holds on real hardware precisely because the supervisor issues the
 clear).
 
 The replacement policy is round-robin over a fixed number of slots,
-matching the simplicity of the era's hardware.
+matching the simplicity of the era's hardware: entries are kept in an
+insertion-ordered mapping and the oldest fill is the victim, all O(1).
+
+The fast-path layer (:mod:`repro.cpu.access_cache`) additionally keys
+its validated-translation entries to the *identity* of the SDW object
+stored here, via :meth:`SDWCache.peek`: any eviction, refetch, or
+invalidation in this cache silently retires every dependent fast-path
+entry.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, Optional
 
 from ..formats.sdw import SDW
@@ -26,16 +34,19 @@ class SDWCache:
     def __init__(self, slots: int = 16, enabled: bool = True):
         self.slots = max(1, slots)
         self.enabled = enabled
-        self._entries: Dict[int, SDW] = {}
-        self._order: list = []
+        self._entries: "OrderedDict[int, SDW]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
 
     def lookup(self, segno: int) -> Optional[SDW]:
-        """Return the cached SDW for ``segno`` or None on a miss."""
+        """Return the cached SDW for ``segno`` or None on a miss.
+
+        A disabled cache returns None without counting a miss — it is
+        not participating, and counting would skew the ablation's
+        hit-rate figures.
+        """
         if not self.enabled:
-            self.misses += 1
             return None
         sdw = self._entries.get(segno)
         if sdw is None:
@@ -44,18 +55,25 @@ class SDWCache:
         self.hits += 1
         return sdw
 
+    def peek(self, segno: int) -> Optional[SDW]:
+        """The cached SDW without touching the hit/miss counters.
+
+        Used by the fast path's identity check, which mirrors the
+        slow-path counters itself only once it commits to a hit.
+        """
+        return self._entries.get(segno)
+
     def fill(self, segno: int, sdw: SDW) -> None:
         """Install an SDW fetched from the descriptor segment."""
         if not self.enabled:
             return
-        if segno in self._entries:
-            self._entries[segno] = sdw
+        entries = self._entries
+        if segno in entries:
+            entries[segno] = sdw
             return
-        if len(self._order) >= self.slots:
-            victim = self._order.pop(0)
-            del self._entries[victim]
-        self._entries[segno] = sdw
-        self._order.append(segno)
+        if len(entries) >= self.slots:
+            entries.popitem(last=False)
+        entries[segno] = sdw
 
     def invalidate(self, segno: Optional[int] = None) -> None:
         """Drop one entry, or the whole cache when ``segno`` is None.
@@ -67,10 +85,14 @@ class SDWCache:
         self.invalidations += 1
         if segno is None:
             self._entries.clear()
-            self._order.clear()
-        elif segno in self._entries:
-            del self._entries[segno]
-            self._order.remove(segno)
+        else:
+            self._entries.pop(segno, None)
+
+    def reset_stats(self) -> None:
+        """Zero the counters (benchmark hygiene); entries survive."""
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
 
     def stats(self) -> Dict[str, int]:
         """Hit/miss/invalidation counters for the ablation benchmark."""

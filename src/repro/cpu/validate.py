@@ -15,6 +15,7 @@ can observe it through which fault code arrives first.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Optional
 
 from ..core.rings import RingBrackets
@@ -22,9 +23,16 @@ from ..formats.sdw import SDW
 from .faults import FaultCode
 
 
+@lru_cache(maxsize=512)
+def _brackets(r1: int, r2: int, r3: int) -> RingBrackets:
+    # RingBrackets is frozen, so instances are safely shared; there are
+    # at most 8**3 triples, so the cache can never thrash.
+    return RingBrackets(r1, r2, r3)
+
+
 def brackets_of(sdw: SDW) -> RingBrackets:
-    """The policy view of an SDW's bracket triple."""
-    return RingBrackets(sdw.r1, sdw.r2, sdw.r3)
+    """The policy view of an SDW's bracket triple (memoized)."""
+    return _brackets(sdw.r1, sdw.r2, sdw.r3)
 
 
 def check_bound(sdw: SDW, wordno: int) -> Optional[FaultCode]:

@@ -21,6 +21,11 @@ Construction knobs map to the paper's design space:
 ``paged``
     activate segments through page tables, demonstrating that paging is
     transparent to protection.
+``fast_path_enabled``
+    host-side interpreter fast path (validated-translation cache +
+    decoded-instruction cache, see :mod:`repro.cpu.access_cache`);
+    purely an ablation knob — simulated cycle figures are identical
+    either way.
 """
 
 from __future__ import annotations
@@ -68,6 +73,7 @@ class Machine:
         cost: Optional[CostModel] = None,
         sdw_cache_slots: int = 16,
         sdw_cache_enabled: bool = True,
+        fast_path_enabled: bool = True,
         services: bool = True,
     ):
         self.memory = PhysicalMemory(memory_words)
@@ -80,6 +86,7 @@ class Machine:
             stack_rule=stack_rule,
             hardware_rings=hardware_rings,
             sdw_cache=SDWCache(slots=sdw_cache_slots, enabled=sdw_cache_enabled),
+            fast_path=fast_path_enabled,
         )
         self.system_user = self.supervisor.users.register(
             "system", administrator=True

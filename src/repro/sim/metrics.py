@@ -29,11 +29,18 @@ class MetricsSnapshot:
     memory_writes: int
     sdw_hits: int
     sdw_misses: int
+    #: fast-path tiers (host-side only; see repro.cpu.access_cache)
+    ptlb_hits: int = 0
+    ptlb_misses: int = 0
+    icache_hits: int = 0
+    icache_misses: int = 0
 
     @classmethod
     def collect(cls, proc: Processor) -> "MetricsSnapshot":
         """Freeze the current counters of ``proc`` and its memory."""
         cache = proc.sdw_cache.stats()
+        ptlb = proc.access_cache.stats()
+        icache = proc.inst_cache.stats()
         return cls(
             cycles=proc.cycles,
             instructions=proc.stats.instructions,
@@ -46,6 +53,10 @@ class MetricsSnapshot:
             memory_writes=proc.memory.writes,
             sdw_hits=cache["hits"],
             sdw_misses=cache["misses"],
+            ptlb_hits=ptlb["hits"],
+            ptlb_misses=ptlb["misses"],
+            icache_hits=icache["hits"],
+            icache_misses=icache["misses"],
         )
 
     def delta(self, earlier: "MetricsSnapshot") -> Dict[str, int]:
