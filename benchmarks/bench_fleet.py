@@ -1,0 +1,104 @@
+"""Experiment F1 — the sharded fleet driver.
+
+Two claims to pin:
+
+* **Merge exactness** (asserted on every host): the merged fleet
+  snapshot equals the integer sum of the per-shard snapshots, and the
+  figures are independent of the backend — a sharded sweep is
+  interchangeable with one serial run over the same shards.
+* **Scaling** (host-dependent, gated): with at least four host cores
+  the process backend completes four shards in well under four times a
+  single shard's wall-clock.  Wall-clock assertions need both
+  ``REPRO_BENCH_STRICT`` (default on) and enough cores; the scaling
+  *figures* are recorded into ``benchmark.extra_info`` regardless, so
+  the JSON output tracks the trajectory even on small runners.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import time
+
+from repro.sim.fleet import call_loop_shard, run_fleet
+from repro.sim.metrics import MetricsSnapshot
+
+#: call/return pairs per shard — big enough that process start-up cost
+#: does not dominate the scaling measurement
+COUNT = 2000
+
+SHARDS = 4
+
+STRICT = os.environ.get("REPRO_BENCH_STRICT", "1") != "0"
+
+#: four shards on >= 4 cores must beat this fraction of serial time
+SCALING_TARGET = 0.5
+
+WORKLOAD = functools.partial(call_loop_shard, count=COUNT)
+
+
+def _fleet(backend, workers=SHARDS):
+    return run_fleet(WORKLOAD, shards=SHARDS, workers=workers, backend=backend)
+
+
+def test_f1_merge_is_exact(benchmark):
+    """Merged metrics == sum of per-shard metrics, on every backend."""
+    serial = _fleet("serial")
+    assert serial.verify_merge()
+    assert serial.merged == MetricsSnapshot.sum_of(
+        shard.metrics for shard in serial.shards
+    )
+    process = _fleet("process")
+    assert process.verify_merge()
+    # Backend-independence: the simulated figures do not care where the
+    # shards ran.
+    assert process.merged == serial.merged
+    assert process.payloads == serial.payloads
+
+    result = benchmark(lambda: _fleet("serial"))
+    benchmark.extra_info["shards"] = SHARDS
+    benchmark.extra_info["merged_instructions"] = result.merged.instructions
+    benchmark.extra_info["merged_cycles"] = result.merged.cycles
+    benchmark.extra_info["merged_ring_crossings"] = (
+        result.merged.ring_crossings
+    )
+
+
+def test_f1_process_scaling(benchmark):
+    """Near-linear scaling of the process backend on >= 4 cores."""
+    start = time.perf_counter()
+    single = run_fleet(WORKLOAD, shards=1, backend="serial")
+    single_seconds = time.perf_counter() - start
+
+    fleet = _fleet("process")
+    assert fleet.verify_merge()
+
+    cores = os.cpu_count() or 1
+    parallel_fraction = fleet.wall_seconds / (SHARDS * single_seconds)
+    benchmark.extra_info["host_cores"] = cores
+    benchmark.extra_info["backend"] = fleet.backend
+    benchmark.extra_info["single_shard_seconds"] = round(single_seconds, 4)
+    benchmark.extra_info["fleet_seconds"] = round(fleet.wall_seconds, 4)
+    benchmark.extra_info["fraction_of_serial"] = round(parallel_fraction, 3)
+    benchmark.extra_info["effective_speedup"] = round(
+        1.0 / parallel_fraction, 2
+    )
+
+    if STRICT and cores >= SHARDS and fleet.backend == "process":
+        assert parallel_fraction <= SCALING_TARGET, (
+            f"{SHARDS} shards took {parallel_fraction:.0%} of serial time "
+            f"on {cores} cores; expected <= {SCALING_TARGET:.0%}"
+        )
+
+    benchmark(lambda: run_fleet(WORKLOAD, shards=1, backend="serial"))
+
+
+def test_f1_thread_backend_merges(benchmark):
+    """The GIL makes threads a fan-out test, not a speed-up; the merge
+    contract must hold all the same."""
+    fleet = _fleet("thread", workers=2)
+    assert fleet.verify_merge()
+    assert fleet.merged.instructions == SHARDS * (
+        fleet.shards[0].metrics.instructions
+    )
+    benchmark(lambda: run_fleet(WORKLOAD, shards=2, backend="thread"))

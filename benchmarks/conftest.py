@@ -30,6 +30,7 @@ def build_call_loop_machine(
     sdw_cache_enabled: bool = True,
     paged: bool = False,
     fast_path_enabled: bool = True,
+    block_tier_enabled: bool | None = None,
 ):
     """A machine whose ``caller$main`` performs ``count`` call/return
     pairs against a gated callee executing at ``target_ring``."""
@@ -40,6 +41,7 @@ def build_call_loop_machine(
         sdw_cache_enabled=sdw_cache_enabled,
         paged=paged,
         fast_path_enabled=fast_path_enabled,
+        block_tier_enabled=block_tier_enabled,
     )
     user = machine.add_user("bench")
     spec = (

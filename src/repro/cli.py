@@ -18,6 +18,7 @@ Four subcommands, all runnable as ``python -m repro <cmd>``:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -94,6 +95,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if trace is not None:
         trace.detach()
         print(trace.render())
+    if args.metrics_json:
+        payload = dict(result.metrics.as_dict())
+        for tier in ("sdw", "ptlb", "icache", "block"):
+            hits = payload[f"{tier}_hits"]
+            misses = payload[f"{tier}_misses"]
+            payload[f"{tier}_hit_rate"] = (
+                round(hits / (hits + misses), 4) if hits + misses else None
+            )
+        payload["halted"] = result.halted
+        payload["ring"] = result.ring
+        payload["a"] = result.a
+        payload["q"] = result.q
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        if args.metrics_json == "-":
+            print(text)
+        else:
+            with open(args.metrics_json, "w") as handle:
+                handle.write(text + "\n")
+            print(f"wrote {args.metrics_json}")
+        return 0
     print(f"halted:         {result.halted}")
     print(f"ring:           {result.ring}")
     print(f"A register:     {result.a}")
@@ -140,6 +161,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--max-steps", type=int, default=1_000_000)
     run.add_argument(
         "--trace", action="store_true", help="print the instruction trace"
+    )
+    run.add_argument(
+        "--metrics-json",
+        metavar="FILE",
+        help="dump the full metrics snapshot (cycles, faults, PTLB/icache/"
+        "block-tier hit rates, ...) as JSON to FILE ('-' for stdout) "
+        "instead of the plain-text counters",
     )
     run.set_defaults(func=_cmd_run)
     return parser

@@ -61,6 +61,23 @@ class CallDecision:
         return self.outcome.proceeds
 
 
+#: Shared decision instances.  Decisions are frozen value objects and
+#: ``new_ring`` ranges over the eight rings, so both decision kernels
+#: can hand out interned instances instead of constructing one per
+#: executed CALL/RETURN — these sit on the simulator's hottest path.
+_CALL_FAULT_DECISIONS = {
+    outcome: CallDecision(outcome)
+    for outcome in CallOutcome
+    if not outcome.proceeds
+}
+_SAME_RING_CALLS = tuple(
+    CallDecision(CallOutcome.SAME_RING, new_ring=ring) for ring in range(8)
+)
+_DOWNWARD_CALLS = tuple(
+    CallDecision(CallOutcome.DOWNWARD, new_ring=ring) for ring in range(8)
+)
+
+
 def gate_ok(wordno: int, gate_count: int, same_segment: bool) -> bool:
     """Figure 8 gate test.
 
@@ -99,18 +116,18 @@ def decide_call(
        it the call is upward and traps for software intervention.
     """
     if not execute_flag:
-        return CallDecision(CallOutcome.FAULT_NO_EXECUTE)
+        return _CALL_FAULT_DECISIONS[CallOutcome.FAULT_NO_EXECUTE]
     if eff_ring > cur_ring:
-        return CallDecision(CallOutcome.FAULT_RING_RAISED)
+        return _CALL_FAULT_DECISIONS[CallOutcome.FAULT_RING_RAISED]
     if eff_ring > brackets.r3:
-        return CallDecision(CallOutcome.FAULT_OUTSIDE_BRACKET)
-    if not gate_ok(wordno, gate_count, same_segment):
-        return CallDecision(CallOutcome.FAULT_NOT_GATE)
+        return _CALL_FAULT_DECISIONS[CallOutcome.FAULT_OUTSIDE_BRACKET]
+    if not (same_segment or wordno < gate_count):  # gate_ok, in line
+        return _CALL_FAULT_DECISIONS[CallOutcome.FAULT_NOT_GATE]
     if eff_ring > brackets.r2:
-        return CallDecision(CallOutcome.DOWNWARD, new_ring=brackets.r2)
+        return _DOWNWARD_CALLS[brackets.r2]
     if eff_ring >= brackets.r1:
-        return CallDecision(CallOutcome.SAME_RING, new_ring=eff_ring)
-    return CallDecision(CallOutcome.TRAP_UPWARD_CALL)
+        return _SAME_RING_CALLS[eff_ring]
+    return _CALL_FAULT_DECISIONS[CallOutcome.TRAP_UPWARD_CALL]
 
 
 class ReturnOutcome(enum.Enum):
@@ -145,6 +162,20 @@ class ReturnDecision:
         return self.outcome.proceeds
 
 
+#: Interned return decisions, mirroring the CALL tables above.
+_RETURN_FAULT_DECISIONS = {
+    outcome: ReturnDecision(outcome)
+    for outcome in ReturnOutcome
+    if not outcome.proceeds
+}
+_SAME_RING_RETURNS = tuple(
+    ReturnDecision(ReturnOutcome.SAME_RING, new_ring=ring) for ring in range(8)
+)
+_UPWARD_RETURNS = tuple(
+    ReturnDecision(ReturnOutcome.UPWARD, new_ring=ring) for ring in range(8)
+)
+
+
 def decide_return(
     eff_ring: int,
     cur_ring: int,
@@ -169,11 +200,11 @@ def decide_return(
     to the caller's ring or higher (p. 34).
     """
     if not execute_flag:
-        return ReturnDecision(ReturnOutcome.FAULT_NO_EXECUTE)
+        return _RETURN_FAULT_DECISIONS[ReturnOutcome.FAULT_NO_EXECUTE]
     if not brackets.execute_allowed(eff_ring):
-        return ReturnDecision(ReturnOutcome.FAULT_EXECUTE_BRACKET)
+        return _RETURN_FAULT_DECISIONS[ReturnOutcome.FAULT_EXECUTE_BRACKET]
     if eff_ring < cur_ring:
-        return ReturnDecision(ReturnOutcome.TRAP_DOWNWARD_RETURN)
+        return _RETURN_FAULT_DECISIONS[ReturnOutcome.TRAP_DOWNWARD_RETURN]
     if eff_ring == cur_ring:
-        return ReturnDecision(ReturnOutcome.SAME_RING, new_ring=eff_ring)
-    return ReturnDecision(ReturnOutcome.UPWARD, new_ring=eff_ring)
+        return _SAME_RING_RETURNS[eff_ring]
+    return _UPWARD_RETURNS[eff_ring]

@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from ..core.effective import effective_ring_after_indirect
-from ..formats.indirect import IndirectWord
+from ..formats.indirect import unpack_raw
 from ..formats.instruction import Instruction
 from ..words import HALF_MASK
 from .access_cache import GROUP_READ
@@ -109,9 +109,9 @@ def _chase_indirect(proc: "Processor", tpr: TPR) -> TPR:
                 detail="retrieving indirect word",
             )
         word = proc.read_word(sdw, tpr.segno, tpr.wordno)
-        ind = IndirectWord.unpack(word)
-        tpr.ring = effective_ring_after_indirect(tpr.ring, ind.ring, sdw.r1)
-        tpr.segno = ind.segno
-        tpr.wordno = ind.wordno
-        if not ind.indirect:
+        segno, wordno, ring, further = unpack_raw(word)
+        tpr.ring = effective_ring_after_indirect(tpr.ring, ring, sdw.r1)
+        tpr.segno = segno
+        tpr.wordno = wordno
+        if not further:
             return tpr

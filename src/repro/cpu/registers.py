@@ -48,9 +48,19 @@ class PointerRegister:
 
     def load(self, segno: int, wordno: int, ring: int) -> None:
         """Replace all three fields (EAP-type instructions only)."""
-        check_field("PR.SEGNO", segno, 14)
-        check_field("PR.WORDNO", wordno, 18)
-        check_field("PR.RING", ring, 3)
+        # In-line width guard on the hot path (EAP, CALL's stack base);
+        # the check_field calls below carry the real error reporting.
+        if not (
+            segno.__class__ is int
+            and wordno.__class__ is int
+            and ring.__class__ is int
+            and 0 <= segno < 0o40000
+            and 0 <= wordno < 0o1000000
+            and 0 <= ring < 8
+        ):
+            check_field("PR.SEGNO", segno, 14)
+            check_field("PR.WORDNO", wordno, 18)
+            check_field("PR.RING", ring, 3)
         self.segno = segno
         self.wordno = wordno
         self.ring = ring
@@ -79,9 +89,19 @@ class IPR:
 
     def set(self, ring: int, segno: int, wordno: int) -> None:
         """Replace the ring of execution and the next-instruction address."""
-        check_field("IPR.RING", ring, 3)
-        check_field("IPR.SEGNO", segno, 14)
-        check_field("IPR.WORDNO", wordno, 18)
+        # In-line width guard: this runs once per transfer, call, and
+        # return; check_field below carries the real error reporting.
+        if not (
+            ring.__class__ is int
+            and segno.__class__ is int
+            and wordno.__class__ is int
+            and 0 <= ring < 8
+            and 0 <= segno < 0o40000
+            and 0 <= wordno < 0o1000000
+        ):
+            check_field("IPR.RING", ring, 3)
+            check_field("IPR.SEGNO", segno, 14)
+            check_field("IPR.WORDNO", wordno, 18)
         self.ring = ring
         self.segno = segno
         self.wordno = wordno
@@ -155,7 +175,8 @@ class RegisterFile:
     def raise_pr_rings(self, floor: int) -> None:
         """RETURN's upward sweep over every pointer register (Figure 9)."""
         for pr in self.prs:
-            pr.raise_ring(floor)
+            if floor > pr.ring:
+                pr.ring = floor
 
     def check_ring_invariant(self) -> bool:
         """True when every ``PRn.RING >= IPR.RING`` (paper p. 31)."""

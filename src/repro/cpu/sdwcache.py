@@ -23,7 +23,7 @@ entry.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from ..formats.sdw import SDW
 
@@ -38,6 +38,11 @@ class SDWCache:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        #: called with the victim segno on every capacity eviction —
+        #: the superblock tier stops a mid-flight block whose segment
+        #: just lost its SDW (per-step execution would pay a refetch at
+        #: the next fetch, so the block must stop mirroring hits)
+        self.on_evict: Optional[Callable[[int], None]] = None
 
     def lookup(self, segno: int) -> Optional[SDW]:
         """Return the cached SDW for ``segno`` or None on a miss.
@@ -72,7 +77,9 @@ class SDWCache:
             entries[segno] = sdw
             return
         if len(entries) >= self.slots:
-            entries.popitem(last=False)
+            victim, _ = entries.popitem(last=False)
+            if self.on_evict is not None:
+                self.on_evict(victim)
         entries[segno] = sdw
 
     def invalidate(self, segno: Optional[int] = None) -> None:

@@ -38,6 +38,32 @@ INDIRECT = Layout(
     ],
 )
 
+#: Pre-resolved shift/mask pairs for :func:`unpack_raw` (the layout
+#: stays the single source of truth for the geometry).
+_SEGNO_SHIFT = INDIRECT["SEGNO"].shift
+_SEGNO_MASK = INDIRECT["SEGNO"].mask
+_WORDNO_SHIFT = INDIRECT["WORDNO"].shift
+_WORDNO_MASK = INDIRECT["WORDNO"].mask
+_RING_SHIFT = INDIRECT["RING"].shift
+_RING_MASK = INDIRECT["RING"].mask
+_I_SHIFT = INDIRECT["I"].shift
+_I_MASK = INDIRECT["I"].mask
+
+
+def unpack_raw(word: int) -> tuple:
+    """``(segno, wordno, ring, i)`` of ``word``, no object construction.
+
+    The effective-address chase decodes one indirect word per hop on
+    the simulator's hottest path; this skips the generic layout walk
+    and the :class:`IndirectWord` dataclass entirely.
+    """
+    return (
+        (word >> _SEGNO_SHIFT) & _SEGNO_MASK,
+        (word >> _WORDNO_SHIFT) & _WORDNO_MASK,
+        (word >> _RING_SHIFT) & _RING_MASK,
+        (word >> _I_SHIFT) & _I_MASK,
+    )
+
 
 @dataclass(frozen=True)
 class IndirectWord:
@@ -65,13 +91,8 @@ class IndirectWord:
     @classmethod
     def unpack(cls, word: int) -> "IndirectWord":
         """Decode a one-word memory image."""
-        f = INDIRECT.unpack(word)
-        return cls(
-            segno=f["SEGNO"],
-            wordno=f["WORDNO"],
-            ring=f["RING"],
-            indirect=bool(f["I"]),
-        )
+        segno, wordno, ring, i = unpack_raw(word)
+        return cls(segno=segno, wordno=wordno, ring=ring, indirect=bool(i))
 
     def with_ring(self, ring: int) -> "IndirectWord":
         """Return a copy carrying a different validation ring."""

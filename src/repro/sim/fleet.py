@@ -1,0 +1,223 @@
+"""The sharded fleet driver: independent machines across host workers.
+
+The simulator is single-threaded by construction — one ``Machine`` is
+one processor and one memory.  But benchmark sweeps and multi-user
+scenario runs are embarrassingly parallel: every shard builds its *own*
+machine, runs its own workload, and reports a
+:class:`~repro.sim.metrics.MetricsSnapshot`.  ``run_fleet`` fans those
+shards across host worker processes (``concurrent.futures``) and merges
+the per-shard snapshots into fleet totals with
+:meth:`MetricsSnapshot.sum_of`, so the merged figures equal what one
+machine would have accumulated running the shards back to back.
+
+A workload is any picklable callable ``workload(shard: int) ->
+(payload, MetricsSnapshot)`` — a module-level function or a
+``functools.partial`` over one (closures and lambdas do not survive the
+pickle boundary of the process backend).  :func:`call_loop_shard` is
+the reference workload: the Figure 8 cross-ring call loop the
+benchmarks use.
+
+Backends:
+
+``"process"``
+    one OS process per worker (the default) — real parallelism, since
+    each shard runs its own interpreter;
+``"thread"``
+    one thread per worker — no host parallelism for this CPU-bound
+    simulator (the GIL), but exercises the same fan-out/merge paths
+    without any pickling requirement;
+``"serial"``
+    run shards in the calling thread, in order — deterministic
+    debugging, and the fallback for hosts where process pools are
+    unavailable (sandboxes without ``fork``/semaphores).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from .metrics import MetricsSnapshot
+
+#: A workload maps a shard index to (payload, metrics).
+Workload = Callable[[int], Tuple[Any, MetricsSnapshot]]
+
+BACKENDS = ("process", "thread", "serial")
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """What one shard produced."""
+
+    shard: int
+    payload: Any
+    metrics: MetricsSnapshot
+    wall_seconds: float
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """All shard results plus the merged fleet totals."""
+
+    shards: List[ShardResult] = field(default_factory=list)
+    merged: MetricsSnapshot = field(default_factory=MetricsSnapshot.zero)
+    wall_seconds: float = 0.0
+    workers: int = 1
+    backend: str = "serial"
+
+    @property
+    def payloads(self) -> List[Any]:
+        """Each shard's payload, in shard order."""
+        return [shard.payload for shard in self.shards]
+
+    def verify_merge(self) -> bool:
+        """True when ``merged`` equals the sum of per-shard metrics.
+
+        Cheap self-check the benchmarks assert on: snapshot arithmetic
+        is exact integer addition, so this must hold identically.
+        """
+        return self.merged == MetricsSnapshot.sum_of(
+            shard.metrics for shard in self.shards
+        )
+
+
+def _run_shard(workload: Workload, shard: int) -> ShardResult:
+    """Execute one shard (in whatever worker the backend chose)."""
+    started = time.perf_counter()
+    payload, metrics = workload(shard)
+    if not isinstance(metrics, MetricsSnapshot):
+        raise ConfigurationError(
+            f"workload returned {type(metrics).__name__} for shard "
+            f"{shard}; expected (payload, MetricsSnapshot)"
+        )
+    return ShardResult(
+        shard=shard,
+        payload=payload,
+        metrics=metrics,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+def run_fleet(
+    workload: Workload,
+    shards: int,
+    workers: Optional[int] = None,
+    backend: str = "process",
+) -> FleetResult:
+    """Run ``shards`` independent workload instances and merge metrics.
+
+    ``workers`` caps concurrent workers (default: one per shard).  The
+    process backend requires ``workload`` to be picklable; on hosts
+    where a process pool cannot even be created the call falls back to
+    the serial backend rather than failing the run — the results are
+    identical, only the wall-clock parallelism is lost.
+    """
+    if shards <= 0:
+        raise ConfigurationError("shards must be positive")
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown fleet backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if workers is None:
+        workers = shards
+    if workers <= 0:
+        raise ConfigurationError("workers must be positive")
+    workers = min(workers, shards)
+
+    started = time.perf_counter()
+    if backend == "serial" or workers == 1:
+        backend = "serial"
+        results = [_run_shard(workload, shard) for shard in range(shards)]
+    else:
+        pool_cls = (
+            ProcessPoolExecutor if backend == "process" else ThreadPoolExecutor
+        )
+        try:
+            with pool_cls(max_workers=workers) as pool:
+                results = list(
+                    pool.map(_run_shard, [workload] * shards, range(shards))
+                )
+        except (OSError, PermissionError) as exc:
+            if backend != "process":
+                raise
+            # Hosts without working process primitives (restricted
+            # sandboxes): same results, serially.
+            backend = f"serial (process pool unavailable: {exc})"
+            results = [_run_shard(workload, shard) for shard in range(shards)]
+    elapsed = time.perf_counter() - started
+
+    return FleetResult(
+        shards=results,
+        merged=MetricsSnapshot.sum_of(result.metrics for result in results),
+        wall_seconds=elapsed,
+        workers=workers,
+        backend=backend,
+    )
+
+
+# ---------------------------------------------------------------------------
+# reference workloads (module-level: picklable for the process backend)
+# ---------------------------------------------------------------------------
+
+
+def call_loop_shard(
+    shard: int,
+    count: int = 500,
+    target_ring: int = 0,
+    block_tier: Optional[bool] = None,
+) -> Tuple[dict, MetricsSnapshot]:
+    """One shard of the Figure 8 cross-ring call loop.
+
+    Builds a fresh machine, runs ``count`` call/return pairs against a
+    ring-``target_ring`` gate, and returns the headline figures plus
+    the full metrics snapshot.  Use ``functools.partial`` to vary
+    ``count`` or the knobs per sweep point.
+    """
+    from ..core.acl import AclEntry, RingBracketSpec
+    from .machine import Machine
+
+    machine = Machine(services=False, block_tier_enabled=block_tier)
+    user = machine.add_user(f"shard{shard}")
+    spec = (
+        RingBracketSpec.procedure(4)
+        if target_ring == 4
+        else RingBracketSpec.procedure(target_ring, callable_from=5)
+    )
+    machine.store_program(
+        ">fleet>callee",
+        """
+        .seg    callee
+        .gates  1
+entry:: return  pr4|0
+""",
+        acl=[AclEntry("*", spec)],
+    )
+    machine.store_program(
+        ">fleet>caller",
+        f"""
+        .seg    caller
+main::  lda     ={count}
+loop:   eap4    back
+        call    l_callee,*
+back:   sba     =1
+        tnz     loop
+        halt
+l_callee: .its  callee$entry
+""",
+        acl=[AclEntry("*", RingBracketSpec.procedure(4))],
+    )
+    process = machine.login(user)
+    machine.initiate(process, ">fleet>caller")
+    machine.initiate(process, ">fleet>callee")
+    result = machine.run(process, "caller$main", ring=4)
+    payload = {
+        "shard": shard,
+        "halted": result.halted,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "ring_crossings": result.ring_crossings,
+    }
+    return payload, result.metrics

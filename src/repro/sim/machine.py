@@ -26,6 +26,10 @@ Construction knobs map to the paper's design space:
     decoded-instruction cache, see :mod:`repro.cpu.access_cache`);
     purely an ablation knob — simulated cycle figures are identical
     either way.
+``block_tier_enabled``
+    the superblock execution tier (:mod:`repro.cpu.blockcache`) layered
+    on the fast path; ``None`` (default) follows ``fast_path_enabled``.
+    Equally invisible to the simulated figures.
 """
 
 from __future__ import annotations
@@ -43,11 +47,19 @@ from ..krnl.supervisor import Supervisor
 from ..krnl.users import User
 from ..mem.physical import PhysicalMemory
 from ..mem.segment import SegmentImage
+from .metrics import MetricsSnapshot
 
 
 @dataclass
 class RunResult:
-    """What came out of one :meth:`Machine.run`."""
+    """What came out of one :meth:`Machine.run`.
+
+    ``metrics`` is the cumulative :class:`MetricsSnapshot` at the end of
+    the run; ``run_metrics`` is the per-run delta (end minus start), so
+    consecutive ``run(..., reset_counters=False)`` calls still report
+    meaningful per-run figures — including cache hit rates — while the
+    plain counters (``instructions``, ``cycles``, ...) keep accumulating.
+    """
 
     halted: bool
     instructions: int
@@ -58,6 +70,8 @@ class RunResult:
     console: List[int] = field(default_factory=list)
     faults: int = 0
     ring_crossings: int = 0
+    metrics: Optional[MetricsSnapshot] = None
+    run_metrics: Optional[MetricsSnapshot] = None
 
 
 class Machine:
@@ -74,6 +88,7 @@ class Machine:
         sdw_cache_slots: int = 16,
         sdw_cache_enabled: bool = True,
         fast_path_enabled: bool = True,
+        block_tier_enabled: Optional[bool] = None,
         services: bool = True,
     ):
         self.memory = PhysicalMemory(memory_words)
@@ -87,6 +102,7 @@ class Machine:
             hardware_rings=hardware_rings,
             sdw_cache=SDWCache(slots=sdw_cache_slots, enabled=sdw_cache_enabled),
             fast_path=fast_path_enabled,
+            block_tier=block_tier_enabled,
         )
         self.system_user = self.supervisor.users.register(
             "system", administrator=True
@@ -207,7 +223,9 @@ class Machine:
         self.start(process, ref, ring)
         if reset_counters:
             self.processor.reset_counters()
+        before = MetricsSnapshot.collect(self.processor)
         self.processor.run(max_steps=max_steps)
+        after = MetricsSnapshot.collect(self.processor)
         regs = self.processor.registers
         stats = self.processor.stats
         return RunResult(
@@ -220,4 +238,6 @@ class Machine:
             console=self.console,
             faults=stats.faults,
             ring_crossings=stats.ring_crossings,
+            metrics=after,
+            run_metrics=after.minus(before),
         )

@@ -1,15 +1,22 @@
-"""Metrics collection for experiments and benchmarks.
+"""Metrics collection for experiments, benchmarks, and the fleet driver.
 
 A :class:`MetricsSnapshot` freezes every counter the simulation keeps —
-processor cycles and statistics, memory traffic, SDW-cache behaviour —
-so benchmark code can compute differences across phases without
-worrying about which component owns which counter.
+processor cycles and statistics, memory traffic, SDW-cache behaviour,
+and the host-side fast-path tiers — so benchmark code can compute
+differences across phases without worrying about which component owns
+which counter.
+
+Snapshots are value objects and support arithmetic: :meth:`minus` turns
+two cumulative snapshots into a per-phase delta (what
+``Machine.run(reset_counters=False)`` uses so consecutive runs still
+compose), and :meth:`plus` / :meth:`sum_of` merge the per-shard
+snapshots of a :mod:`repro.sim.fleet` run into fleet totals.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable
 
 from ..cpu.processor import Processor
 
@@ -34,6 +41,28 @@ class MetricsSnapshot:
     ptlb_misses: int = 0
     icache_hits: int = 0
     icache_misses: int = 0
+    #: superblock tier (host-side only; see repro.cpu.blockcache)
+    block_hits: int = 0
+    block_misses: int = 0
+    block_invalidations: int = 0
+    block_instructions: int = 0
+
+    #: counters that describe the simulated machine itself; identical
+    #: whether the host-side tiers are on or off (the host-tier hit
+    #: counters above are diagnostics of *how* the figures were reached)
+    ARCHITECTURAL = (
+        "cycles",
+        "instructions",
+        "faults",
+        "traps_delivered",
+        "calls",
+        "returns",
+        "ring_crossings",
+        "memory_reads",
+        "memory_writes",
+        "sdw_hits",
+        "sdw_misses",
+    )
 
     @classmethod
     def collect(cls, proc: Processor) -> "MetricsSnapshot":
@@ -41,6 +70,7 @@ class MetricsSnapshot:
         cache = proc.sdw_cache.stats()
         ptlb = proc.access_cache.stats()
         icache = proc.inst_cache.stats()
+        blocks = proc.block_cache.stats()
         return cls(
             cycles=proc.cycles,
             instructions=proc.stats.instructions,
@@ -57,11 +87,51 @@ class MetricsSnapshot:
             ptlb_misses=ptlb["misses"],
             icache_hits=icache["hits"],
             icache_misses=icache["misses"],
+            block_hits=blocks["hits"],
+            block_misses=blocks["misses"],
+            block_invalidations=blocks["invalidations"],
+            block_instructions=blocks["block_instructions"],
         )
 
+    @classmethod
+    def zero(cls) -> "MetricsSnapshot":
+        """The additive identity (an all-zero snapshot)."""
+        return cls(**{name: 0 for name in cls.__dataclass_fields__})
+
     def delta(self, earlier: "MetricsSnapshot") -> Dict[str, int]:
-        """Per-counter difference ``self - earlier``."""
+        """Per-counter difference ``self - earlier`` as a dict."""
         return {
             name: getattr(self, name) - getattr(earlier, name)
             for name in self.__dataclass_fields__
         }
+
+    def minus(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
+        """``self - earlier`` as a snapshot (per-phase attribution)."""
+        return MetricsSnapshot(**self.delta(earlier))
+
+    def plus(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """``self + other`` as a snapshot (shard merging)."""
+        return MetricsSnapshot(
+            **{
+                name: getattr(self, name) + getattr(other, name)
+                for name in self.__dataclass_fields__
+            }
+        )
+
+    @classmethod
+    def sum_of(
+        cls, snapshots: Iterable["MetricsSnapshot"]
+    ) -> "MetricsSnapshot":
+        """Merge many shards' snapshots into one fleet total."""
+        total = cls.zero()
+        for snapshot in snapshots:
+            total = total.plus(snapshot)
+        return total
+
+    def architectural(self) -> Dict[str, int]:
+        """Only the simulated-machine counters (tier-independent)."""
+        return {name: getattr(self, name) for name in self.ARCHITECTURAL}
+
+    def as_dict(self) -> Dict[str, int]:
+        """Every counter as a plain dict (CLI ``--metrics-json``)."""
+        return asdict(self)

@@ -66,8 +66,14 @@ def check_field(name: str, value: int, width: int) -> int:
     """Validate that ``value`` fits in ``width`` bits, returning it.
 
     Raises :class:`repro.errors.FieldRangeError` otherwise.  Used at every
-    API boundary where a host integer enters a hardware-format field.
+    API boundary where a host integer enters a hardware-format field —
+    which makes it one of the hottest functions in the simulator, hence
+    the branchless exact-type test up front (``bool`` is an ``int``
+    subclass, so the identity test rejects it for free; other ``int``
+    subclasses take the general path below).
     """
+    if value.__class__ is int and 0 <= value < (1 << width):
+        return value
     if not isinstance(value, int) or isinstance(value, bool):
         raise FieldRangeError(name, value, width)
     if not fits(value, width):

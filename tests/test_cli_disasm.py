@@ -115,3 +115,36 @@ class TestCLI:
         assert main(["run", str(src), "--trace"]) == 0
         out = capsys.readouterr().out
         assert "CALL" in out and "RETURN" in out
+
+    def test_run_metrics_json_to_stdout(self, tmp_path, capsys):
+        import json
+
+        src = tmp_path / "p.asm"
+        src.write_text(SAMPLE)
+        assert main(["run", str(src), "--metrics-json", "-"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["halted"] is True
+        assert payload["a"] == 42
+        assert payload["instructions"] > 0
+        # The full snapshot: every counter plus derived hit rates.
+        for key in (
+            "cycles",
+            "ring_crossings",
+            "sdw_hit_rate",
+            "ptlb_hit_rate",
+            "icache_hit_rate",
+            "block_hit_rate",
+            "block_invalidations",
+        ):
+            assert key in payload
+
+    def test_run_metrics_json_to_file(self, tmp_path, capsys):
+        import json
+
+        src = tmp_path / "p.asm"
+        src.write_text(SAMPLE)
+        out_path = tmp_path / "metrics.json"
+        assert main(["run", str(src), "--metrics-json", str(out_path)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        payload = json.loads(out_path.read_text())
+        assert payload["halted"] is True and payload["ring"] == 4
