@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands, all runnable as ``python -m repro <cmd>``:
+Subcommands, all runnable as ``python -m repro <cmd>``:
 
 ``figures``
     Print the reproductions of all nine paper figures.
@@ -13,6 +13,13 @@ Four subcommands, all runnable as ``python -m repro <cmd>``:
     Assemble a program, install it on a fresh machine (with the standard
     supervisor gate services), execute ``segment$ENTRY`` in the chosen
     ring, and report console output and counters.
+``serve``
+    Start the ring gateway (:mod:`repro.serve`): gate calls as a
+    multi-tenant JSON-lines-over-TCP service in front of a pool of
+    persistent machine workers.
+``loadgen``
+    Drive a burst of concurrent gate calls against a running gateway
+    and report client-side and gateway-side figures.
 """
 
 from __future__ import annotations
@@ -97,12 +104,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(trace.render())
     if args.metrics_json:
         payload = dict(result.metrics.as_dict())
-        for tier in ("sdw", "ptlb", "icache", "block"):
-            hits = payload[f"{tier}_hits"]
-            misses = payload[f"{tier}_misses"]
-            payload[f"{tier}_hit_rate"] = (
-                round(hits / (hits + misses), 4) if hits + misses else None
-            )
+        payload.update(result.metrics.rates())
         payload["halted"] = result.halted
         payload["ring"] = result.ring
         payload["a"] = result.a
@@ -124,6 +126,128 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"ring crossings: {result.ring_crossings}")
     if result.console:
         print(f"console:        {result.console}")
+    return 0
+
+
+def _parse_ring_limit(text: str):
+    """``RING=RATE[:BURST[:PENDING]]`` -> (ring, RingPolicy)."""
+    from .serve.admission import RingPolicy
+
+    try:
+        ring_text, spec = text.split("=", 1)
+        parts = spec.split(":")
+        ring = int(ring_text)
+        rate = float(parts[0])
+        burst = int(parts[1]) if len(parts) > 1 else 32
+        pending = int(parts[2]) if len(parts) > 2 else 64
+    except (ValueError, IndexError):
+        raise argparse.ArgumentTypeError(
+            f"expected RING=RATE[:BURST[:PENDING]], got {text!r}"
+        )
+    return ring, RingPolicy(rate=rate, burst=burst, max_pending=pending)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from .serve.admission import RingPolicy
+    from .serve.gateway import GatewayConfig, RingGateway
+
+    config = GatewayConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        backend=args.backend,
+        call_timeout=args.call_timeout,
+        drain_timeout=args.drain_timeout,
+        default_policy=RingPolicy(
+            rate=args.rate,
+            burst=args.burst,
+            max_pending=args.max_pending,
+        ),
+        ring_policies=dict(args.ring_limit or []),
+    )
+
+    async def main() -> int:
+        gateway = RingGateway(config)
+        await gateway.start()
+        print(
+            f"ring gateway listening on {config.host}:{gateway.port} "
+            f"({gateway.pool.backend} backend, "
+            f"{config.workers} workers)",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        await stop.wait()
+        print("draining...", flush=True)
+        await gateway.stop()
+        counters = gateway.counters
+        print(
+            f"served {counters.completed} calls "
+            f"({counters.timed_out} timed out, "
+            f"{counters.rejected_rate_limited + counters.rejected_queue_full}"
+            f" rejected)",
+            flush=True,
+        )
+        return 0
+
+    return asyncio.run(main())
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve.loadgen import run_load
+
+    call_args = {}
+    if args.count is not None:
+        call_args["count"] = args.count
+    if args.target_ring is not None:
+        call_args["target_ring"] = args.target_ring
+    if args.n is not None:
+        call_args["n"] = args.n
+    if args.value is not None:
+        call_args["value"] = args.value
+
+    report = asyncio.run(
+        run_load(
+            args.host,
+            args.port,
+            sessions=args.sessions,
+            calls=args.calls,
+            program=args.program,
+            args=call_args,
+            rings=tuple(args.ring) or (4,),
+        )
+    )
+    payload = report.as_dict()
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.json}")
+    else:
+        print(text)
+    print(
+        f"{payload['ok']}/{payload['sent']} OK at "
+        f"{payload['throughput_calls_per_second']} calls/s "
+        f"(p50 {payload['latency_p50_ms']} ms, "
+        f"p99 {payload['latency_p99_ms']} ms)",
+        file=sys.stderr,
+    )
+    problems = payload["problems"]
+    if problems:
+        for problem in problems:
+            print(f"problem: {problem}", file=sys.stderr)
+    if args.check and problems:
+        return 1
     return 0
 
 
@@ -170,6 +294,79 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of the plain-text counters",
     )
     run.set_defaults(func=_cmd_run)
+
+    serve = sub.add_parser(
+        "serve", help="start the ring gateway (gate calls as a service)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7117, help="TCP port (0: kernel-chosen)"
+    )
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument(
+        "--backend",
+        choices=("process", "thread"),
+        default="process",
+        help="worker pool backend (process pools fall back to threads "
+        "where unavailable)",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="default per-ring sustained calls/s (default: unlimited)",
+    )
+    serve.add_argument("--burst", type=int, default=64)
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=256,
+        help="per-ring bound on queued+executing calls",
+    )
+    serve.add_argument(
+        "--ring-limit",
+        type=_parse_ring_limit,
+        action="append",
+        metavar="RING=RATE[:BURST[:PENDING]]",
+        help="override the admission policy for one ring (repeatable)",
+    )
+    serve.add_argument("--call-timeout", type=float, default=10.0)
+    serve.add_argument("--drain-timeout", type=float, default=10.0)
+    serve.set_defaults(func=_cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen", help="drive gate-call load against a running gateway"
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=7117)
+    loadgen.add_argument("--sessions", type=int, default=16)
+    loadgen.add_argument(
+        "--calls", type=int, default=50, help="calls per session"
+    )
+    loadgen.add_argument(
+        "--program", default="call_loop", help="catalog program to call"
+    )
+    loadgen.add_argument(
+        "--ring",
+        type=int,
+        action="append",
+        default=[],
+        help="session ring; repeat for a mixed-ring burst (default: 4)",
+    )
+    loadgen.add_argument("--count", type=int, help="call_loop: pairs per call")
+    loadgen.add_argument(
+        "--target-ring", type=int, help="call_loop: gate's ring"
+    )
+    loadgen.add_argument("--n", type=int, help="compute: loop iterations")
+    loadgen.add_argument("--value", type=int, help="echo: value to return")
+    loadgen.add_argument("--json", metavar="FILE", help="write the report")
+    loadgen.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 unless every request completed and the gateway's "
+        "figures are self-consistent",
+    )
+    loadgen.set_defaults(func=_cmd_loadgen)
     return parser
 
 

@@ -1,0 +1,52 @@
+"""The ring gateway: the reproduction's serving layer.
+
+Everything below :mod:`repro.sim` treats the machine as a library — you
+construct it, run a workload, read the counters.  This package puts the
+machine behind a network boundary instead: an asyncio JSON-lines-over-TCP
+gateway (:mod:`repro.serve.gateway`) where *callers* — sessions
+authenticated as a user and bound to a ring — submit named gate calls
+that execute on a pool of persistent :class:`~repro.sim.machine.Machine`
+workers (:mod:`repro.serve.workers`), behind per-ring admission control
+and token-bucket rate limiting (:mod:`repro.serve.admission`).
+
+The paper's gates make a cross-ring call cheap enough to be the universal
+entry point for protected services; the gateway is that boundary in
+network form, with the boundary layer itself enforcing per-caller limits.
+
+Modules:
+
+``protocol``
+    the JSON-lines wire format, verbs, and error codes;
+``catalog``
+    the named gate-call programs a caller may invoke;
+``workers``
+    the persistent-machine worker pool (process/thread backends);
+``admission``
+    token buckets and bounded per-ring pending queues;
+``gateway``
+    the asyncio server tying the above together;
+``loadgen``
+    the load-generator client and its report.
+"""
+
+from .admission import AdmissionController, RingPolicy, TokenBucket
+from .catalog import CATALOG, build_program
+from .gateway import GatewayConfig, RingGateway
+from .loadgen import LoadReport, run_load
+from .protocol import ErrorCode
+from .workers import WorkerPool, execute_gate_call
+
+__all__ = [
+    "AdmissionController",
+    "CATALOG",
+    "ErrorCode",
+    "GatewayConfig",
+    "LoadReport",
+    "RingGateway",
+    "RingPolicy",
+    "TokenBucket",
+    "WorkerPool",
+    "build_program",
+    "execute_gate_call",
+    "run_load",
+]

@@ -1,0 +1,169 @@
+"""Named gate-call programs a gateway caller may invoke.
+
+Callers never ship code across the wire — they name a program from this
+catalog and pass small integer arguments.  Each entry builds assembly
+source parameterised by those arguments; the worker assembles and
+installs a variant once per distinct argument set (segment names encode
+the variant, so installs are idempotent per machine) and reuses it for
+every later call.
+
+Programs:
+
+``call_loop``
+    the Figure 8 cross-ring call loop: ``count`` call/return pairs from
+    the session's ring into a ``target_ring`` gate.  The service the
+    paper is about, in its purest form.
+``compute``
+    a pure in-ring arithmetic loop of ``n`` iterations — traffic that
+    exercises the interpreter without any ring crossings, for mixing
+    with ``call_loop`` load.
+``echo``
+    load ``value`` into the A register and halt — the cheapest possible
+    request, useful for measuring gateway overhead.
+
+Every builder validates its arguments and raises
+:class:`~repro.errors.ConfigurationError` on misuse; the gateway maps
+that to a ``bad_request`` response before any worker is involved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Tuple
+
+from ..core.acl import AclEntry, RingBracketSpec
+from ..errors import ConfigurationError
+
+#: rings a session (and hence a catalog program) may execute in: the
+#: caller segments carry execute bracket [1, 5]
+MIN_RING = 1
+MAX_RING = 5
+
+#: bounds on integer arguments (immediates must fit the address field,
+#: and a single call must stay comfortably inside the per-call step cap)
+MAX_COUNT = 4096
+MAX_ITER = 200000
+MAX_VALUE = 65535
+
+#: every caller segment is executable in rings 1..5 by every user
+_CALLER_ACL = (AclEntry("*", RingBracketSpec.procedure(MIN_RING, top=MAX_RING)),)
+
+
+@dataclass(frozen=True)
+class ProgramImage:
+    """What a worker installs for one program variant.
+
+    ``key`` identifies the variant (program name + canonical args);
+    ``segments`` is a tuple of ``(path, source, acl)`` to assemble and
+    store; ``entry`` is the ``segment$symbol`` reference to run.
+    """
+
+    key: str
+    segments: Tuple[Tuple[str, str, Tuple[AclEntry, ...]], ...]
+    entry: str
+
+
+def _int_arg(args: Dict[str, Any], name: str, default: int, lo: int, hi: int) -> int:
+    value = args.get(name, default)
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ConfigurationError(f"argument {name!r} must be an integer")
+    if not lo <= value <= hi:
+        raise ConfigurationError(
+            f"argument {name!r} must be in [{lo}, {hi}], got {value}"
+        )
+    return value
+
+
+def _build_call_loop(args: Dict[str, Any]) -> ProgramImage:
+    count = _int_arg(args, "count", 4, 1, MAX_COUNT)
+    target = _int_arg(args, "target_ring", 0, 0, 4)
+    callee = f"gate{target}"
+    caller = f"cl{count}r{target}"
+    callee_source = f"""
+        .seg    {callee}
+        .gates  1
+entry:: return  pr4|0
+"""
+    caller_source = f"""
+        .seg    {caller}
+main::  lda     ={count}
+loop:   eap4    back
+        call    l_callee,*
+back:   sba     =1
+        tnz     loop
+        halt
+l_callee: .its  {callee}$entry
+"""
+    callee_acl = (
+        AclEntry("*", RingBracketSpec.procedure(target, callable_from=MAX_RING)),
+    )
+    return ProgramImage(
+        key=caller,
+        segments=(
+            (f">serve>{callee}", callee_source, callee_acl),
+            (f">serve>{caller}", caller_source, _CALLER_ACL),
+        ),
+        entry=f"{caller}$main",
+    )
+
+
+def _build_compute(args: Dict[str, Any]) -> ProgramImage:
+    n = _int_arg(args, "n", 64, 1, MAX_ITER)
+    name = f"cp{n}"
+    source = f"""
+        .seg    {name}
+main::  ldq     ={n}
+        lda     ={n}
+loop:   sba     =1
+        tnz     loop
+        halt
+"""
+    return ProgramImage(
+        key=name,
+        segments=((f">serve>{name}", source, _CALLER_ACL),),
+        entry=f"{name}$main",
+    )
+
+
+def _build_echo(args: Dict[str, Any]) -> ProgramImage:
+    value = _int_arg(args, "value", 0, 0, MAX_VALUE)
+    name = f"ec{value}"
+    source = f"""
+        .seg    {name}
+main::  lda     ={value}
+        halt
+"""
+    return ProgramImage(
+        key=name,
+        segments=((f">serve>{name}", source, _CALLER_ACL),),
+        entry=f"{name}$main",
+    )
+
+
+#: program name -> builder(args) -> ProgramImage
+CATALOG: Dict[str, Callable[[Dict[str, Any]], ProgramImage]] = {
+    "call_loop": _build_call_loop,
+    "compute": _build_compute,
+    "echo": _build_echo,
+}
+
+
+def build_program(name: str, args: Dict[str, Any]) -> ProgramImage:
+    """Resolve a catalog name + args into an installable variant.
+
+    Raises ``KeyError`` for an unknown name (the gateway answers
+    ``unknown_program``) and ``ConfigurationError`` for bad arguments.
+    """
+    try:
+        builder = CATALOG[name]
+    except KeyError:
+        raise KeyError(name) from None
+    if not isinstance(args, dict):
+        raise ConfigurationError("args must be a JSON object")
+    known = {"count", "target_ring", "n", "value"}
+    unknown = set(args) - known
+    if unknown:
+        raise ConfigurationError(
+            f"unknown argument(s) {sorted(unknown)} for program {name!r}"
+        )
+    return builder(args)

@@ -1,0 +1,493 @@
+"""The ring gateway: an asyncio gate-call service in front of the fleet.
+
+``RingGateway`` accepts JSON-lines-over-TCP sessions
+(:mod:`repro.serve.protocol`), binds each to a (user, ring) pair via the
+``hello`` verb, and executes ``call`` requests on a pool of persistent
+machine workers (:mod:`repro.serve.workers`) behind per-ring admission
+control (:mod:`repro.serve.admission`).
+
+Life of a request:
+
+1. **validate** — verb shape and catalog arguments are checked before
+   any shared resource is touched; bad requests cost nothing;
+2. **admit** — the session ring's token bucket and pending bound decide;
+   rejections are explicit (``rate_limited`` / ``queue_full`` with
+   ``retry_after``), never silent drops;
+3. **execute** — the job runs on whichever pool worker is free, guarded
+   by ``call_timeout``.  A timeout answers the client immediately; the
+   worker-side call is not interruptible (one machine step is atomic
+   host Python), so its slot is released — and its metrics counted —
+   when it actually finishes, keeping the accounting exact;
+4. **account** — per-worker metric sums, latency reservoir, and the
+   counter set the ``stats`` verb reports.
+
+Shutdown is a drain: stop accepting, reject new calls with
+``shutting_down``, wait for in-flight calls (bounded by
+``drain_timeout``), then close connections and the pool.
+
+The ``stats`` verb returns the merged
+:class:`~repro.sim.metrics.MetricsSnapshot` figures, per-worker
+snapshots, and gateway counters; ``consistent`` is the fleet driver's
+merge-exactness contract held across the network boundary — the
+gateway's per-worker sums must equal the totals the workers themselves
+counted.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import functools
+from collections import deque
+from dataclasses import dataclass, field
+from math import ceil
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..sim.metrics import MetricsSnapshot
+from . import catalog
+from .admission import AdmissionController, RingPolicy
+from .protocol import (
+    ErrorCode,
+    GatewayProtocolError,
+    MAX_LINE_BYTES,
+    decode_line,
+    encode,
+    error_response,
+    ok_response,
+)
+from .workers import WorkerPool, execute_gate_call
+
+#: retry hint handed to callers rejected because the gateway is draining
+DRAIN_RETRY_AFTER = 1.0
+
+
+@dataclass
+class GatewayConfig:
+    """Everything a gateway needs to start serving."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0: let the kernel pick (tests, benchmarks)
+    workers: int = 4
+    backend: str = "process"
+    call_timeout: float = 10.0
+    drain_timeout: float = 10.0
+    default_policy: RingPolicy = field(
+        default_factory=lambda: RingPolicy(
+            rate=None, burst=64, max_pending=256
+        )
+    )
+    ring_policies: Dict[int, RingPolicy] = field(default_factory=dict)
+    #: latency reservoir size for the p50/p99 figures
+    latency_samples: int = 8192
+
+
+@dataclass
+class GatewayCounters:
+    """Gateway-level event counters the ``stats`` verb reports."""
+
+    accepted: int = 0
+    completed: int = 0
+    rejected_rate_limited: int = 0
+    rejected_queue_full: int = 0
+    rejected_shutting_down: int = 0
+    timed_out: int = 0
+    machine_faults: int = 0
+    worker_errors: int = 0
+    bad_requests: int = 0
+    protocol_errors: int = 0
+    sessions_opened: int = 0
+    sessions_closed: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """All counters as a plain dict, for the ``stats`` payload."""
+        return dict(self.__dict__)
+
+
+class _Session:
+    """Per-connection authentication state."""
+
+    __slots__ = ("user", "ring")
+
+    def __init__(self) -> None:
+        self.user: Optional[str] = None
+        self.ring: int = 0
+
+
+def _percentile(samples: List[float], fraction: float) -> float:
+    """The ``fraction`` quantile of ``samples`` (nearest-rank)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered), max(1, ceil(fraction * len(ordered))))
+    return ordered[rank - 1]
+
+
+class RingGateway:
+    """The asyncio gate-call server.  See the module docstring."""
+
+    def __init__(self, config: Optional[GatewayConfig] = None):
+        self.config = config or GatewayConfig()
+        self.counters = GatewayCounters()
+        self.admission = AdmissionController(
+            self.config.default_policy, self.config.ring_policies
+        )
+        self.pool: Optional[WorkerPool] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._draining = False
+        self._inflight: set = set()
+        self._serving = 0  # requests between receive and response-sent
+        self._writers: set = set()
+        self._latencies_ms: deque = deque(maxlen=self.config.latency_samples)
+        #: gateway-side per-worker sums of per-call metric deltas
+        self._per_worker: Dict[str, MetricsSnapshot] = {}
+        self._per_worker_calls: Dict[str, int] = {}
+        #: the cumulative totals each worker last reported about itself
+        self._worker_reported: Dict[str, Tuple[int, Dict[str, int]]] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (after :meth:`start`)."""
+        if self._server is None:
+            raise ConfigurationError("gateway is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Create the worker pool and start accepting connections."""
+        if self._server is not None:
+            raise ConfigurationError("gateway is already started")
+        self.pool = WorkerPool(
+            workers=self.config.workers, backend=self.config.backend
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=2 * MAX_LINE_BYTES,
+        )
+
+    async def serve_until(self, stop_event: asyncio.Event) -> None:
+        """Serve until ``stop_event`` fires, then drain and stop."""
+        await stop_event.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        """Graceful drain: no new work, finish in-flight, close up."""
+        if self._server is None:
+            return
+        self._draining = True
+        self._server.close()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.config.drain_timeout
+        if self._inflight:
+            await asyncio.wait(
+                list(self._inflight), timeout=self.config.drain_timeout
+            )
+        # Let handlers flush the responses for the calls that just
+        # finished before their connections are torn down.
+        while self._serving and loop.time() < deadline:
+            await asyncio.sleep(0.005)
+        for writer in list(self._writers):
+            writer.close()
+        with contextlib.suppress(asyncio.TimeoutError, OSError):
+            await asyncio.wait_for(self._server.wait_closed(), timeout=5.0)
+        self._server = None
+        if self.pool is not None:
+            self.pool.shutdown(wait=True)
+            self.pool = None
+
+    # -- connection handling -----------------------------------------------
+
+    async def _send(
+        self, writer: asyncio.StreamWriter, message: Dict[str, Any]
+    ) -> None:
+        writer.write(encode(message))
+        await writer.drain()
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        self.counters.sessions_opened += 1
+        session = _Session()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, ValueError):
+                    # reset, or a line beyond the stream limit: the
+                    # framing is unrecoverable, drop the connection
+                    self.counters.protocol_errors += 1
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    message = decode_line(line.strip())
+                except GatewayProtocolError as exc:
+                    self.counters.protocol_errors += 1
+                    await self._send(
+                        writer,
+                        error_response(
+                            ErrorCode.BAD_REQUEST, detail=str(exc)
+                        ),
+                    )
+                    continue
+                self._serving += 1
+                try:
+                    response = await self._handle_message(session, message)
+                    await self._send(writer, response)
+                finally:
+                    self._serving -= 1
+                if message.get("verb") == "bye":
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            self.counters.sessions_closed += 1
+            writer.close()
+            with contextlib.suppress(ConnectionError, OSError):
+                await writer.wait_closed()
+
+    # -- verbs --------------------------------------------------------------
+
+    async def _handle_message(
+        self, session: _Session, message: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        verb = message.get("verb")
+        request_id = message.get("id")
+        if verb == "hello":
+            return self._verb_hello(session, message)
+        if verb == "call":
+            return await self._verb_call(session, message)
+        if verb == "stats":
+            return self.stats_payload(request_id)
+        if verb == "bye":
+            return ok_response(request_id, verb="bye")
+        self.counters.bad_requests += 1
+        return error_response(
+            ErrorCode.BAD_REQUEST,
+            request_id,
+            detail=f"unknown verb {verb!r}",
+        )
+
+    def _verb_hello(
+        self, session: _Session, message: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        request_id = message.get("id")
+        user = message.get("user")
+        ring = message.get("ring", 4)
+        if not isinstance(user, str) or not 1 <= len(user) <= 64:
+            self.counters.bad_requests += 1
+            return error_response(
+                ErrorCode.BAD_REQUEST,
+                request_id,
+                detail="hello requires a user name (1..64 chars)",
+            )
+        if (
+            not isinstance(ring, int)
+            or isinstance(ring, bool)
+            or not catalog.MIN_RING <= ring <= catalog.MAX_RING
+        ):
+            self.counters.bad_requests += 1
+            return error_response(
+                ErrorCode.BAD_REQUEST,
+                request_id,
+                detail=f"ring must be an integer in "
+                f"[{catalog.MIN_RING}, {catalog.MAX_RING}]",
+            )
+        session.user = user
+        session.ring = ring
+        return ok_response(request_id, verb="hello", user=user, ring=ring)
+
+    async def _verb_call(
+        self, session: _Session, message: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        request_id = message.get("id")
+        if session.user is None:
+            self.counters.bad_requests += 1
+            return error_response(
+                ErrorCode.AUTH_REQUIRED,
+                request_id,
+                detail="send hello before call",
+            )
+        if self._draining:
+            self.counters.rejected_shutting_down += 1
+            return error_response(
+                ErrorCode.SHUTTING_DOWN,
+                request_id,
+                retry_after=DRAIN_RETRY_AFTER,
+            )
+        program = message.get("program")
+        args = message.get("args", {})
+        try:
+            catalog.build_program(program, args)
+        except KeyError:
+            self.counters.bad_requests += 1
+            return error_response(
+                ErrorCode.UNKNOWN_PROGRAM,
+                request_id,
+                detail=f"unknown program {program!r}; catalog: "
+                f"{sorted(catalog.CATALOG)}",
+            )
+        except (ConfigurationError, TypeError) as exc:
+            self.counters.bad_requests += 1
+            return error_response(
+                ErrorCode.BAD_REQUEST, request_id, detail=str(exc)
+            )
+
+        decision = self.admission.admit(session.ring)
+        if not decision.admitted:
+            if decision.reason == ErrorCode.RATE_LIMITED:
+                self.counters.rejected_rate_limited += 1
+            else:
+                self.counters.rejected_queue_full += 1
+            return error_response(
+                decision.reason,
+                request_id,
+                ring=session.ring,
+                retry_after=decision.retry_after,
+            )
+
+        self.counters.accepted += 1
+        job = {
+            "user": session.user,
+            "ring": session.ring,
+            "program": program,
+            "args": args,
+        }
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        future = loop.run_in_executor(
+            self.pool.executor, execute_gate_call, job
+        )
+        self._inflight.add(future)
+        future.add_done_callback(
+            functools.partial(self._call_finished, loop, session.ring, started)
+        )
+        try:
+            result = await asyncio.wait_for(
+                asyncio.shield(future), timeout=self.config.call_timeout
+            )
+        except asyncio.TimeoutError:
+            # The response is a timeout; the worker-side call still runs
+            # to completion and is accounted by _call_finished, so the
+            # stats cross-check stays exact.
+            self.counters.timed_out += 1
+            return error_response(
+                ErrorCode.TIMEOUT,
+                request_id,
+                timeout=self.config.call_timeout,
+            )
+        except Exception as exc:  # executor broke underneath us
+            return error_response(
+                ErrorCode.BAD_REQUEST,
+                request_id,
+                detail=f"worker failure: {exc}",
+            )
+        if "error" in result:
+            return error_response(
+                result["error"],
+                request_id,
+                detail=result.get("detail", ""),
+                worker=result.get("worker"),
+            )
+        latency_ms = round((loop.time() - started) * 1e3, 3)
+        metrics = MetricsSnapshot(**result["metrics"])
+        return ok_response(
+            request_id,
+            verb="call",
+            result=result["payload"],
+            metrics=metrics.architectural(),
+            worker=result["worker"],
+            latency_ms=latency_ms,
+        )
+
+    def _call_finished(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        ring: int,
+        started: float,
+        future: "asyncio.Future",
+    ) -> None:
+        """Always runs once per admitted call, however it ended."""
+        self._inflight.discard(future)
+        self.admission.release(ring)
+        if future.cancelled() or future.exception() is not None:
+            self.counters.worker_errors += 1
+            return
+        result = future.result()
+        if "error" in result:
+            self.counters.machine_faults += 1
+            return
+        self.counters.completed += 1
+        self._latencies_ms.append((loop.time() - started) * 1e3)
+        worker = result["worker"]
+        delta = MetricsSnapshot(**result["metrics"])
+        current = self._per_worker.get(worker, MetricsSnapshot.zero())
+        self._per_worker[worker] = current.plus(delta)
+        self._per_worker_calls[worker] = (
+            self._per_worker_calls.get(worker, 0) + 1
+        )
+        self._worker_reported[worker] = (
+            result["worker_calls"],
+            result["worker_total"],
+        )
+
+    # -- stats ---------------------------------------------------------------
+
+    def stats_payload(self, request_id: Optional[Any] = None) -> Dict[str, Any]:
+        """The ``stats`` response: counters, merged metrics, cross-check."""
+        merged = MetricsSnapshot.sum_of(self._per_worker.values())
+        per_worker: Dict[str, Dict[str, Any]] = {}
+        consistent = True
+        for worker, summed in sorted(self._per_worker.items()):
+            reported_calls, reported_total = self._worker_reported.get(
+                worker, (0, {})
+            )
+            gateway_calls = self._per_worker_calls.get(worker, 0)
+            architectural = summed.architectural()
+            agrees = (
+                architectural == reported_total
+                and gateway_calls == reported_calls
+            )
+            consistent = consistent and agrees
+            per_worker[worker] = {
+                "calls": gateway_calls,
+                "worker_reported_calls": reported_calls,
+                "architectural": architectural,
+                "consistent": agrees,
+            }
+        samples = list(self._latencies_ms)
+        latency = {
+            "count": len(samples),
+            "p50_ms": round(_percentile(samples, 0.50), 3),
+            "p99_ms": round(_percentile(samples, 0.99), 3),
+        }
+        return ok_response(
+            request_id,
+            verb="stats",
+            gateway={
+                **self.counters.as_dict(),
+                "in_flight": len(self._inflight),
+                "pending_by_ring": {
+                    str(ring): count
+                    for ring, count in self.admission.pending_by_ring().items()
+                },
+                "latency": latency,
+                "draining": self._draining,
+            },
+            workers={
+                "backend": self.pool.backend if self.pool else "stopped",
+                "configured": self.config.workers,
+                "per_worker": per_worker,
+            },
+            merged=merged.as_dict(),
+            architectural=merged.architectural(),
+            rates=merged.rates(),
+            consistent=consistent,
+        )

@@ -1,0 +1,268 @@
+"""Load generator for the ring gateway.
+
+Opens many concurrent sessions against a running gateway, drives a
+burst of gate calls through each, honours backpressure (a rejection's
+``retry_after`` is slept, then the call is retried up to
+``max_retries`` times), and reports client-side figures next to the
+gateway's own ``stats`` so the two can be cross-checked:
+
+* every request must terminate in exactly one of OK / rejected-and-
+  retried-to-OK / timed out / errored — nothing silently dropped;
+* the gateway's merged architectural counters must equal the sum of the
+  per-worker snapshots it reports (``consistent``), and the sum of the
+  per-call metrics this client saw must match the merged figures.
+
+``run_load`` is the library entry point (the benchmark uses it
+in-process); ``repro loadgen`` wraps it on the CLI.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from .protocol import ErrorCode, MAX_LINE_BYTES, decode_line, encode
+
+
+@dataclass
+class LoadReport:
+    """What one load-generation run observed, client side."""
+
+    sessions: int
+    calls_per_session: int
+    sent: int = 0
+    ok: int = 0
+    rejected: int = 0  # rejections seen (each is retried)
+    retries_exhausted: int = 0
+    timed_out: int = 0
+    errors: int = 0
+    elapsed_seconds: float = 0.0
+    latencies_ms: List[float] = field(default_factory=list)
+    #: client-side sum of the per-call architectural metrics
+    client_metrics: Dict[str, int] = field(default_factory=dict)
+    #: the gateway's final ``stats`` response
+    stats: Optional[Dict[str, Any]] = None
+
+    @property
+    def throughput(self) -> float:
+        """Completed-OK calls per wall-clock second."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.ok / self.elapsed_seconds
+
+    @property
+    def dropped(self) -> int:
+        """Requests that ended without an OK and without an explicit,
+        honoured rejection: timeouts, errors, exhausted retries."""
+        return self.timed_out + self.errors + self.retries_exhausted
+
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank latency percentile in milliseconds (0 if empty)."""
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        rank = min(len(ordered), max(1, round(fraction * len(ordered) + 0.5)))
+        return ordered[rank - 1]
+
+    def check(self) -> List[str]:
+        """Self-consistency violations (empty list == all good)."""
+        problems: List[str] = []
+        if self.dropped:
+            problems.append(
+                f"{self.dropped} dropped request(s): "
+                f"{self.timed_out} timed out, {self.errors} errored, "
+                f"{self.retries_exhausted} exhausted retries"
+            )
+        if self.stats is None:
+            problems.append("no final stats response")
+            return problems
+        if not self.stats.get("consistent"):
+            problems.append(
+                "gateway reports merged != sum of per-worker snapshots"
+            )
+        completed = self.stats.get("gateway", {}).get("completed", -1)
+        if completed < self.ok:
+            problems.append(
+                f"gateway completed {completed} < client OK count {self.ok}"
+            )
+        # Only meaningful when this client was the gateway's sole
+        # traffic and nothing timed out (timed-out calls are counted
+        # server side but invisible here).
+        gateway_arch = self.stats.get("architectural", {})
+        if not self.dropped and self.client_metrics and gateway_arch != self.client_metrics:
+            problems.append(
+                "client-side metric sums disagree with the gateway's "
+                "merged architectural counters"
+            )
+        return problems
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable report, as written by ``repro loadgen --json``."""
+        return {
+            "sessions": self.sessions,
+            "calls_per_session": self.calls_per_session,
+            "sent": self.sent,
+            "ok": self.ok,
+            "rejected": self.rejected,
+            "retries_exhausted": self.retries_exhausted,
+            "timed_out": self.timed_out,
+            "errors": self.errors,
+            "dropped": self.dropped,
+            "elapsed_seconds": round(self.elapsed_seconds, 4),
+            "throughput_calls_per_second": round(self.throughput, 1),
+            "latency_p50_ms": round(self.percentile(0.50), 3),
+            "latency_p99_ms": round(self.percentile(0.99), 3),
+            "client_metrics": dict(self.client_metrics),
+            "stats": self.stats,
+            "problems": self.check(),
+        }
+
+
+class _Connection:
+    """One JSON-lines client connection."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self.reader = reader
+        self.writer = writer
+
+    @classmethod
+    async def open(cls, host: str, port: int) -> "_Connection":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=2 * MAX_LINE_BYTES
+        )
+        return cls(reader, writer)
+
+    async def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        self.writer.write(encode(message))
+        await self.writer.drain()
+        line = await self.reader.readline()
+        if not line:
+            raise ConnectionError("gateway closed the connection")
+        return decode_line(line.strip())
+
+    async def close(self) -> None:
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def _merge_counts(total: Dict[str, int], delta: Dict[str, int]) -> None:
+    for key, value in delta.items():
+        total[key] = total.get(key, 0) + value
+
+
+async def _drive_session(
+    host: str,
+    port: int,
+    user: str,
+    ring: int,
+    calls: int,
+    program: str,
+    args: Dict[str, Any],
+    max_retries: int,
+    report: LoadReport,
+) -> None:
+    conn = await _Connection.open(host, port)
+    try:
+        hello = await conn.request({"verb": "hello", "user": user, "ring": ring})
+        if not hello.get("ok"):
+            raise ConfigurationError(f"hello rejected: {hello}")
+        for seq in range(calls):
+            message = {
+                "verb": "call",
+                "id": seq,
+                "program": program,
+                "args": args,
+            }
+            attempts = 0
+            started = time.perf_counter()
+            # All sessions share one event loop, and none of the
+            # report mutations below spans an await: plain writes are
+            # race-free.
+            while True:
+                report.sent += 1
+                response = await conn.request(message)
+                if response.get("ok"):
+                    report.ok += 1
+                    report.latencies_ms.append(
+                        (time.perf_counter() - started) * 1e3
+                    )
+                    _merge_counts(report.client_metrics, response["metrics"])
+                    break
+                code = response.get("error")
+                if code in ErrorCode.RETRYABLE:
+                    report.rejected += 1
+                    attempts += 1
+                    if attempts > max_retries:
+                        report.retries_exhausted += 1
+                        break
+                    await asyncio.sleep(
+                        max(0.001, float(response.get("retry_after", 0.01)))
+                    )
+                    continue
+                if code == ErrorCode.TIMEOUT:
+                    report.timed_out += 1
+                else:
+                    report.errors += 1
+                break
+        await conn.request({"verb": "bye"})
+    finally:
+        await conn.close()
+
+
+async def run_load(
+    host: str,
+    port: int,
+    sessions: int = 8,
+    calls: int = 50,
+    program: str = "call_loop",
+    args: Optional[Dict[str, Any]] = None,
+    rings: Sequence[int] = (4,),
+    user_prefix: str = "load",
+    max_retries: int = 50,
+    fetch_stats: bool = True,
+) -> LoadReport:
+    """Drive ``sessions`` concurrent sessions of ``calls`` calls each.
+
+    Session ``i`` authenticates as ``{user_prefix}{i}`` bound to
+    ``rings[i % len(rings)]`` — pass several rings for mixed-ring
+    traffic.  Returns the consolidated :class:`LoadReport`; call
+    :meth:`LoadReport.check` for the self-consistency verdict.
+    """
+    if sessions <= 0 or calls <= 0:
+        raise ConfigurationError("sessions and calls must be positive")
+    if not rings:
+        raise ConfigurationError("rings must be non-empty")
+    args = dict(args or {})
+    report = LoadReport(sessions=sessions, calls_per_session=calls)
+    started = time.perf_counter()
+    await asyncio.gather(
+        *(
+            _drive_session(
+                host,
+                port,
+                f"{user_prefix}{index}",
+                rings[index % len(rings)],
+                calls,
+                program,
+                args,
+                max_retries,
+                report,
+            )
+            for index in range(sessions)
+        )
+    )
+    report.elapsed_seconds = time.perf_counter() - started
+    if fetch_stats:
+        conn = await _Connection.open(host, port)
+        try:
+            report.stats = await conn.request({"verb": "stats"})
+            await conn.request({"verb": "bye"})
+        finally:
+            await conn.close()
+    return report

@@ -1,0 +1,204 @@
+"""Persistent-machine workers behind a ``concurrent.futures`` pool.
+
+The fleet driver (:mod:`repro.sim.fleet`) builds a fresh machine per
+shard — right for batch sweeps, far too slow for serving (machine
+construction costs more than a small gate call).  The gateway instead
+keeps one :class:`~repro.sim.machine.Machine` alive per pool worker and
+routes every request to whichever worker is free; programs and user
+processes are installed lazily and cached for the worker's lifetime.
+
+Worker state lives in a ``threading.local``: a process-backend worker
+runs tasks on its single main thread (one machine per process), a
+thread-backend worker gets one machine per pool thread.  Jobs and
+results are plain dicts so the process boundary is one pickle of small
+ints and strings either way.
+
+Every result carries the per-call :class:`MetricsSnapshot` delta *and*
+the worker's own cumulative totals.  The gateway sums the deltas per
+worker; the ``stats`` verb then cross-checks its sums against what the
+workers themselves counted — the same merge-exactness contract the
+fleet's ``verify_merge`` pins, held across a network boundary.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from typing import Any, Dict
+
+from ..cpu.faults import Fault
+from ..errors import ConfigurationError, ReproError
+from ..sim.machine import Machine
+from ..sim.metrics import MetricsSnapshot
+from .catalog import build_program
+from .protocol import ErrorCode
+
+BACKENDS = ("process", "thread")
+
+#: per-call step cap: generous for any catalog program, small enough
+#: that a runaway variant cannot wedge a worker for long
+MAX_STEPS_PER_CALL = 2_000_000
+
+_LOCAL = threading.local()
+
+
+class _WorkerState:
+    """One worker's machine plus its caches and cumulative counters."""
+
+    def __init__(self) -> None:
+        self.machine = Machine(services=False)
+        self.worker_id = f"pid{os.getpid()}-t{threading.get_ident()}"
+        self.processes: Dict[str, Any] = {}  # username -> Process
+        self.installed: Dict[str, str] = {}  # variant key -> entry ref
+        self.stored_paths: set = set()
+        self.initiated: set = set()  # (username, variant key)
+        self.calls = 0
+        self.total = MetricsSnapshot.zero()
+
+    def process_for(self, user: str):
+        process = self.processes.get(user)
+        if process is None:
+            registered = self.machine.add_user(user)
+            process = self.machine.login(registered)
+            self.processes[user] = process
+        return process
+
+    def entry_for(self, program: str, args: Dict[str, Any], user: str) -> str:
+        """Install (at most once) and return the variant's entry ref.
+
+        Segment storage is per machine; initiation is per process —
+        ``self.initiated`` tracks it per (user, variant).
+        """
+        image = build_program(program, args)
+        process = self.process_for(user)
+        if image.key not in self.installed:
+            for path, source, acl in image.segments:
+                if path not in self.stored_paths:
+                    self.machine.store_program(path, source, acl=list(acl))
+                    self.stored_paths.add(path)
+            self.installed[image.key] = image.entry
+        if (user, image.key) not in self.initiated:
+            for path, _, _ in image.segments:
+                self.machine.initiate(process, path)
+            self.initiated.add((user, image.key))
+        return self.installed[image.key]
+
+
+def _state() -> _WorkerState:
+    state = getattr(_LOCAL, "state", None)
+    if state is None:
+        state = _WorkerState()
+        _LOCAL.state = state
+    return state
+
+
+def worker_ping(token: int) -> Dict[str, Any]:
+    """Liveness probe; also forces lazy machine construction."""
+    state = _state()
+    return {"worker": state.worker_id, "token": token}
+
+
+def execute_gate_call(job: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one gate call on this worker's persistent machine.
+
+    ``job`` carries ``user``, ``ring``, ``program``, ``args``.  Returns
+    a result dict with either ``payload`` + ``metrics`` (success) or
+    ``error`` + ``detail`` (a simulated fault or bad arguments that
+    slipped past the gateway's early validation).  Only successful calls
+    touch the cumulative counters, on both sides, so the gateway/worker
+    cross-check stays exact.
+    """
+    state = _state()
+    try:
+        entry = state.entry_for(job["program"], job["args"], job["user"])
+        process = state.process_for(job["user"])
+        result = state.machine.run(
+            process, entry, ring=job["ring"], max_steps=MAX_STEPS_PER_CALL
+        )
+    except Fault as exc:
+        return {
+            "worker": state.worker_id,
+            "error": ErrorCode.MACHINE_FAULT,
+            "detail": str(exc),
+        }
+    except KeyError as exc:
+        return {
+            "worker": state.worker_id,
+            "error": ErrorCode.UNKNOWN_PROGRAM,
+            "detail": f"unknown program {exc}",
+        }
+    except ReproError as exc:
+        return {
+            "worker": state.worker_id,
+            "error": ErrorCode.BAD_REQUEST,
+            "detail": str(exc),
+        }
+    metrics = result.metrics
+    state.calls += 1
+    state.total = state.total.plus(metrics)
+    return {
+        "worker": state.worker_id,
+        "payload": {
+            "halted": result.halted,
+            "a": result.a,
+            "q": result.q,
+            "ring": result.ring,
+            "instructions": result.instructions,
+            "cycles": result.cycles,
+            "ring_crossings": result.ring_crossings,
+        },
+        "metrics": metrics.as_dict(),
+        "worker_calls": state.calls,
+        "worker_total": metrics_architectural(state.total),
+    }
+
+
+def metrics_architectural(snapshot: MetricsSnapshot) -> Dict[str, int]:
+    """The architectural counters of ``snapshot`` as a plain dict."""
+    return snapshot.architectural()
+
+
+class WorkerPool:
+    """A pool of persistent-machine workers.
+
+    ``backend`` is ``"process"`` (real parallelism) or ``"thread"``
+    (GIL-bound but dependency-free); hosts where process pools cannot be
+    created or probed fall back to threads with identical results,
+    mirroring the fleet driver's serial fallback.
+    """
+
+    def __init__(self, workers: int = 4, backend: str = "process"):
+        if workers <= 0:
+            raise ConfigurationError("workers must be positive")
+        if backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown worker backend {backend!r}; expected one of "
+                f"{BACKENDS}"
+            )
+        self.workers = workers
+        self.backend = backend
+        self.executor = self._build_executor()
+
+    def _build_executor(self) -> Executor:
+        if self.backend == "process":
+            try:
+                executor = ProcessPoolExecutor(max_workers=self.workers)
+                # Probe one task end to end: pool creation succeeds on
+                # some hosts where the first real submit then dies.
+                executor.submit(worker_ping, 0).result(timeout=60)
+                return executor
+            except (OSError, PermissionError, BrokenExecutor):
+                self.backend = "thread (process pool unavailable)"
+        return ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="ringworker"
+        )
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the pool; with ``wait`` the in-flight calls finish."""
+        self.executor.shutdown(wait=wait, cancel_futures=not wait)

@@ -39,7 +39,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Tuple
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, FleetWorkerError
 from .metrics import MetricsSnapshot
 
 #: A workload maps a shard index to (payload, metrics).
@@ -85,9 +85,20 @@ class FleetResult:
 
 
 def _run_shard(workload: Workload, shard: int) -> ShardResult:
-    """Execute one shard (in whatever worker the backend chose)."""
+    """Execute one shard (in whatever worker the backend chose).
+
+    A raising workload is re-raised as
+    :class:`~repro.errors.FleetWorkerError` with the shard index
+    attached, so the failing sweep point is identifiable even after the
+    exception crosses the process-pool pickle boundary.
+    """
     started = time.perf_counter()
-    payload, metrics = workload(shard)
+    try:
+        payload, metrics = workload(shard)
+    except Exception as exc:
+        raise FleetWorkerError(
+            shard, f"{type(exc).__name__}: {exc}"
+        ) from exc
     if not isinstance(metrics, MetricsSnapshot):
         raise ConfigurationError(
             f"workload returned {type(metrics).__name__} for shard "

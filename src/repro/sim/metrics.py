@@ -16,7 +16,7 @@ snapshots of a :mod:`repro.sim.fleet` run into fleet totals.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import Dict, Iterable
+from typing import Dict, Iterable, Optional
 
 from ..cpu.processor import Processor
 
@@ -127,6 +127,26 @@ class MetricsSnapshot:
         for snapshot in snapshots:
             total = total.plus(snapshot)
         return total
+
+    #: the hit/miss counter pairs that have a meaningful hit rate
+    TIERS = ("sdw", "ptlb", "icache", "block")
+
+    def rates(self) -> Dict[str, Optional[float]]:
+        """Hit rate per cache tier as ``{tier}_hit_rate`` keys.
+
+        A tier that saw no traffic reports ``None`` rather than a fake
+        rate.  Shared by ``repro run --metrics-json`` and the gateway's
+        ``stats`` verb so the two always agree on the arithmetic.
+        """
+        out: Dict[str, Optional[float]] = {}
+        for tier in self.TIERS:
+            hits = getattr(self, f"{tier}_hits")
+            misses = getattr(self, f"{tier}_misses")
+            total = hits + misses
+            out[f"{tier}_hit_rate"] = (
+                round(hits / total, 4) if total else None
+            )
+        return out
 
     def architectural(self) -> Dict[str, int]:
         """Only the simulated-machine counters (tier-independent)."""

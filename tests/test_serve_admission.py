@@ -1,0 +1,201 @@
+"""Admission control units: token buckets, per-ring quotas, protocol.
+
+Everything here runs against an injected fake clock, so the rate and
+retry arithmetic is asserted exactly, not statistically.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.admission import (
+    AdmissionController,
+    RingPolicy,
+    TokenBucket,
+)
+from repro.serve.catalog import build_program
+from repro.serve.protocol import (
+    ErrorCode,
+    GatewayProtocolError,
+    decode_line,
+    encode,
+    error_response,
+    ok_response,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2, clock=clock)
+        assert bucket.try_take() == 0.0
+        assert bucket.try_take() == 0.0
+        wait = bucket.try_take()
+        assert wait == pytest.approx(0.1)
+
+    def test_refill_is_exact(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=1, clock=clock)
+        assert bucket.try_take() == 0.0
+        assert bucket.try_take() > 0.0
+        clock.advance(0.1)
+        assert bucket.try_take() == 0.0
+
+    def test_tokens_cap_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=3, clock=clock)
+        clock.advance(60.0)
+        assert bucket.tokens == pytest.approx(3.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate=0, burst=1)
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate=1, burst=0)
+
+
+class TestRingPolicy:
+    def test_validates_fields(self):
+        with pytest.raises(ConfigurationError):
+            RingPolicy(rate=-1.0)
+        with pytest.raises(ConfigurationError):
+            RingPolicy(burst=0)
+        with pytest.raises(ConfigurationError):
+            RingPolicy(max_pending=0)
+
+    def test_unlimited_rate_is_allowed(self):
+        assert RingPolicy(rate=None).rate is None
+
+
+class TestAdmissionController:
+    def controller(self, clock=None, **policy):
+        return AdmissionController(
+            RingPolicy(**policy), clock=clock or FakeClock()
+        )
+
+    def test_quota_exhausted_rejects_with_retry_after(self):
+        """The satellite case: pending slots gone -> queue_full."""
+        admission = self.controller(max_pending=2, queue_retry_after=0.25)
+        assert admission.admit(4).admitted
+        assert admission.admit(4).admitted
+        decision = admission.admit(4)
+        assert not decision.admitted
+        assert decision.reason == ErrorCode.QUEUE_FULL
+        assert decision.retry_after == 0.25
+        # releasing a slot re-opens the ring
+        admission.release(4)
+        assert admission.admit(4).admitted
+
+    def test_rate_limit_rejects_with_retry_after(self):
+        clock = FakeClock()
+        admission = self.controller(clock=clock, rate=10.0, burst=1)
+        assert admission.admit(4).admitted
+        admission.release(4)
+        decision = admission.admit(4)
+        assert not decision.admitted
+        assert decision.reason == ErrorCode.RATE_LIMITED
+        assert decision.retry_after == pytest.approx(0.1)
+        clock.advance(0.1)
+        assert admission.admit(4).admitted
+
+    def test_rings_are_isolated(self):
+        admission = self.controller(max_pending=1)
+        assert admission.admit(4).admitted
+        assert not admission.admit(4).admitted
+        assert admission.admit(5).admitted  # ring 5 has its own slots
+        assert admission.pending(4) == 1
+        assert admission.pending(5) == 1
+        assert admission.total_pending == 2
+        assert admission.pending_by_ring() == {4: 1, 5: 1}
+
+    def test_per_ring_override(self):
+        clock = FakeClock()
+        admission = AdmissionController(
+            RingPolicy(rate=None),
+            per_ring={3: RingPolicy(rate=1.0, burst=1)},
+            clock=clock,
+        )
+        # default ring: unlimited
+        for _ in range(10):
+            assert admission.admit(4).admitted
+        # ring 3: one token only
+        assert admission.admit(3).admitted
+        assert not admission.admit(3).admitted
+        assert admission.policy_for(3).rate == 1.0
+        assert admission.policy_for(4).rate is None
+
+    def test_release_without_admit_is_an_error(self):
+        admission = self.controller()
+        with pytest.raises(ConfigurationError):
+            admission.release(4)
+
+
+class TestProtocol:
+    def test_roundtrip(self):
+        message = {"verb": "call", "id": 7, "args": {"count": 3}}
+        assert decode_line(encode(message).strip()) == message
+
+    def test_rejects_non_object(self):
+        with pytest.raises(GatewayProtocolError):
+            decode_line(b"[1,2,3]")
+        with pytest.raises(GatewayProtocolError):
+            decode_line(b"not json at all")
+
+    def test_rejects_oversized_line(self):
+        with pytest.raises(GatewayProtocolError):
+            decode_line(b"x" * (1 << 17))
+
+    def test_response_shapes(self):
+        assert ok_response(3, verb="hello") == {
+            "ok": True,
+            "id": 3,
+            "verb": "hello",
+        }
+        rejected = error_response(ErrorCode.RATE_LIMITED, 3, retry_after=0.5)
+        assert rejected == {
+            "ok": False,
+            "error": "rate_limited",
+            "id": 3,
+            "retry_after": 0.5,
+        }
+
+
+class TestCatalog:
+    def test_variants_have_distinct_keys(self):
+        a = build_program("call_loop", {"count": 2})
+        b = build_program("call_loop", {"count": 3})
+        c = build_program("call_loop", {"count": 2, "target_ring": 1})
+        assert len({a.key, b.key, c.key}) == 3
+        assert a.entry != b.entry
+
+    def test_unknown_program(self):
+        with pytest.raises(KeyError):
+            build_program("mystery", {})
+
+    def test_argument_validation(self):
+        with pytest.raises(ConfigurationError):
+            build_program("call_loop", {"count": 0})
+        with pytest.raises(ConfigurationError):
+            build_program("call_loop", {"count": "four"})
+        with pytest.raises(ConfigurationError):
+            build_program("call_loop", {"count": True})
+        with pytest.raises(ConfigurationError):
+            build_program("echo", {"value": -1})
+        with pytest.raises(ConfigurationError):
+            build_program("compute", {"bogus": 1})
+        with pytest.raises(ConfigurationError):
+            build_program("compute", "not a dict")
+
+    def test_target_ring_bounded(self):
+        with pytest.raises(ConfigurationError):
+            build_program("call_loop", {"target_ring": 5})

@@ -10,7 +10,7 @@ import functools
 
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, FleetWorkerError
 from repro.sim.fleet import (
     BACKENDS,
     FleetResult,
@@ -77,6 +77,43 @@ def _bad_workload(shard):
     return {"shard": shard}, {"not": "a snapshot"}
 
 
+def _exploding_workload(shard):
+    """Module-level (picklable) workload that dies in shard 1 only."""
+    if shard == 1:
+        raise RuntimeError(f"boom in shard {shard}")
+    return call_loop_shard(shard, count=2)
+
+
+class TestWorkerExceptionPropagation:
+    """A raising workload must surface with its shard index attached —
+    the process backend otherwise reports a bare pool error with no
+    indication of which sweep point died."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_exception_carries_shard_index(self, backend):
+        with pytest.raises(FleetWorkerError) as info:
+            run_fleet(
+                _exploding_workload, shards=2, workers=2, backend=backend
+            )
+        assert info.value.shard == 1
+        assert "RuntimeError" in str(info.value)
+        assert "boom in shard 1" in str(info.value)
+
+    def test_survives_the_pickle_boundary(self):
+        import pickle
+
+        error = FleetWorkerError(3, "RuntimeError: boom")
+        clone = pickle.loads(pickle.dumps(error))
+        assert isinstance(clone, FleetWorkerError)
+        assert clone.shard == 3
+        assert "boom" in str(clone)
+
+    def test_serial_backend_chains_the_original(self):
+        with pytest.raises(FleetWorkerError) as info:
+            run_fleet(_exploding_workload, shards=2, backend="serial")
+        assert isinstance(info.value.__cause__, RuntimeError)
+
+
 class TestCallLoopShard:
     def test_reference_workload_figures(self):
         payload, metrics = call_loop_shard(0, count=8)
@@ -124,3 +161,38 @@ class TestFleetResult:
         assert empty.merged == MetricsSnapshot.zero()
         assert empty.verify_merge()
         assert empty.payloads == []
+
+    def test_verify_merge_multi_shard_single_counter_drift(self):
+        """An off-by-one in any one counter across many shards fails."""
+        shards = [
+            ShardResult(
+                shard=index,
+                payload=None,
+                metrics=self.snapshot(instructions=10, cycles=30),
+                wall_seconds=0.0,
+            )
+            for index in range(3)
+        ]
+        exact = self.snapshot(instructions=30, cycles=90)
+        assert FleetResult(shards=shards, merged=exact).verify_merge()
+        drifted = self.snapshot(instructions=30, cycles=91)
+        assert not FleetResult(shards=shards, merged=drifted).verify_merge()
+
+    def test_verify_merge_detects_corrupted_shard(self):
+        """Corruption on the shard side (not just merged) is caught."""
+        good = ShardResult(
+            shard=0,
+            payload=None,
+            metrics=self.snapshot(calls=4),
+            wall_seconds=0.0,
+        )
+        bad = ShardResult(
+            shard=1,
+            payload=None,
+            metrics=self.snapshot(calls=5),
+            wall_seconds=0.0,
+        )
+        merged = self.snapshot(calls=8)  # what two good shards would sum to
+        assert not FleetResult(
+            shards=[good, bad], merged=merged
+        ).verify_merge()
