@@ -76,7 +76,7 @@ l_callee: .its  callee$entry
         machine.initiate(process, ">b>caller")
         result = machine.run(process, "caller$main", ring=4)
         stack0 = process.dseg.get(16)  # relocated ring-0 stack
-        return machine.memory.snapshot(stack0.addr + 5, 1)[0], result.ring
+        return machine.memory.peek_block(stack0.addr + 5, 1)[0], result.ring
 
     value, ring = benchmark(run)
     assert value == 9 and ring == 4

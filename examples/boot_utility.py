@@ -84,7 +84,7 @@ l_write: .its   svc$write
     total = scheduler.run()
 
     tally = machine.supervisor.activate(">subsys>tally")
-    count = machine.memory.snapshot(tally.placed.addr, 1)[0]
+    count = machine.memory.peek_block(tally.placed.addr, 1)[0]
 
     print(f"  sessions complete: {total} instructions, "
           f"{scheduler.context_switches} context switches")

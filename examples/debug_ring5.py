@@ -58,13 +58,13 @@ def main() -> None:
               f"target ({fault.segno},{fault.wordno}), effective ring {fault.ring}")
 
     precious = machine.supervisor.activate(">udd>dev>precious")
-    data = machine.memory.snapshot(precious.placed.addr, 4)
+    data = machine.memory.peek_block(precious.placed.addr, 4)
     print(f"   ring-4 data after the crash: {data}  (unharmed)")
     assert data == [7, 7, 7, 7]
 
     print("== the developer decides the write was intended; certify to ring 4 ==")
     result = machine.run(process, "buggy$main", ring=4)
-    data = machine.memory.snapshot(precious.placed.addr, 4)
+    data = machine.memory.peek_block(precious.placed.addr, 4)
     print(f"   ran to completion in ring 4; data now {data}")
     assert result.halted and data[0] == 123
 

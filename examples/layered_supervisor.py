@@ -97,7 +97,7 @@ def main() -> None:
     assert result.a == 1101 and result.ring_crossings == 4
 
     core_calls = machine.supervisor.activate(">sys>coredata")
-    count = machine.memory.snapshot(core_calls.placed.addr, 1)[0]
+    count = machine.memory.peek_block(core_calls.placed.addr, 1)[0]
     print(f"   ring-0 call counter: {count}")
 
     print("== user calls the ring-0 gate directly ==")

@@ -100,7 +100,7 @@ def main() -> None:
 
     result = machine.run(process, "reader$main", ring=4)
     log = machine.supervisor.activate(">udd>alice>auditlog")
-    count = machine.memory.snapshot(log.placed.addr, 1)[0]
+    count = machine.memory.peek_block(log.placed.addr, 1)[0]
     print(f"   audit log records {count} accesses")
     assert count == 2
 

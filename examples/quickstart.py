@@ -62,7 +62,7 @@ def main() -> None:
     print(f"counter after bump:    {result.a}")
 
     stack_sdw = process.dseg.get(process.stack_segno(4))
-    caller_ring = machine.memory.snapshot(stack_sdw.addr + 2, 1)[0]
+    caller_ring = machine.memory.peek_block(stack_sdw.addr + 2, 1)[0]
     print(f"ring seen by getring:  {caller_ring} (the caller's ring, as p. 19 promises)")
 
     assert result.halted and result.console == [42] and caller_ring == 4

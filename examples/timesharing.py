@@ -63,11 +63,11 @@ def main() -> None:
     total = scheduler.run()
 
     shared = machine.supervisor.activate(">shared")
-    shared_count = machine.memory.snapshot(shared.placed.addr, 1)[0]
+    shared_count = machine.memory.peek_block(shared.placed.addr, 1)[0]
 
     def private_tally(process):
         stack = process.dseg.get(process.stack_segno(4))
-        return machine.memory.snapshot(stack.addr + 3, 1)[0]
+        return machine.memory.peek_block(stack.addr + 3, 1)[0]
 
     print("== time-sharing run complete ==")
     print(f"   total instructions executed: {total}")

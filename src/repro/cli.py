@@ -16,10 +16,21 @@ Subcommands, all runnable as ``python -m repro <cmd>``:
 ``serve``
     Start the ring gateway (:mod:`repro.serve`): gate calls as a
     multi-tenant JSON-lines-over-TCP service in front of a pool of
-    persistent machine workers.
+    persistent machine workers (optionally durable: per-worker
+    snapshots plus a write-ahead gate-call journal).
 ``loadgen``
     Drive a burst of concurrent gate calls against a running gateway
     and report client-side and gateway-side figures.
+``checkpoint``
+    Assemble a program, execute a bounded number of instructions, and
+    write the whole machine — registers, memory, descriptors,
+    supervisor, counters — to a verified snapshot file.
+``restore``
+    Restore a machine from a snapshot (optionally continuing execution
+    to HALT) and report its counters.
+``replay``
+    Replay a gate-call journal through a fresh machine, optionally
+    verifying every replayed outcome against the journaled one.
 """
 
 from __future__ import annotations
@@ -79,16 +90,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     with open(args.file) as handle:
         source = handle.read()
     machine = Machine()
-    user = machine.add_user("operator")
-    if args.ring <= 3:
-        spec = RingBracketSpec.procedure(args.ring, callable_from=5)
-    else:
-        spec = RingBracketSpec.procedure(args.ring)
-    image = machine.store_program(
-        ">run>program", source, acl=[AclEntry("*", spec)], name=args.name
-    )
-    process = machine.login(user)
-    machine.initiate(process, ">run>program")
+    image, process = _install_source(machine, source, args.ring, args.name)
     trace = None
     if args.trace:
         from .sim.trace import TraceLog
@@ -129,6 +131,91 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _install_source(machine: Machine, source: str, ring: int, name):
+    """``run``/``checkpoint`` shared setup: store, login, initiate."""
+    user = machine.add_user("operator")
+    if ring <= 3:
+        spec = RingBracketSpec.procedure(ring, callable_from=5)
+    else:
+        spec = RingBracketSpec.procedure(ring)
+    image = machine.store_program(
+        ">run>program", source, acl=[AclEntry("*", spec)], name=name
+    )
+    process = machine.login(user)
+    machine.initiate(process, ">run>program")
+    return image, process
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    from .errors import MachineHalted
+    from .state.snapshot import snapshot_machine, write_snapshot_file
+
+    with open(args.file) as handle:
+        source = handle.read()
+    machine = Machine()
+    image, process = _install_source(machine, source, args.ring, args.name)
+    machine.start(process, f"{image.name}${args.entry}", ring=args.ring)
+    processor = machine.processor
+    halted = False
+    for _ in range(args.steps):
+        try:
+            processor.step()
+        except MachineHalted:
+            halted = True
+            break
+    processor.halted = halted
+    digest = write_snapshot_file(snapshot_machine(machine), args.out)
+    print(f"wrote {args.out}")
+    print(f"sha256:         {digest}")
+    print(f"halted:         {halted}")
+    print(f"ring:           {processor.registers.ipr.ring}")
+    print(f"instructions:   {processor.stats.instructions}")
+    print(f"cycles:         {processor.cycles}")
+    print(f"ring crossings: {processor.stats.ring_crossings}")
+    return 0
+
+
+def _cmd_restore(args: argparse.Namespace) -> int:
+    from .state.snapshot import read_snapshot_file, restore_machine
+
+    snap = read_snapshot_file(args.snapshot)
+    machine = restore_machine(snap)
+    processor = machine.processor
+    print(f"restored {args.snapshot} (integrity verified)")
+    if args.run and not processor.halted:
+        processor.run(max_steps=args.max_steps)
+    print(f"halted:         {processor.halted}")
+    print(f"ring:           {processor.registers.ipr.ring}")
+    print(f"A register:     {processor.registers.a}")
+    print(f"Q register:     {processor.registers.q}")
+    print(f"instructions:   {processor.stats.instructions}")
+    print(f"cycles:         {processor.cycles}")
+    print(f"ring crossings: {processor.stats.ring_crossings}")
+    if machine.console:
+        print(f"console:        {machine.console}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import os
+
+    from .state.recover import JOURNAL_NAME, replay_journal
+
+    path = args.journal
+    if os.path.isdir(path):
+        path = os.path.join(path, JOURNAL_NAME)
+    report = replay_journal(path, verify=args.verify, strict=args.strict)
+    engine = report.engine
+    print(f"replayed {report.replayed} journaled call(s) from {path}")
+    if args.verify:
+        print(f"verified {report.verified} outcome(s) against the journal")
+    print(f"last sequence:  {report.last_seq}")
+    print(f"calls counted:  {engine.calls}")
+    for counter, value in sorted(engine.total.architectural().items()):
+        print(f"  {counter}: {value}")
+    return 0
+
+
 def _parse_ring_limit(text: str):
     """``RING=RATE[:BURST[:PENDING]]`` -> (ring, RingPolicy)."""
     from .serve.admission import RingPolicy
@@ -161,6 +248,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         backend=args.backend,
         call_timeout=args.call_timeout,
         drain_timeout=args.drain_timeout,
+        durability_dir=args.durability_dir,
+        checkpoint_interval=args.checkpoint_interval,
+        fsync_every=args.fsync_every,
         default_policy=RingPolicy(
             rate=args.rate,
             burst=args.burst,
@@ -172,10 +262,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     async def main() -> int:
         gateway = RingGateway(config)
         await gateway.start()
+        durable = (
+            f", durable in {config.durability_dir}"
+            if config.durability_dir
+            else ""
+        )
         print(
             f"ring gateway listening on {config.host}:{gateway.port} "
             f"({gateway.pool.backend} backend, "
-            f"{config.workers} workers)",
+            f"{config.workers} workers{durable})",
             flush=True,
         )
         stop = asyncio.Event()
@@ -193,7 +288,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"served {counters.completed} calls "
             f"({counters.timed_out} timed out, "
             f"{counters.rejected_rate_limited + counters.rejected_queue_full}"
-            f" rejected)",
+            f" rejected, {counters.recoveries} pool recoveries)",
             flush=True,
         )
         return 0
@@ -332,6 +427,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--call-timeout", type=float, default=10.0)
     serve.add_argument("--drain-timeout", type=float, default=10.0)
+    serve.add_argument(
+        "--durability-dir",
+        metavar="DIR",
+        help="persist per-worker snapshots and write-ahead gate-call "
+        "journals under DIR; a replacement worker restores a crashed "
+        "worker's machine from them (default: off)",
+    )
+    serve.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=64,
+        help="snapshot each worker machine every N executed calls",
+    )
+    serve.add_argument(
+        "--fsync-every",
+        type=int,
+        default=8,
+        help="fsync the journal every N appends (a crash can lose at "
+        "most N-1 journaled calls; retries absorb that)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     loadgen = sub.add_parser(
@@ -367,6 +482,58 @@ def build_parser() -> argparse.ArgumentParser:
         "figures are self-consistent",
     )
     loadgen.set_defaults(func=_cmd_loadgen)
+
+    checkpoint = sub.add_parser(
+        "checkpoint",
+        help="execute a program for a bounded number of instructions "
+        "and write the machine to a verified snapshot file",
+    )
+    checkpoint.add_argument("file", help="assembly source file")
+    checkpoint.add_argument("--out", required=True, help="snapshot file")
+    checkpoint.add_argument(
+        "--steps",
+        type=int,
+        default=1_000_000,
+        help="instructions to execute before snapshotting (stops early "
+        "on HALT)",
+    )
+    checkpoint.add_argument("--ring", type=int, default=4)
+    checkpoint.add_argument("--entry", default="main")
+    checkpoint.add_argument("--name", help="segment name override")
+    checkpoint.set_defaults(func=_cmd_checkpoint)
+
+    restore = sub.add_parser(
+        "restore",
+        help="restore a machine from a snapshot and report its counters",
+    )
+    restore.add_argument("snapshot", help="snapshot file")
+    restore.add_argument(
+        "--run",
+        action="store_true",
+        help="continue executing the restored machine until HALT",
+    )
+    restore.add_argument("--max-steps", type=int, default=1_000_000)
+    restore.set_defaults(func=_cmd_restore)
+
+    replay = sub.add_parser(
+        "replay",
+        help="replay a gate-call journal through a fresh machine",
+    )
+    replay.add_argument(
+        "journal", help="journal file, or a worker slot directory"
+    )
+    replay.add_argument(
+        "--verify",
+        action="store_true",
+        help="check every replayed outcome against the journaled one "
+        "(exit 1 on any divergence or journal corruption)",
+    )
+    replay.add_argument(
+        "--strict",
+        action="store_true",
+        help="refuse a torn journal tail instead of ignoring it",
+    )
+    replay.set_defaults(func=_cmd_replay)
     return parser
 
 

@@ -208,6 +208,26 @@ class Processor:
         self.inst_cache.reset_stats()
         self.block_cache.reset_stats()
 
+    def warm_sdw_cache(self, segnos: List[int]) -> None:
+        """Refill the SDW associative memory from descriptor memory.
+
+        Restore hook for :mod:`repro.state.snapshot`: a snapshot records
+        only which segment numbers were cached (in fill order), never the
+        SDW bits — descriptor memory is authoritative.  The refill is
+        uncharged and uncounted (no cycles, no memory traffic, no
+        hit/miss accounting) so a restored machine continues with exactly
+        the cycle and counter stream of the uninterrupted one.
+        """
+        self.sdw_cache._entries.clear()
+        for segno in segnos:
+            if segno >= self.dbr.bound:
+                continue
+            base = self.dbr.sdw_addr(segno)
+            w0, w1 = self.memory.peek_block(base, SDW_WORDS)
+            sdw = SDW.unpack(w0, w1)
+            if sdw.present:
+                self.sdw_cache._entries[segno] = sdw
+
     # ------------------------------------------------------------------
     # address translation and memory access
     # ------------------------------------------------------------------

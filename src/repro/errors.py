@@ -100,3 +100,36 @@ class MachineHalted(ReproError):
     def __init__(self, message: str = "machine halted", cycles: int = 0):
         self.cycles = cycles
         super().__init__(message)
+
+
+class SnapshotError(ReproError):
+    """A machine snapshot is unreadable, tampered, or version-skewed."""
+
+
+class JournalError(ReproError):
+    """A gate-call journal is structurally corrupt.
+
+    Raised for damage that cannot be explained as a torn tail write:
+    a bad magic header, a CRC mismatch with committed records after it,
+    or a non-consecutive sequence number.
+    """
+
+
+class ReplayDivergenceError(ReproError):
+    """Replaying a journal did not reproduce the journaled outcomes.
+
+    The machine is deterministic, so a divergence means either the
+    journal or the snapshot it extends was corrupted in a way that
+    passed the structural checks — the replay cross-check is the last
+    line of defence.
+    """
+
+    def __init__(self, seq: int, field: str, expected, actual):
+        self.seq = seq
+        self.field = field
+        self.expected = expected
+        self.actual = actual
+        super().__init__(
+            f"replay diverged at journal record {seq}: {field} "
+            f"expected {expected!r}, got {actual!r}"
+        )

@@ -86,7 +86,7 @@ class LinkageManager:
             )
             self._pending[link_id] = pending
             addr = self.loader.word_addr(placed, request.wordno)
-            original = IndirectWord.unpack(self.loader.memory.snapshot(addr, 1)[0])
+            original = IndirectWord.unpack(self.loader.memory.peek_block(addr, 1)[0])
             faulting = IndirectWord(
                 segno=LINKAGE_FAULT_SEGNO,
                 wordno=link_id,

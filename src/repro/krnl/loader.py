@@ -136,7 +136,7 @@ class Loader:
         one-time).
         """
         addr = self.word_addr(placed, link.wordno)
-        word = self.memory.snapshot(addr, 1)[0]
+        word = self.memory.peek_block(addr, 1)[0]
         ind = IndirectWord.unpack(word)
 
         if link.field == "segno":

@@ -115,6 +115,9 @@ class Supervisor:
         #: rings subject to the sole-occupant rule (the protected
         #: subsystem rings of the paper's layering, p. 36)
         self.subsystem_rings = (2, 3)
+        #: the process most recently attached to a processor (what a
+        #: machine snapshot must re-attach so fault/io handlers exist)
+        self.attached_process: Optional[Process] = None
         from .linkage import LinkageManager
 
         self.linkage = LinkageManager(self.loader)
@@ -299,7 +302,7 @@ class Supervisor:
             # unsnapped links would later patch freed storage
             return False
         # write the current contents back to the image (dirty data!)
-        words = self.memory.snapshot(active.placed.addr, active.placed.bound)
+        words = self.memory.peek_block(active.placed.addr, active.placed.bound)
         active.image.words[: len(words)] = words
         for process in self.processes:
             if active.segno in process.by_segno:
@@ -407,6 +410,7 @@ class Supervisor:
 
     def attach(self, processor: Processor, process: Process) -> None:
         """Point a processor at a process and install trap handling."""
+        self.attached_process = process
         processor.set_dbr(process.dbr)
         processor.fault_handler = self._make_fault_handler(process)
         processor.io_handler = self._io_handler

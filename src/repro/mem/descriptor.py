@@ -117,7 +117,7 @@ class DescriptorSegment:
     def get(self, segno: int) -> SDW:
         """Read the SDW for ``segno`` (uncharged supervisor access)."""
         a = self.sdw_word_addr(segno)
-        w0, w1 = self.memory.snapshot(a, SDW_WORDS)
+        w0, w1 = self.memory.peek_block(a, SDW_WORDS)
         return SDW.unpack(w0, w1)
 
     def set(self, segno: int, sdw: SDW) -> None:

@@ -126,4 +126,4 @@ class PageTable:
         frame = self._frames[index]
         if frame < 0:
             raise PageFaultSignal(index)
-        return self.memory.snapshot(frame + (wordno & (PAGE_WORDS - 1)), 1)[0]
+        return self.memory.peek_block(frame + (wordno & (PAGE_WORDS - 1)), 1)[0]

@@ -13,6 +13,7 @@ destroy many segments.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import List, Tuple
 
@@ -147,13 +148,27 @@ class PhysicalMemory:
             )
         self._words[addr : addr + len(words)] = [w & WORD_MASK for w in words]
 
-    def snapshot(self, addr: int, count: int) -> List[int]:
+    def peek_block(self, addr: int, count: int) -> List[int]:
         """Copy words out without counting traffic (debug/verification)."""
         if addr < 0 or count < 0 or addr + count > self.size:
             raise SegmentBoundsError(
-                f"snapshot [{addr:#o}, +{count}) outside memory"
+                f"peek [{addr:#o}, +{count}) outside memory"
             )
         return list(self._words[addr : addr + count])
+
+    def snapshot(self, addr: int, count: int) -> List[int]:
+        """Deprecated alias of :meth:`peek_block`.
+
+        "Snapshot" now unambiguously refers to the durability subsystem
+        (:mod:`repro.state.snapshot`); this name is kept one release for
+        out-of-tree callers.
+        """
+        warnings.warn(
+            "PhysicalMemory.snapshot is deprecated; use peek_block",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.peek_block(addr, count)
 
     def reset_counters(self) -> None:
         """Zero the read/write counters (benchmark hygiene)."""

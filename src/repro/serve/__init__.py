@@ -34,12 +34,19 @@ from .catalog import CATALOG, build_program
 from .gateway import GatewayConfig, RingGateway
 from .loadgen import LoadReport, run_load
 from .protocol import ErrorCode
-from .workers import WorkerPool, execute_gate_call
+from .workers import (
+    DurabilityConfig,
+    GateCallEngine,
+    WorkerPool,
+    execute_gate_call,
+)
 
 __all__ = [
     "AdmissionController",
     "CATALOG",
+    "DurabilityConfig",
     "ErrorCode",
+    "GateCallEngine",
     "GatewayConfig",
     "LoadReport",
     "RingGateway",

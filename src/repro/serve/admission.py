@@ -169,6 +169,16 @@ class AdmissionController:
         state.pending += 1
         return ADMITTED
 
+    def readmit(self, ring: int) -> None:
+        """Re-take the slot of an admitted call being retried internally.
+
+        Unconditional — the call already passed :meth:`admit` once, so a
+        gateway-side retry (e.g. resubmitting after a worker-pool crash)
+        must not be bounced by its own ring's bucket or pending bound;
+        the caller is holding the client connection open either way.
+        """
+        self._ring(ring).pending += 1
+
     def release(self, ring: int) -> None:
         """Return the slot taken by a previously admitted call."""
         state = self._ring(ring)

@@ -38,7 +38,9 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import functools
+import uuid
 from collections import deque
+from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass, field
 from math import ceil
 from typing import Any, Dict, List, Optional, Tuple
@@ -56,10 +58,14 @@ from .protocol import (
     error_response,
     ok_response,
 )
-from .workers import WorkerPool, execute_gate_call
+from .workers import DurabilityConfig, WorkerPool, execute_gate_call
 
 #: retry hint handed to callers rejected because the gateway is draining
 DRAIN_RETRY_AFTER = 1.0
+
+#: submissions per admitted call: the original plus retries after a
+#: worker-pool crash (each retry rebuilds the pool first)
+CALL_ATTEMPTS = 3
 
 
 @dataclass
@@ -80,6 +86,25 @@ class GatewayConfig:
     ring_policies: Dict[int, RingPolicy] = field(default_factory=dict)
     #: latency reservoir size for the p50/p99 figures
     latency_samples: int = 8192
+    #: directory for per-worker journals and snapshots; ``None`` keeps
+    #: workers in-memory only (a crash loses their machines)
+    durability_dir: Optional[str] = None
+    #: snapshot each worker machine every this many executed calls
+    checkpoint_interval: int = 64
+    #: batch journal fsyncs (crash loses at most ``fsync_every - 1``
+    #: journaled calls; the gateway's retry path absorbs that)
+    fsync_every: int = 8
+
+    def durability(self) -> Optional[DurabilityConfig]:
+        """The worker-side durability config, or ``None`` if disabled."""
+        if not self.durability_dir:
+            return None
+        return DurabilityConfig(
+            dir=self.durability_dir,
+            slots=self.workers,
+            checkpoint_interval=self.checkpoint_interval,
+            fsync_every=self.fsync_every,
+        )
 
 
 @dataclass
@@ -98,6 +123,12 @@ class GatewayCounters:
     protocol_errors: int = 0
     sessions_opened: int = 0
     sessions_closed: int = 0
+    #: worker-pool rebuilds after a crash
+    recoveries: int = 0
+    #: calls resubmitted to a rebuilt pool
+    retried_calls: int = 0
+    #: calls answered from a worker's journal instead of re-executing
+    deduplicated_calls: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """All counters as a plain dict, for the ``stats`` payload."""
@@ -144,6 +175,17 @@ class RingGateway:
         self._per_worker_calls: Dict[str, int] = {}
         #: the cumulative totals each worker last reported about itself
         self._worker_reported: Dict[str, Tuple[int, Dict[str, int]]] = {}
+        #: the generation each worker last reported, and the baseline
+        #: (calls, totals) offset sampled when that generation was first
+        #: seen — a recovered worker's cumulative figures include
+        #: journal-replayed history this gateway never routed, so the
+        #: cross-check compares growth since first contact, not history
+        self._worker_generation: Dict[str, int] = {}
+        self._worker_baseline: Dict[str, Tuple[int, Dict[str, int]]] = {}
+        #: identity details per worker (pid, slot) for the stats payload
+        self._worker_info: Dict[str, Dict[str, Any]] = {}
+        self._pool_epoch = 0
+        self._recovery_lock = asyncio.Lock()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -154,13 +196,18 @@ class RingGateway:
             raise ConfigurationError("gateway is not started")
         return self._server.sockets[0].getsockname()[1]
 
+    def _build_pool(self) -> WorkerPool:
+        return WorkerPool(
+            workers=self.config.workers,
+            backend=self.config.backend,
+            durability=self.config.durability(),
+        )
+
     async def start(self) -> None:
         """Create the worker pool and start accepting connections."""
         if self._server is not None:
             raise ConfigurationError("gateway is already started")
-        self.pool = WorkerPool(
-            workers=self.config.workers, backend=self.config.backend
-        )
+        self.pool = self._build_pool()
         self._server = await asyncio.start_server(
             self._handle_connection,
             host=self.config.host,
@@ -197,6 +244,29 @@ class RingGateway:
         if self.pool is not None:
             self.pool.shutdown(wait=True)
             self.pool = None
+
+    async def _ensure_pool(self, observed_epoch: int) -> None:
+        """Replace a broken worker pool (at most once per epoch).
+
+        Every in-flight call that saw the break converges here; the
+        first one through the lock rebuilds, the rest observe the bumped
+        epoch and return.  The old pool is shut down first — a broken
+        process pool kills its remaining children on shutdown, which
+        frees their durability slots for the replacement workers to
+        claim, restore, and replay.
+        """
+        async with self._recovery_lock:
+            if self._pool_epoch != observed_epoch or self._draining:
+                return
+            loop = asyncio.get_running_loop()
+            old = self.pool
+            if old is not None:
+                await loop.run_in_executor(
+                    None, functools.partial(old.shutdown, True)
+                )
+            self.pool = await loop.run_in_executor(None, self._build_pool)
+            self._pool_epoch += 1
+            self.counters.recoveries += 1
 
     # -- connection handling -----------------------------------------------
 
@@ -359,35 +429,78 @@ class RingGateway:
             "ring": session.ring,
             "program": program,
             "args": args,
+            # lets a durable worker that journaled this call before a
+            # crash answer the retry from its journal instead of
+            # executing twice
+            "call_id": uuid.uuid4().hex,
         }
         loop = asyncio.get_running_loop()
         started = loop.time()
-        future = loop.run_in_executor(
-            self.pool.executor, execute_gate_call, job
-        )
-        self._inflight.add(future)
-        future.add_done_callback(
-            functools.partial(self._call_finished, loop, session.ring, started)
-        )
-        try:
-            result = await asyncio.wait_for(
-                asyncio.shield(future), timeout=self.config.call_timeout
-            )
-        except asyncio.TimeoutError:
-            # The response is a timeout; the worker-side call still runs
-            # to completion and is accounted by _call_finished, so the
-            # stats cross-check stays exact.
-            self.counters.timed_out += 1
-            return error_response(
-                ErrorCode.TIMEOUT,
-                request_id,
-                timeout=self.config.call_timeout,
-            )
-        except Exception as exc:  # executor broke underneath us
+        result: Optional[Dict[str, Any]] = None
+        failure: Optional[BaseException] = None
+        for attempt in range(CALL_ATTEMPTS):
+            epoch = self._pool_epoch
+            try:
+                future = loop.run_in_executor(
+                    self.pool.executor, execute_gate_call, job
+                )
+            except (BrokenExecutor, RuntimeError) as exc:
+                # the submit itself failed: no future was created, so
+                # this call still holds its admission slot
+                failure = exc
+            else:
+                self._inflight.add(future)
+                future.add_done_callback(
+                    functools.partial(
+                        self._call_finished, loop, session.ring, started
+                    )
+                )
+                try:
+                    result = await asyncio.wait_for(
+                        asyncio.shield(future),
+                        timeout=self.config.call_timeout,
+                    )
+                    failure = None
+                    break
+                except asyncio.TimeoutError:
+                    # The response is a timeout; the worker-side call
+                    # still runs to completion and is accounted by
+                    # _call_finished, so the stats cross-check stays
+                    # exact.
+                    self.counters.timed_out += 1
+                    return error_response(
+                        ErrorCode.TIMEOUT,
+                        request_id,
+                        timeout=self.config.call_timeout,
+                    )
+                except BrokenExecutor as exc:
+                    # the pool died under the call; _call_finished just
+                    # released our slot — reclaim it for the retry
+                    failure = exc
+                    self.admission.readmit(session.ring)
+                except Exception as exc:
+                    return error_response(
+                        ErrorCode.BAD_REQUEST,
+                        request_id,
+                        detail=f"worker failure: {exc}",
+                    )
+            if self._draining or attempt == CALL_ATTEMPTS - 1:
+                break
+            await self._ensure_pool(epoch)
+            self.counters.retried_calls += 1
+        if failure is not None:
+            self.admission.release(session.ring)
+            if self._draining:
+                self.counters.rejected_shutting_down += 1
+                return error_response(
+                    ErrorCode.SHUTTING_DOWN,
+                    request_id,
+                    retry_after=DRAIN_RETRY_AFTER,
+                )
             return error_response(
                 ErrorCode.BAD_REQUEST,
                 request_id,
-                detail=f"worker failure: {exc}",
+                detail=f"worker failure: {failure}",
             )
         if "error" in result:
             return error_response(
@@ -397,7 +510,7 @@ class RingGateway:
                 worker=result.get("worker"),
             )
         latency_ms = round((loop.time() - started) * 1e3, 3)
-        metrics = MetricsSnapshot(**result["metrics"])
+        metrics = MetricsSnapshot.from_dict(result["metrics"])
         return ok_response(
             request_id,
             verb="call",
@@ -427,16 +540,47 @@ class RingGateway:
         self.counters.completed += 1
         self._latencies_ms.append((loop.time() - started) * 1e3)
         worker = result["worker"]
-        delta = MetricsSnapshot(**result["metrics"])
-        current = self._per_worker.get(worker, MetricsSnapshot.zero())
-        self._per_worker[worker] = current.plus(delta)
-        self._per_worker_calls[worker] = (
-            self._per_worker_calls.get(worker, 0) + 1
-        )
+        deduplicated = bool(result.get("deduplicated"))
+        if deduplicated:
+            # answered from the worker's journal: the machine executed
+            # this call in a previous incarnation (it is part of the
+            # replayed history the baseline absorbs), so summing its
+            # delta again would double-count it
+            self.counters.deduplicated_calls += 1
+        else:
+            delta = MetricsSnapshot.from_dict(result["metrics"])
+            current = self._per_worker.get(worker, MetricsSnapshot.zero())
+            self._per_worker[worker] = current.plus(delta)
+            self._per_worker_calls[worker] = (
+                self._per_worker_calls.get(worker, 0) + 1
+            )
         self._worker_reported[worker] = (
             result["worker_calls"],
             result["worker_total"],
         )
+        self._worker_info[worker] = {
+            "generation": result.get("generation", 0),
+            "pid": result.get("pid"),
+            "slot": result.get("slot"),
+        }
+        generation = result.get("generation", 0)
+        if self._worker_generation.get(worker) != generation:
+            # first result from this worker incarnation: its cumulative
+            # figures may include journal-replayed calls (or a previous
+            # gateway's traffic) this gateway never summed — sample the
+            # offset so the cross-check compares growth, not history
+            self._worker_generation[worker] = generation
+            summed = self._per_worker.get(
+                worker, MetricsSnapshot.zero()
+            ).architectural()
+            baseline_total = {
+                name: result["worker_total"].get(name, 0) - summed[name]
+                for name in summed
+            }
+            baseline_calls = result["worker_calls"] - self._per_worker_calls.get(
+                worker, 0
+            )
+            self._worker_baseline[worker] = (baseline_calls, baseline_total)
 
     # -- stats ---------------------------------------------------------------
 
@@ -445,22 +589,36 @@ class RingGateway:
         merged = MetricsSnapshot.sum_of(self._per_worker.values())
         per_worker: Dict[str, Dict[str, Any]] = {}
         consistent = True
-        for worker, summed in sorted(self._per_worker.items()):
+        seen = set(self._per_worker) | set(self._worker_reported)
+        for worker in sorted(seen):
+            summed = self._per_worker.get(worker, MetricsSnapshot.zero())
             reported_calls, reported_total = self._worker_reported.get(
                 worker, (0, {})
             )
             gateway_calls = self._per_worker_calls.get(worker, 0)
+            baseline_calls, baseline_total = self._worker_baseline.get(
+                worker, (0, {})
+            )
             architectural = summed.architectural()
+            # the worker's own totals must equal what this gateway
+            # summed plus the baseline sampled at first contact with
+            # the worker's current incarnation (replayed history)
+            expected_total = {
+                name: architectural[name] + baseline_total.get(name, 0)
+                for name in architectural
+            }
             agrees = (
-                architectural == reported_total
-                and gateway_calls == reported_calls
+                expected_total == reported_total
+                and gateway_calls + baseline_calls == reported_calls
             )
             consistent = consistent and agrees
             per_worker[worker] = {
                 "calls": gateway_calls,
                 "worker_reported_calls": reported_calls,
+                "baseline_calls": baseline_calls,
                 "architectural": architectural,
                 "consistent": agrees,
+                **self._worker_info.get(worker, {}),
             }
         samples = list(self._latencies_ms)
         latency = {
@@ -484,6 +642,13 @@ class RingGateway:
             workers={
                 "backend": self.pool.backend if self.pool else "stopped",
                 "configured": self.config.workers,
+                "pool_epoch": self._pool_epoch,
+                "durability": {
+                    "enabled": bool(self.config.durability_dir),
+                    "dir": self.config.durability_dir,
+                    "checkpoint_interval": self.config.checkpoint_interval,
+                    "fsync_every": self.config.fsync_every,
+                },
                 "per_worker": per_worker,
             },
             merged=merged.as_dict(),

@@ -89,10 +89,20 @@ class LoadReport:
                 f"gateway completed {completed} < client OK count {self.ok}"
             )
         # Only meaningful when this client was the gateway's sole
-        # traffic and nothing timed out (timed-out calls are counted
-        # server side but invisible here).
+        # traffic, nothing timed out (timed-out calls are counted
+        # server side but invisible here), and no worker crashed: a
+        # call answered from a recovered worker's journal reaches this
+        # client but is part of the replayed history the gateway's
+        # baselines absorb, so the two sums legitimately differ.
+        gateway = self.stats.get("gateway", {})
+        crash_free = not gateway.get("recoveries", 0)
         gateway_arch = self.stats.get("architectural", {})
-        if not self.dropped and self.client_metrics and gateway_arch != self.client_metrics:
+        if (
+            not self.dropped
+            and crash_free
+            and self.client_metrics
+            and gateway_arch != self.client_metrics
+        ):
             problems.append(
                 "client-side metric sums disagree with the gateway's "
                 "merged architectural counters"

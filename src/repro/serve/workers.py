@@ -7,11 +7,24 @@ keeps one :class:`~repro.sim.machine.Machine` alive per pool worker and
 routes every request to whichever worker is free; programs and user
 processes are installed lazily and cached for the worker's lifetime.
 
-Worker state lives in a ``threading.local``: a process-backend worker
-runs tasks on its single main thread (one machine per process), a
-thread-backend worker gets one machine per pool thread.  Jobs and
-results are plain dicts so the process boundary is one pickle of small
-ints and strings either way.
+The machine-facing half lives in :class:`GateCallEngine` — a machine
+plus its program/process caches and cumulative counters, with no pool
+plumbing — so the recovery replayer (:mod:`repro.state.recover`) can
+drive the exact same code path the serving workers use.  Worker state
+(an engine plus its journal and checkpoint files) lives in a
+``threading.local``: a process-backend worker runs tasks on its single
+main thread (one machine per process), a thread-backend worker gets one
+machine per pool thread.  Jobs and results are plain dicts so the
+process boundary is one pickle of small ints and strings either way.
+
+With a :class:`DurabilityConfig` installed, each worker claims a *slot*
+— a directory holding its write-ahead journal and periodic snapshots —
+and every executed call is journaled before the result is returned.  A
+replacement worker that claims the slot of a crashed one restores the
+snapshot, replays the journal tail, and resumes with the dead worker's
+machine state and counters intact; the ``generation`` counter in each
+result tells the gateway a restart happened so it can re-baseline its
+cross-check sums.
 
 Every result carries the per-call :class:`MetricsSnapshot` delta *and*
 the worker's own cumulative totals.  The gateway sums the deltas per
@@ -24,18 +37,24 @@ from __future__ import annotations
 
 import os
 import threading
+import time
+from collections import OrderedDict
 from concurrent.futures import (
     BrokenExecutor,
     Executor,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
-from typing import Any, Dict
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
 
 from ..cpu.faults import Fault
 from ..errors import ConfigurationError, ReproError
 from ..sim.machine import Machine
 from ..sim.metrics import MetricsSnapshot
+from ..state.journal import JournalWriter
+from ..state.recover import JOURNAL_NAME, SNAPSHOT_NAME, recover_slot
+from ..state.snapshot import snapshot_machine, write_snapshot_file
 from .catalog import build_program
 from .protocol import ErrorCode
 
@@ -45,15 +64,25 @@ BACKENDS = ("process", "thread")
 #: that a runaway variant cannot wedge a worker for long
 MAX_STEPS_PER_CALL = 2_000_000
 
+#: bound on the per-worker duplicate-suppression cache; a retried call
+#: older than this many calls re-executes instead (harmless — catalog
+#: programs are idempotent per invocation)
+RECENT_CALLS = 512
+
 _LOCAL = threading.local()
 
 
-class _WorkerState:
-    """One worker's machine plus its caches and cumulative counters."""
+class GateCallEngine:
+    """One machine plus its call caches and cumulative counters.
 
-    def __init__(self) -> None:
-        self.machine = Machine(services=False)
-        self.worker_id = f"pid{os.getpid()}-t{threading.get_ident()}"
+    Everything a gate call touches and nothing the pool owns: the
+    serving workers and the journal replayer both execute calls through
+    :meth:`run_job`, which is what makes ``snapshot + replay`` land on
+    the same machine state the crashed worker had.
+    """
+
+    def __init__(self, machine: Optional[Machine] = None):
+        self.machine = machine if machine is not None else Machine(services=False)
         self.processes: Dict[str, Any] = {}  # username -> Process
         self.installed: Dict[str, str] = {}  # variant key -> entry ref
         self.stored_paths: set = set()
@@ -62,6 +91,7 @@ class _WorkerState:
         self.total = MetricsSnapshot.zero()
 
     def process_for(self, user: str):
+        """The user's logged-in process, created on first reference."""
         process = self.processes.get(user)
         if process is None:
             registered = self.machine.add_user(user)
@@ -73,7 +103,10 @@ class _WorkerState:
         """Install (at most once) and return the variant's entry ref.
 
         Segment storage is per machine; initiation is per process —
-        ``self.initiated`` tracks it per (user, variant).
+        ``self.initiated`` tracks it per (user, path), because variants
+        can share segments (every ``call_loop`` variant with the same
+        target ring reuses one gate segment) and a process may initiate
+        each name only once.
         """
         image = build_program(program, args)
         process = self.process_for(user)
@@ -83,11 +116,345 @@ class _WorkerState:
                     self.machine.store_program(path, source, acl=list(acl))
                     self.stored_paths.add(path)
             self.installed[image.key] = image.entry
-        if (user, image.key) not in self.initiated:
-            for path, _, _ in image.segments:
+        for path, _, _ in image.segments:
+            if (user, path) not in self.initiated:
                 self.machine.initiate(process, path)
-            self.initiated.add((user, image.key))
+                self.initiated.add((user, path))
         return self.installed[image.key]
+
+    def run_job(self, job: Dict[str, Any]) -> Dict[str, Any]:
+        """Run one gate call; returns the core result dict.
+
+        ``job`` carries ``user``, ``ring``, ``program``, ``args``.  The
+        result holds either ``payload`` + ``metrics`` (success) or
+        ``error`` + ``detail`` (a simulated fault or bad arguments that
+        slipped past the gateway's early validation).  Only successful
+        calls touch the cumulative counters, on both sides, so the
+        gateway/worker cross-check stays exact.  Failed calls can still
+        move machine state (partial execution before the fault), which
+        is why the journal records them too.
+        """
+        try:
+            entry = self.entry_for(job["program"], job["args"], job["user"])
+            process = self.process_for(job["user"])
+            result = self.machine.run(
+                process, entry, ring=job["ring"], max_steps=MAX_STEPS_PER_CALL
+            )
+        except Fault as exc:
+            return {"error": ErrorCode.MACHINE_FAULT, "detail": str(exc)}
+        except KeyError as exc:
+            return {
+                "error": ErrorCode.UNKNOWN_PROGRAM,
+                "detail": f"unknown program {exc}",
+            }
+        except ReproError as exc:
+            return {"error": ErrorCode.BAD_REQUEST, "detail": str(exc)}
+        metrics = result.metrics
+        self.calls += 1
+        self.total = self.total.plus(metrics)
+        return {
+            "payload": {
+                "halted": result.halted,
+                "a": result.a,
+                "q": result.q,
+                "ring": result.ring,
+                "instructions": result.instructions,
+                "cycles": result.cycles,
+                "ring_crossings": result.ring_crossings,
+            },
+            "metrics": metrics.as_dict(),
+        }
+
+    def bookkeeping(self) -> Dict[str, Any]:
+        """The engine's non-machine state, JSON-shaped for a snapshot."""
+        return {
+            "installed": dict(self.installed),
+            "stored_paths": sorted(self.stored_paths),
+            "initiated": sorted(list(pair) for pair in self.initiated),
+            "calls": self.calls,
+            "counters": self.total.as_dict(),
+        }
+
+    @classmethod
+    def from_snapshot(cls, snap: Dict[str, Any]) -> "GateCallEngine":
+        """Rebuild an engine from a machine snapshot's ``extra`` block."""
+        from ..state.snapshot import restore_machine
+
+        machine = restore_machine(snap)
+        engine = cls(machine)
+        engine.processes = {
+            p.user.name: p for p in machine.supervisor.processes
+        }
+        book = snap.get("extra", {}).get("engine")
+        if book:
+            engine.installed = dict(book["installed"])
+            engine.stored_paths = set(book["stored_paths"])
+            engine.initiated = {tuple(pair) for pair in book["initiated"]}
+            engine.calls = int(book["calls"])
+            engine.total = MetricsSnapshot.from_dict(book["counters"])
+        return engine
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """How workers persist their state (picklable — it crosses the
+    process-pool boundary as an initializer argument).
+
+    ``slots`` bounds how many concurrent workers may claim state
+    directories under ``dir``; ``checkpoint_interval`` is in executed
+    calls; ``fsync_every`` batches journal fsyncs (a crash can lose at
+    most ``fsync_every - 1`` journaled calls, which the gateway's
+    at-least-once retry absorbs).
+    """
+
+    dir: str
+    slots: int
+    checkpoint_interval: int = 64
+    fsync_every: int = 8
+
+    def __post_init__(self) -> None:
+        if self.slots <= 0:
+            raise ConfigurationError("durability slots must be positive")
+        if self.checkpoint_interval <= 0:
+            raise ConfigurationError("checkpoint_interval must be positive")
+        if self.fsync_every <= 0:
+            raise ConfigurationError("fsync_every must be positive")
+
+
+_DURABILITY: Optional[DurabilityConfig] = None
+
+#: slot indices owned by live workers of *this* process.  The claim
+#: files carry only a pid, which cannot tell one thread (or pool
+#: generation) of our own process from another — this set can.
+_LIVE_SLOTS: set = set()
+_LIVE_LOCK = threading.Lock()
+
+
+def configure_durability(config: Optional[DurabilityConfig]) -> None:
+    """Install the durability config for workers created in this process.
+
+    Used directly for the thread backend; process-pool children go
+    through :func:`_init_worker`, which also clears forked-in state.
+    """
+    global _DURABILITY
+    _DURABILITY = config
+
+
+def _init_worker(config: Optional[DurabilityConfig]) -> None:
+    """Process-pool child initializer.
+
+    A forked child inherits the parent's module state wholesale —
+    including a worker state the parent built by calling
+    :func:`execute_gate_call` directly (its worker id names the
+    *parent's* pid, its machine carries the parent's history, and it
+    predates any durability config) and the parent's live-slot set.
+    Serving from that inherited state would make every child report
+    under one stale worker key and bypass durability entirely, so drop
+    it: this process builds its own state on first call.
+    """
+    _LOCAL.state = None
+    with _LIVE_LOCK:
+        _LIVE_SLOTS.clear()
+    configure_durability(config)
+
+
+def release_live_slots() -> None:
+    """Forget this process's slot claims (pool fully shut down).
+
+    Thread-backend pools leave claim files naming our own (live) pid;
+    without this, a successor pool in the same process could never
+    reclaim them.  Call only after the executor has drained.
+    """
+    with _LIVE_LOCK:
+        _LIVE_SLOTS.clear()
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+def _try_claim(slot: int, slot_dir: str) -> bool:
+    """Claim one slot directory, stealing it from a dead owner if needed.
+
+    The claim file holds the owner's pid.  ``O_CREAT | O_EXCL`` makes
+    creation race-free; a steal renames the stale claim to a unique name
+    first, so exactly one of several would-be stealers wins the rename
+    and proceeds to the exclusive create.
+    """
+    claim = os.path.join(slot_dir, "claim")
+    with _LIVE_LOCK:
+        if slot in _LIVE_SLOTS:
+            return False
+        try:
+            fd = os.open(claim, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            try:
+                with open(claim, "r") as handle:
+                    owner = int(handle.read().strip() or "0")
+            except (OSError, ValueError):
+                owner = 0
+            if owner and owner != os.getpid() and _pid_alive(owner):
+                return False
+            # dead owner, or a stale claim left by an earlier pool of
+            # our own process: steal it
+            stale = f"{claim}.stale-{os.getpid()}-{threading.get_ident()}"
+            try:
+                os.rename(claim, stale)
+            except OSError:
+                return False  # another stealer won
+            os.unlink(stale)
+            try:
+                fd = os.open(claim, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                return False
+        with os.fdopen(fd, "w") as handle:
+            handle.write(str(os.getpid()))
+            handle.flush()
+            os.fsync(handle.fileno())
+        _LIVE_SLOTS.add(slot)
+        return True
+
+
+def _claim_slot(config: DurabilityConfig) -> Tuple[int, str]:
+    """Claim any free slot, waiting briefly for one to open up.
+
+    The wait covers the recovery window where a crashed worker's pid
+    has not yet been reaped while its replacement is already starting.
+    """
+    slots_root = os.path.join(config.dir, "slots")
+    os.makedirs(slots_root, exist_ok=True)
+    deadline = time.monotonic() + 10.0
+    while True:
+        for slot in range(config.slots):
+            slot_dir = os.path.join(slots_root, f"slot-{slot}")
+            os.makedirs(slot_dir, exist_ok=True)
+            if _try_claim(slot, slot_dir):
+                return slot, slot_dir
+        if time.monotonic() >= deadline:
+            raise ConfigurationError(
+                f"no free durability slot under {slots_root!r} "
+                f"(all {config.slots} claimed by live processes)"
+            )
+        time.sleep(0.1)
+
+
+def _bump_generation(slot_dir: str) -> int:
+    """Count this claim of the slot; 1 on a fresh slot directory."""
+    path = os.path.join(slot_dir, "generation")
+    try:
+        with open(path, "r") as handle:
+            generation = int(handle.read().strip() or "0")
+    except (OSError, ValueError):
+        generation = 0
+    generation += 1
+    with open(path, "w") as handle:
+        handle.write(str(generation))
+        handle.flush()
+        os.fsync(handle.fileno())
+    return generation
+
+
+class _WorkerState:
+    """One worker's engine plus (optionally) its durability plumbing."""
+
+    def __init__(self) -> None:
+        config = _DURABILITY
+        self.durability = config
+        self.recent: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self.calls_since_checkpoint = 0
+        if config is None:
+            self.engine = GateCallEngine()
+            self.worker_id = f"pid{os.getpid()}-t{threading.get_ident()}"
+            self.slot: Optional[int] = None
+            self.slot_dir = ""
+            self.journal: Optional[JournalWriter] = None
+            self.generation = 0
+            return
+        self.slot, self.slot_dir = _claim_slot(config)
+        self.worker_id = f"slot{self.slot}"
+        self.generation = _bump_generation(self.slot_dir)
+        recovery = recover_slot(self.slot_dir)
+        self.engine = recovery.engine
+        self.recent = recovery.recent
+        self._trim_recent()
+        self.journal = JournalWriter(
+            os.path.join(self.slot_dir, JOURNAL_NAME),
+            fsync_every=config.fsync_every,
+        )
+        if recovery.replayed:
+            # the journal tail beyond the last snapshot was replayed;
+            # fold the recovered state into a fresh checkpoint so the
+            # next crash replays from here instead
+            self._checkpoint()
+
+    def _trim_recent(self) -> None:
+        while len(self.recent) > RECENT_CALLS:
+            self.recent.popitem(last=False)
+
+    def _checkpoint(self) -> None:
+        self.journal.sync()
+        extra = {
+            "engine": self.engine.bookkeeping(),
+            "last_seq": self.journal.last_seq,
+            "generation": self.generation,
+            "recent_calls": [
+                [call_id, result] for call_id, result in self.recent.items()
+            ],
+        }
+        snap = snapshot_machine(self.engine.machine, extra=extra)
+        current = os.path.join(self.slot_dir, SNAPSHOT_NAME)
+        if os.path.exists(current):
+            os.replace(current, current + ".prev")
+        write_snapshot_file(snap, current)
+        self.calls_since_checkpoint = 0
+
+    def execute(self, job: Dict[str, Any]) -> Dict[str, Any]:
+        call_id = job.get("call_id")
+        cached = (
+            self.recent.get(call_id) if call_id is not None else None
+        )
+        if cached is not None:
+            result = dict(cached)
+            result["deduplicated"] = True
+        else:
+            result = self.engine.run_job(job)
+            if self.journal is not None:
+                self.journal.append(
+                    {
+                        "call_id": call_id,
+                        "job": {
+                            "user": job["user"],
+                            "ring": job["ring"],
+                            "program": job["program"],
+                            "args": job["args"],
+                        },
+                        "result": result,
+                    }
+                )
+                self.calls_since_checkpoint += 1
+                if (
+                    self.calls_since_checkpoint
+                    >= self.durability.checkpoint_interval
+                ):
+                    self._checkpoint()
+            if call_id is not None:
+                self.recent[call_id] = result
+                self._trim_recent()
+        out = dict(result)
+        out["worker"] = self.worker_id
+        out["pid"] = os.getpid()
+        out["generation"] = self.generation
+        if self.slot is not None:
+            out["slot"] = self.slot
+        out["worker_calls"] = self.engine.calls
+        out["worker_total"] = metrics_architectural(self.engine.total)
+        return out
 
 
 def _state() -> _WorkerState:
@@ -99,64 +466,27 @@ def _state() -> _WorkerState:
 
 
 def worker_ping(token: int) -> Dict[str, Any]:
-    """Liveness probe; also forces lazy machine construction."""
+    """Liveness probe; also forces lazy machine construction/recovery."""
     state = _state()
-    return {"worker": state.worker_id, "token": token}
+    return {
+        "worker": state.worker_id,
+        "token": token,
+        "generation": state.generation,
+    }
 
 
 def execute_gate_call(job: Dict[str, Any]) -> Dict[str, Any]:
     """Run one gate call on this worker's persistent machine.
 
-    ``job`` carries ``user``, ``ring``, ``program``, ``args``.  Returns
-    a result dict with either ``payload`` + ``metrics`` (success) or
-    ``error`` + ``detail`` (a simulated fault or bad arguments that
-    slipped past the gateway's early validation).  Only successful calls
-    touch the cumulative counters, on both sides, so the gateway/worker
-    cross-check stays exact.
+    See :meth:`GateCallEngine.run_job` for the result contract; on top
+    of the core result this adds the worker identity fields (``worker``,
+    ``pid``, ``generation``, ``slot`` under durability) and the
+    cumulative ``worker_calls`` / ``worker_total`` the gateway
+    cross-checks against.  Under durability the call is journaled, and
+    a ``call_id`` seen before returns the journaled result instead of
+    re-executing (``deduplicated: true``).
     """
-    state = _state()
-    try:
-        entry = state.entry_for(job["program"], job["args"], job["user"])
-        process = state.process_for(job["user"])
-        result = state.machine.run(
-            process, entry, ring=job["ring"], max_steps=MAX_STEPS_PER_CALL
-        )
-    except Fault as exc:
-        return {
-            "worker": state.worker_id,
-            "error": ErrorCode.MACHINE_FAULT,
-            "detail": str(exc),
-        }
-    except KeyError as exc:
-        return {
-            "worker": state.worker_id,
-            "error": ErrorCode.UNKNOWN_PROGRAM,
-            "detail": f"unknown program {exc}",
-        }
-    except ReproError as exc:
-        return {
-            "worker": state.worker_id,
-            "error": ErrorCode.BAD_REQUEST,
-            "detail": str(exc),
-        }
-    metrics = result.metrics
-    state.calls += 1
-    state.total = state.total.plus(metrics)
-    return {
-        "worker": state.worker_id,
-        "payload": {
-            "halted": result.halted,
-            "a": result.a,
-            "q": result.q,
-            "ring": result.ring,
-            "instructions": result.instructions,
-            "cycles": result.cycles,
-            "ring_crossings": result.ring_crossings,
-        },
-        "metrics": metrics.as_dict(),
-        "worker_calls": state.calls,
-        "worker_total": metrics_architectural(state.total),
-    }
+    return _state().execute(job)
 
 
 def metrics_architectural(snapshot: MetricsSnapshot) -> Dict[str, int]:
@@ -170,10 +500,17 @@ class WorkerPool:
     ``backend`` is ``"process"`` (real parallelism) or ``"thread"``
     (GIL-bound but dependency-free); hosts where process pools cannot be
     created or probed fall back to threads with identical results,
-    mirroring the fleet driver's serial fallback.
+    mirroring the fleet driver's serial fallback.  ``durability``
+    installs per-worker journaling and checkpointing (see
+    :class:`DurabilityConfig`).
     """
 
-    def __init__(self, workers: int = 4, backend: str = "process"):
+    def __init__(
+        self,
+        workers: int = 4,
+        backend: str = "process",
+        durability: Optional[DurabilityConfig] = None,
+    ):
         if workers <= 0:
             raise ConfigurationError("workers must be positive")
         if backend not in BACKENDS:
@@ -181,20 +518,30 @@ class WorkerPool:
                 f"unknown worker backend {backend!r}; expected one of "
                 f"{BACKENDS}"
             )
+        if durability is not None and durability.slots < workers:
+            raise ConfigurationError(
+                "durability needs at least one slot per worker"
+            )
         self.workers = workers
         self.backend = backend
+        self.durability = durability
         self.executor = self._build_executor()
 
     def _build_executor(self) -> Executor:
         if self.backend == "process":
             try:
-                executor = ProcessPoolExecutor(max_workers=self.workers)
+                executor = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_init_worker,
+                    initargs=(self.durability,),
+                )
                 # Probe one task end to end: pool creation succeeds on
                 # some hosts where the first real submit then dies.
                 executor.submit(worker_ping, 0).result(timeout=60)
                 return executor
             except (OSError, PermissionError, BrokenExecutor):
                 self.backend = "thread (process pool unavailable)"
+        configure_durability(self.durability)
         return ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="ringworker"
         )
@@ -202,3 +549,5 @@ class WorkerPool:
     def shutdown(self, wait: bool = True) -> None:
         """Stop the pool; with ``wait`` the in-flight calls finish."""
         self.executor.shutdown(wait=wait, cancel_futures=not wait)
+        if wait:
+            release_live_slots()

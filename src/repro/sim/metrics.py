@@ -98,6 +98,27 @@ class MetricsSnapshot:
         """The additive identity (an all-zero snapshot)."""
         return cls(**{name: 0 for name in cls.__dataclass_fields__})
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "MetricsSnapshot":
+        """The inverse of :meth:`as_dict`.
+
+        Unknown keys are rejected (they signal a version skew between
+        whoever serialized the dict and this build); missing host-tier
+        counters default to 0 so architectural-only dicts — what workers
+        report as their totals — round-trip too.
+        """
+        unknown = set(data) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ValueError(
+                f"unknown metric counter(s): {sorted(unknown)}"
+            )
+        return cls(
+            **{
+                name: int(data.get(name, 0))
+                for name in cls.__dataclass_fields__
+            }
+        )
+
     def delta(self, earlier: "MetricsSnapshot") -> Dict[str, int]:
         """Per-counter difference ``self - earlier`` as a dict."""
         return {

@@ -1,0 +1,162 @@
+"""Recovery: rebuild a worker machine from snapshot + journal replay.
+
+The simulated machine is deterministic, so a slot's state is fully
+determined by the sequence of gate calls it executed — which is exactly
+what the journal records.  Recovery therefore has two modes:
+
+* **resume** (:func:`recover_slot`): restore the newest intact snapshot
+  and replay only the journal records past it — what a replacement
+  worker does when it claims a crashed worker's slot;
+* **verify** (:func:`replay_journal` with ``verify=True``): replay from
+  a fresh machine through the *entire* journal, checking every replayed
+  result against the journaled one record by record.  Because the
+  structural checks (snapshot sha256, journal CRCs, sequence numbers)
+  can be forged together, the replay cross-check is the last line of
+  defence: any divergence raises
+  :class:`~repro.errors.ReplayDivergenceError`.
+
+The replayer drives :class:`~repro.serve.workers.GateCallEngine` — the
+same code path the serving workers use — imported lazily to keep
+:mod:`repro.state` importable without the serving stack.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..errors import ReplayDivergenceError, SnapshotError
+from .journal import read_journal
+from .snapshot import read_snapshot_file
+
+#: file names inside a worker slot directory
+SNAPSHOT_NAME = "snapshot.json"
+JOURNAL_NAME = "journal.bin"
+
+#: result fields the verifier compares, in reporting order
+_RESULT_FIELDS = ("error", "detail", "payload", "metrics")
+
+
+def _check_result(seq: int, expected: Dict[str, Any], actual: Dict[str, Any]):
+    for name in _RESULT_FIELDS:
+        if expected.get(name) != actual.get(name):
+            raise ReplayDivergenceError(
+                seq, name, expected.get(name), actual.get(name)
+            )
+
+
+@dataclass
+class ReplayReport:
+    """What :func:`replay_journal` did."""
+
+    engine: Any  # GateCallEngine
+    replayed: int = 0
+    verified: int = 0
+    skipped: int = 0  # records at or below start_seq
+    last_seq: int = 0
+
+
+@dataclass
+class RecoveryResult:
+    """What :func:`recover_slot` rebuilt."""
+
+    engine: Any  # GateCallEngine
+    snapshot_source: str = "none"  # "current" | "prev" | "none"
+    snapshot_seq: int = 0
+    replayed: int = 0
+    last_seq: int = 0
+    recent: "OrderedDict[str, Dict[str, Any]]" = field(
+        default_factory=OrderedDict
+    )
+
+
+def replay_journal(
+    journal_path: str,
+    engine: Any = None,
+    start_seq: int = 0,
+    verify: bool = False,
+    strict: bool = False,
+    recent: Optional["OrderedDict[str, Dict[str, Any]]"] = None,
+) -> ReplayReport:
+    """Replay journal records with ``seq > start_seq`` through ``engine``.
+
+    Without ``engine`` a fresh :class:`GateCallEngine` is built, which
+    with ``start_seq=0`` replays the slot's entire history.  ``strict``
+    refuses a torn journal tail instead of dropping it.  ``recent``, if
+    given, collects each record's ``call_id`` → journaled result (the
+    duplicate-suppression cache a resuming worker needs).
+    """
+    from ..serve.workers import GateCallEngine
+
+    if engine is None:
+        engine = GateCallEngine()
+    report = ReplayReport(engine=engine, last_seq=start_seq)
+    for record in read_journal(journal_path, strict=strict):
+        seq = record["seq"]
+        if seq <= start_seq:
+            report.skipped += 1
+            continue
+        result = engine.run_job(record["job"])
+        if verify:
+            _check_result(seq, record["result"], result)
+            report.verified += 1
+        if recent is not None and record.get("call_id") is not None:
+            # the journaled result is authoritative: it is what the
+            # caller was (or would have been) told
+            recent[record["call_id"]] = record["result"]
+        report.replayed += 1
+        report.last_seq = seq
+    return report
+
+
+def recover_slot(slot_dir: str, verify: bool = False) -> RecoveryResult:
+    """Rebuild a worker slot's engine: newest intact snapshot + replay.
+
+    Tries ``snapshot.json`` then ``snapshot.json.prev`` (the previous
+    checkpoint survives until the next one replaces it, so a crash
+    mid-checkpoint at worst lengthens the replay); with neither intact,
+    replays the whole journal from a fresh machine.  A missing journal
+    is an empty one — a brand-new slot recovers to a fresh engine.
+    """
+    from ..serve.workers import GateCallEngine
+
+    engine = None
+    source = "none"
+    extra: Dict[str, Any] = {}
+    snapshot_path = os.path.join(slot_dir, SNAPSHOT_NAME)
+    for path, label in (
+        (snapshot_path, "current"),
+        (snapshot_path + ".prev", "prev"),
+    ):
+        try:
+            snap = read_snapshot_file(path)
+            engine = GateCallEngine.from_snapshot(snap)
+        except SnapshotError:
+            continue
+        source = label
+        extra = snap.get("extra", {})
+        break
+    if engine is None:
+        engine = GateCallEngine()
+    snapshot_seq = int(extra.get("last_seq", 0))
+    recent: "OrderedDict[str, Dict[str, Any]]" = OrderedDict(
+        (call_id, result)
+        for call_id, result in extra.get("recent_calls", [])
+    )
+    report = replay_journal(
+        os.path.join(slot_dir, JOURNAL_NAME),
+        engine=engine,
+        start_seq=snapshot_seq,
+        verify=verify,
+        recent=recent,
+    )
+    return RecoveryResult(
+        engine=engine,
+        snapshot_source=source,
+        snapshot_seq=snapshot_seq,
+        replayed=report.replayed,
+        last_seq=report.last_seq,
+        recent=recent,
+    )

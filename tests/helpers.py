@@ -144,7 +144,7 @@ class BareMachine:
     def seg_word(self, segno: int, wordno: int) -> int:
         """Read a segment word via the descriptor (uncharged)."""
         sdw = self.dseg.get(segno)
-        return self.memory.snapshot(sdw.addr + wordno, 1)[0]
+        return self.memory.peek_block(sdw.addr + wordno, 1)[0]
 
 
 def halt_word() -> int:

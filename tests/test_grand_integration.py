@@ -124,7 +124,7 @@ class TestComputerUtility:
         assert scheduler.all_halted
 
         vault = machine.supervisor.activate(">udd>alice>vault")
-        deposits = machine.memory.snapshot(vault.placed.addr, 1)[0]
+        deposits = machine.memory.peek_block(vault.placed.addr, 1)[0]
         # bob deposits 2, carol deposits 3 — all audited in ring 2
         assert deposits == 5
         # bob's console write is 2 * (his second deposit's reading)
@@ -143,7 +143,7 @@ class TestComputerUtility:
         scheduler.run(max_quanta=100_000)
         assert job.halted
         vault = machine.supervisor.activate(">udd>alice>vault")
-        assert machine.memory.snapshot(vault.placed.addr, 1)[0] == 2
+        assert machine.memory.peek_block(vault.placed.addr, 1)[0] == 2
 
     def test_acl_separation_still_enforced(self, utility):
         """carol cannot read the vault directly even while the

@@ -87,7 +87,7 @@ l_secret: .its  secrets
         machine.run(process, "reader$main", ring=4)
         machine.run(process, "reader$main", ring=4)
         secrets = machine.supervisor.activate(">udd>alice>secrets")
-        count = machine.memory.snapshot(secrets.placed.addr + 3, 1)[0]
+        count = machine.memory.peek_block(secrets.placed.addr + 3, 1)[0]
         assert count == 2
 
     def test_direct_access_refused(self, machine):
@@ -154,7 +154,7 @@ l_data: .its    precious
         with pytest.raises(Fault):
             machine.run(process, "buggy$main", ring=5)
         active = machine.supervisor.activate(">udd>dev>precious")
-        assert machine.memory.snapshot(active.placed.addr, 4) == [7] * 4
+        assert machine.memory.peek_block(active.placed.addr, 4) == [7] * 4
 
     def test_same_program_certified_in_ring4_succeeds(self, machine):
         """The same binary, trusted into ring 4, works — protection
@@ -182,7 +182,7 @@ l_data: .its    precious2
         result = machine.run(process, "fixed$main", ring=4)
         assert result.halted
         active = machine.supervisor.activate(">udd>dev2>precious2")
-        assert machine.memory.snapshot(active.placed.addr, 1) == [123]
+        assert machine.memory.peek_block(active.placed.addr, 1) == [123]
 
 
 class TestLayeredSupervisor:

@@ -58,7 +58,7 @@ entry:: lda     =1
         assert result.halted
         # the ring-6 stack received the store
         stack6 = process.dseg.get(process.stack_segno(6))
-        assert machine.memory.snapshot(stack6.addr + 3, 1) == [1]
+        assert machine.memory.peek_block(stack6.addr + 3, 1) == [1]
 
     def test_upward_call_still_needs_gate(self, machine):
         """The gate check precedes the upward-call trap."""

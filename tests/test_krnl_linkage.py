@@ -47,7 +47,7 @@ class TestLinkageFaults:
         active = machine.supervisor.activate(">t>prog")
         from repro.formats.indirect import IndirectWord
 
-        link_word = machine.memory.snapshot(
+        link_word = machine.memory.peek_block(
             machine.supervisor.loader.word_addr(active.placed, 6), 1
         )[0]
         assert IndirectWord.unpack(link_word).segno == LINKAGE_FAULT_SEGNO
@@ -103,7 +103,7 @@ l_data: .its    table, 5
         active = machine.supervisor.activate(">t>prog")
         from repro.formats.indirect import IndirectWord
 
-        word = machine.memory.snapshot(
+        word = machine.memory.peek_block(
             machine.supervisor.loader.word_addr(active.placed, 2), 1
         )[0]
         assert IndirectWord.unpack(word).ring == 5

@@ -42,7 +42,7 @@ class TestProcessCreation:
         next available stack area."""
         for ring in range(STACK_SEGMENTS):
             sdw = process.dseg.get(ring)
-            assert memory.snapshot(sdw.addr, 1) == [1]
+            assert memory.peek_block(sdw.addr, 1) == [1]
 
     def test_dbr_stack_field(self, memory, alice):
         process = Process.create(memory, alice, stack_base_segno=0)
@@ -105,7 +105,7 @@ class TestLoader:
     def test_place_copies_words(self, memory):
         loader = Loader(memory)
         placed = loader.place(SegmentImage.from_values("d", [5, 6, 7]))
-        assert memory.snapshot(placed.addr, 3) == [5, 6, 7]
+        assert memory.peek_block(placed.addr, 3) == [5, 6, 7]
 
     def test_place_paged(self, memory):
         loader = Loader(memory)
@@ -121,7 +121,7 @@ class TestLoader:
         image = assemble("l:  .its  other$entry, 3\n", name="me")
         placed = loader.place(image)
         loader.resolve(placed, 9, lambda name: (12, {"entry": 5}))
-        ind = IndirectWord.unpack(memory.snapshot(placed.addr, 1)[0])
+        ind = IndirectWord.unpack(memory.peek_block(placed.addr, 1)[0])
         assert (ind.segno, ind.wordno, ind.ring) == (12, 5, 3)
 
     def test_resolve_preserves_ring_and_chain(self, memory):
@@ -129,7 +129,7 @@ class TestLoader:
         image = assemble("l:  .its  other$entry, 5, 1\n", name="me")
         placed = loader.place(image)
         loader.resolve(placed, 9, lambda name: (12, {"entry": 0}))
-        ind = IndirectWord.unpack(memory.snapshot(placed.addr, 1)[0])
+        ind = IndirectWord.unpack(memory.peek_block(placed.addr, 1)[0])
         assert ind.ring == 5 and ind.indirect
 
     def test_resolve_segno_link(self, memory):
@@ -137,7 +137,7 @@ class TestLoader:
         image = assemble("p:  .ptr  t\nt:  halt\n", name="me")
         placed = loader.place(image)
         loader.resolve(placed, 33, lambda name: (0, {}))
-        ind = IndirectWord.unpack(memory.snapshot(placed.addr, 1)[0])
+        ind = IndirectWord.unpack(memory.peek_block(placed.addr, 1)[0])
         assert (ind.segno, ind.wordno) == (33, 1)
 
     def test_resolve_missing_entry(self, memory):
@@ -152,5 +152,5 @@ class TestLoader:
         image = assemble("l:  .its  other\n", name="me")
         placed = loader.place(image)
         loader.resolve(placed, 9, lambda name: (12, {}))
-        ind = IndirectWord.unpack(memory.snapshot(placed.addr, 1)[0])
+        ind = IndirectWord.unpack(memory.peek_block(placed.addr, 1)[0])
         assert (ind.segno, ind.wordno) == (12, 0)

@@ -60,7 +60,7 @@ class TestRoundRobin:
         scheduler, *_ = build_two_jobs(machine, count_a=20, count_b=30)
         scheduler.run()
         shared = machine.supervisor.activate(">shared")
-        assert machine.memory.snapshot(shared.placed.addr, 1) == [50]
+        assert machine.memory.peek_block(shared.placed.addr, 1) == [50]
 
     def test_execution_interleaves(self, machine):
         """With a small quantum both jobs need several quanta, i.e. the

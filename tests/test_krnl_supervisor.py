@@ -42,7 +42,7 @@ class TestActivation:
     def test_activate_places_segment(self, sup, alice):
         store(sup, ">x", "x", alice, words=[7, 8])
         active = sup.activate(">x")
-        assert sup.memory.snapshot(active.placed.addr, 2) == [7, 8]
+        assert sup.memory.peek_block(active.placed.addr, 2) == [7, 8]
 
     def test_activate_is_idempotent(self, sup, alice):
         store(sup, ">x", "x", alice)

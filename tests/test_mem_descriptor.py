@@ -50,7 +50,7 @@ class TestDescriptorSegment:
         dseg, dbr = DescriptorSegment.allocate(memory, bound=8)
         sdw = SDW(addr=0o4000, bound=10, read=True, execute=True)
         dseg.set(2, sdw)
-        w0, w1 = memory.snapshot(dbr.sdw_addr(2), 2)
+        w0, w1 = memory.peek_block(dbr.sdw_addr(2), 2)
         assert SDW.unpack(w0, w1) == sdw
 
     def test_segno_out_of_bound(self, memory):

@@ -43,7 +43,7 @@ class TestPageTable:
         table = PageTable.build(memory, bound=PAGE_WORDS)
         table.load_words([7] * PAGE_WORDS)
         addr = translate_paged(memory, table.addr, 5)
-        assert memory.snapshot(addr, 1) == [7]
+        assert memory.peek_block(addr, 1) == [7]
 
     def test_translate_charges_one_read(self, memory):
         table = PageTable.build(memory, bound=PAGE_WORDS)
@@ -72,7 +72,7 @@ class TestPageTable:
         table.load_words(words)
         for wordno in (0, PAGE_WORDS - 1, PAGE_WORDS, 3 * PAGE_WORDS - 1):
             addr = translate_paged(memory, table.addr, wordno)
-            assert memory.snapshot(addr, 1) == [wordno]
+            assert memory.peek_block(addr, 1) == [wordno]
 
     def test_map_page_index_validated(self, memory):
         table = PageTable.build(memory, bound=PAGE_WORDS)

@@ -56,10 +56,10 @@ class TestBlockAccess:
     def test_load_image_uncounted(self, memory):
         memory.load_image(10, [7, 8, 9])
         assert memory.writes == 0
-        assert memory.snapshot(10, 3) == [7, 8, 9]
+        assert memory.peek_block(10, 3) == [7, 8, 9]
 
     def test_snapshot_uncounted(self, memory):
-        memory.snapshot(0, 100)
+        memory.peek_block(0, 100)
         assert memory.reads == 0
 
 

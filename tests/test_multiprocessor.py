@@ -76,7 +76,7 @@ class TestTwoProcessors:
         assert all(halted.values())
 
         shared = machine.supervisor.activate(">shared")
-        assert machine.memory.snapshot(shared.placed.addr, 1) == [25]
+        assert machine.memory.peek_block(shared.placed.addr, 1) == [25]
 
     def test_each_processor_has_its_own_ring_state(self, machine):
         """Processor A can sit in ring 0 while B runs ring 4 — ring of

@@ -51,7 +51,7 @@ class TestMachineFacade:
         process = machine.login(user)
         segno = machine.initiate(process, ">d")
         sdw = process.dseg.get(segno)
-        assert machine.memory.snapshot(sdw.addr, 3) == [1, 2, 3]
+        assert machine.memory.peek_block(sdw.addr, 3) == [1, 2, 3]
 
     def test_services_gate_extension_limit(self, machine):
         """Rings 6-7 have no access to supervisor gates (paper p. 35)."""

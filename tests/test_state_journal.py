@@ -1,0 +1,146 @@
+"""The write-ahead journal: framing, torn tails, corruption, batching."""
+
+import pytest
+
+from repro.errors import ConfigurationError, JournalError
+from repro.state.journal import (
+    MAGIC,
+    JournalReader,
+    JournalWriter,
+    _encode_record,
+    read_journal,
+)
+
+
+def write_records(path, payloads, fsync_every=1):
+    with JournalWriter(str(path), fsync_every=fsync_every) as writer:
+        return [writer.append(record) for record in payloads]
+
+
+class TestRoundTrip:
+    def test_records_come_back_in_order_with_seqs(self, tmp_path):
+        path = tmp_path / "j.bin"
+        seqs = write_records(path, [{"x": i} for i in range(5)])
+        assert seqs == [1, 2, 3, 4, 5]
+        records = read_journal(str(path))
+        assert [r["x"] for r in records] == [0, 1, 2, 3, 4]
+        assert [r["seq"] for r in records] == [1, 2, 3, 4, 5]
+
+    def test_reopen_resumes_sequence(self, tmp_path):
+        path = tmp_path / "j.bin"
+        write_records(path, [{"x": 0}, {"x": 1}])
+        with JournalWriter(str(path)) as writer:
+            assert writer.last_seq == 2
+            assert writer.append({"x": 2}) == 3
+        assert [r["seq"] for r in read_journal(str(path))] == [1, 2, 3]
+
+    def test_reader_is_iterable(self, tmp_path):
+        path = tmp_path / "j.bin"
+        write_records(path, [{"x": 7}])
+        assert [r["x"] for r in JournalReader(str(path))] == [7]
+
+    def test_missing_file_is_empty_unless_strict(self, tmp_path):
+        path = str(tmp_path / "absent.bin")
+        assert read_journal(path) == []
+        with pytest.raises(JournalError):
+            read_journal(path, strict=True)
+
+    def test_writer_owns_seq(self, tmp_path):
+        with JournalWriter(str(tmp_path / "j.bin")) as writer:
+            with pytest.raises(ConfigurationError):
+                writer.append({"seq": 9})
+
+
+class TestTornTail:
+    def test_torn_payload_dropped_in_recovery_mode(self, tmp_path):
+        path = tmp_path / "j.bin"
+        write_records(path, [{"x": 0}, {"x": 1}])
+        data = path.read_bytes()
+        path.write_bytes(data[:-3])  # rip bytes off the final payload
+        records = read_journal(str(path))
+        assert [r["x"] for r in records] == [0]
+        with pytest.raises(JournalError):
+            read_journal(str(path), strict=True)
+
+    def test_torn_header_dropped_in_recovery_mode(self, tmp_path):
+        path = tmp_path / "j.bin"
+        write_records(path, [{"x": 0}])
+        path.write_bytes(path.read_bytes() + b"\x05\x00")  # partial frame
+        assert [r["x"] for r in read_journal(str(path))] == [0]
+        with pytest.raises(JournalError):
+            read_journal(str(path), strict=True)
+
+    def test_writer_truncates_torn_tail_and_continues(self, tmp_path):
+        path = tmp_path / "j.bin"
+        write_records(path, [{"x": 0}, {"x": 1}])
+        intact = len(path.read_bytes())
+        path.write_bytes(path.read_bytes() + b"\x99\x99\x99")
+        with JournalWriter(str(path)) as writer:
+            assert writer.last_seq == 2
+            writer.append({"x": 2})
+        records = read_journal(str(path), strict=True)
+        assert [r["x"] for r in records] == [0, 1, 2]
+        assert len(path.read_bytes()) > intact
+
+
+class TestCorruption:
+    def test_interior_crc_flip_always_raises(self, tmp_path):
+        path = tmp_path / "j.bin"
+        write_records(path, [{"x": 0}, {"x": 1}])
+        data = bytearray(path.read_bytes())
+        data[len(MAGIC) + 8] ^= 0xFF  # first byte of record 1's payload
+        path.write_bytes(bytes(data))
+        with pytest.raises(JournalError):
+            read_journal(str(path))
+        with pytest.raises(JournalError):
+            read_journal(str(path), strict=True)
+
+    def test_final_record_crc_flip_is_a_torn_tail(self, tmp_path):
+        path = tmp_path / "j.bin"
+        write_records(path, [{"x": 0}, {"x": 1}])
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        assert [r["x"] for r in read_journal(str(path))] == [0]
+        with pytest.raises(JournalError):
+            read_journal(str(path), strict=True)
+
+    def test_sequence_gap_always_raises(self, tmp_path):
+        path = tmp_path / "j.bin"
+        body = MAGIC + _encode_record({"seq": 1}) + _encode_record({"seq": 3})
+        path.write_bytes(body)
+        with pytest.raises(JournalError, match="sequence gap"):
+            read_journal(str(path))
+
+    def test_bad_magic_always_raises(self, tmp_path):
+        path = tmp_path / "j.bin"
+        path.write_bytes(b"NOTJRNL\n" + _encode_record({"seq": 1}))
+        with pytest.raises(JournalError, match="magic"):
+            read_journal(str(path))
+
+
+class TestFsyncBatching:
+    def test_appends_buffer_until_the_batch_boundary(self, tmp_path):
+        path = tmp_path / "j.bin"
+        writer = JournalWriter(str(path), fsync_every=4)
+        for i in range(3):
+            writer.append({"x": i})
+        # nothing flushed yet: a concurrent reader sees an empty journal
+        assert read_journal(str(path)) == []
+        writer.append({"x": 3})
+        assert [r["x"] for r in read_journal(str(path))] == [0, 1, 2, 3]
+        writer.append({"x": 4})
+        writer.sync()
+        assert len(read_journal(str(path))) == 5
+        writer.close()
+
+    def test_close_flushes_pending_appends(self, tmp_path):
+        path = tmp_path / "j.bin"
+        writer = JournalWriter(str(path), fsync_every=100)
+        writer.append({"x": 0})
+        writer.close()
+        assert len(read_journal(str(path))) == 1
+
+    def test_fsync_every_must_be_positive(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            JournalWriter(str(tmp_path / "j.bin"), fsync_every=0)

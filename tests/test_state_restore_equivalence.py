@@ -1,0 +1,150 @@
+"""Restore equivalence: checkpoint mid-run, restore, continue — and land
+on figures bit-identical to the uninterrupted run.
+
+This is the contract that makes the durability subsystem usable for the
+reproduction: a snapshot+restore must be architecturally invisible, in
+every cache-knob configuration, the same way the host fast path and the
+superblock tier are.  Two granularities are pinned:
+
+* **mid-instruction-stream** — stop a machine after k instructions of a
+  gate-calling program, snapshot, restore into a fresh machine (with
+  every combination of host-cache knobs), run to HALT, and compare
+  every architectural figure plus console and final registers;
+* **call-boundary** — run a worker engine through a prefix of a gate
+  call sequence, snapshot, restore, run the suffix, and compare each
+  suffix call's full result and the cumulative totals against an
+  uninterrupted engine.
+"""
+
+import pytest
+
+from repro.core.acl import AclEntry, RingBracketSpec
+from repro.errors import MachineHalted
+from repro.serve.workers import GateCallEngine
+from repro.sim.machine import Machine
+from repro.sim.metrics import MetricsSnapshot
+from repro.state.snapshot import restore_machine, snapshot_machine
+
+USER_ACL = [AclEntry("*", RingBracketSpec.procedure(4))]
+
+#: restore-time host-cache knob combinations (block tier requires the
+#: fast path, so (False, True) is not a legal machine)
+KNOBS = [(False, False), (True, False), (True, True)]
+
+GATE_PROGRAM = """
+        .seg    sample
+        .gates  1
+main::  lda     =42
+        eap4    back
+        call    l_write,*
+back:   ada     =1
+        eap4    back2
+        call    l_write,*
+back2:  halt
+l_write: .its   svc$write
+"""
+
+
+def start_sample(paged):
+    machine = Machine(paged=paged)
+    user = machine.add_user("operator")
+    machine.store_program(">t>sample", GATE_PROGRAM, acl=USER_ACL)
+    process = machine.login(user)
+    machine.initiate(process, ">t>sample")
+    machine.start(process, "sample$main", 4)
+    return machine
+
+
+def run_to_halt(machine):
+    machine.processor.run(max_steps=100_000)
+
+
+def figures(machine):
+    processor = machine.processor
+    return {
+        "architectural": MetricsSnapshot.collect(processor).architectural(),
+        "console": list(machine.console),
+        "ring": processor.registers.ipr.ring,
+        "a": processor.registers.a,
+        "q": processor.registers.q,
+        "halted": processor.halted,
+    }
+
+
+class TestMidStreamEquivalence:
+    @pytest.mark.parametrize("paged", [False, True])
+    @pytest.mark.parametrize("steps", [1, 3, 6, 10])
+    def test_checkpoint_restore_continue_is_invisible(self, paged, steps):
+        baseline = start_sample(paged)
+        run_to_halt(baseline)
+        expected = figures(baseline)
+
+        interrupted = start_sample(paged)
+        for _ in range(steps):
+            try:
+                interrupted.processor.step()
+            except MachineHalted:
+                break
+        snap = snapshot_machine(interrupted)
+        for fast_path, block_tier in KNOBS:
+            restored = restore_machine(
+                snap,
+                fast_path_enabled=fast_path,
+                block_tier_enabled=block_tier,
+            )
+            run_to_halt(restored)
+            assert figures(restored) == expected, (
+                f"divergence after restore at step {steps} with "
+                f"fast_path={fast_path} block_tier={block_tier}"
+            )
+
+    def test_double_checkpoint_is_invisible(self):
+        baseline = start_sample(paged=False)
+        run_to_halt(baseline)
+        expected = figures(baseline)
+
+        interrupted = start_sample(paged=False)
+        interrupted.processor.step()
+        hop1 = restore_machine(snapshot_machine(interrupted))
+        for _ in range(3):
+            hop1.processor.step()
+        hop2 = restore_machine(snapshot_machine(hop1))
+        run_to_halt(hop2)
+        assert figures(hop2) == expected
+
+
+JOBS = [
+    {"user": "alice", "ring": 4, "program": "call_loop", "args": {"count": 3}},
+    {"user": "bob", "ring": 5, "program": "compute", "args": {"n": 40}},
+    {"user": "alice", "ring": 4, "program": "echo", "args": {"value": 9}},
+    {"user": "alice", "ring": 4, "program": "call_loop", "args": {"count": 5}},
+    {"user": "carol", "ring": 5, "program": "compute", "args": {"n": 25}},
+    {"user": "bob", "ring": 4, "program": "echo", "args": {"value": -3}},
+]
+
+
+class TestCallBoundaryEquivalence:
+    @pytest.mark.parametrize("split", [1, 3, 5])
+    def test_engine_resumes_bit_identically(self, split):
+        straight = GateCallEngine()
+        expected = [straight.run_job(dict(job)) for job in JOBS]
+
+        prefix = GateCallEngine()
+        for job in JOBS[:split]:
+            prefix.run_job(dict(job))
+        snap = snapshot_machine(
+            prefix.machine, extra={"engine": prefix.bookkeeping()}
+        )
+        resumed = GateCallEngine.from_snapshot(snap)
+        assert resumed.calls == prefix.calls
+        assert resumed.total == prefix.total
+        suffix = [resumed.run_job(dict(job)) for job in JOBS[split:]]
+        assert suffix == expected[split:]
+        assert resumed.total == straight.total
+        assert resumed.calls == straight.calls
+        assert (
+            MetricsSnapshot.collect(resumed.machine.processor).architectural()
+            == MetricsSnapshot.collect(
+                straight.machine.processor
+            ).architectural()
+        )

@@ -1,0 +1,149 @@
+"""Machine snapshots: round trips, integrity, and the metrics inverse."""
+
+import json
+
+import pytest
+
+from repro.core.acl import AclEntry, RingBracketSpec
+from repro.errors import SnapshotError
+from repro.mem.physical import PhysicalMemory
+from repro.sim.machine import Machine
+from repro.sim.metrics import MetricsSnapshot
+from repro.state.snapshot import (
+    read_snapshot_file,
+    restore_machine,
+    snapshot_digest,
+    snapshot_machine,
+    write_snapshot_file,
+)
+
+USER_ACL = [AclEntry("*", RingBracketSpec.procedure(4))]
+
+GATE_PROGRAM = """
+        .seg    sample
+        .gates  1
+main::  lda     =42
+        eap4    back
+        call    l_write,*
+back:   halt
+l_write: .its   svc$write
+"""
+
+
+def run_sample(machine):
+    user = machine.add_user("sampler")
+    machine.store_program(">t>sample", GATE_PROGRAM, acl=USER_ACL)
+    process = machine.login(user)
+    machine.initiate(process, ">t>sample")
+    return machine.run(process, "sample$main", ring=4)
+
+
+class TestMetricsFromDict:
+    def test_round_trips_as_dict(self, machine):
+        run_sample(machine)
+        collected = MetricsSnapshot.collect(machine.processor)
+        assert MetricsSnapshot.from_dict(collected.as_dict()) == collected
+
+    def test_missing_host_counters_default_to_zero(self):
+        partial = MetricsSnapshot.from_dict({"cycles": 7, "instructions": 3})
+        assert partial.cycles == 7
+        assert partial.instructions == 3
+        assert partial.ptlb_hits == 0
+
+    def test_unknown_counter_rejected(self):
+        with pytest.raises(ValueError, match="unknown metric counter"):
+            MetricsSnapshot.from_dict({"cycles": 1, "quantum_flux": 2})
+
+
+class TestPeekBlock:
+    def test_peek_block_is_uncounted(self):
+        memory = PhysicalMemory(64)
+        memory.write(3, 9)
+        reads_before = memory.reads
+        assert memory.peek_block(2, 3) == [0, 9, 0]
+        assert memory.reads == reads_before
+
+    def test_read_block_still_counts(self):
+        memory = PhysicalMemory(64)
+        reads_before = memory.reads
+        memory.read_block(0, 4)
+        assert memory.reads == reads_before + 4
+
+    def test_snapshot_alias_is_deprecated(self):
+        memory = PhysicalMemory(64)
+        memory.write(1, 5)
+        with pytest.deprecated_call():
+            assert memory.snapshot(0, 2) == [0, 5]
+
+
+class TestSnapshotRoundTrip:
+    def test_restore_reproduces_registers_and_counters(self, machine):
+        result = run_sample(machine)
+        snap = snapshot_machine(machine)
+        restored = restore_machine(snap)
+        original = machine.processor
+        twin = restored.processor
+        assert twin.registers.snapshot() == original.registers.snapshot()
+        assert twin.cycles == original.cycles
+        assert twin.stats == original.stats
+        assert restored.console == machine.console == result.console
+        assert (
+            MetricsSnapshot.collect(twin).architectural()
+            == MetricsSnapshot.collect(original).architectural()
+        )
+
+    def test_snapshot_of_restore_is_bit_identical(self, machine):
+        run_sample(machine)
+        snap = snapshot_machine(machine)
+        again = snapshot_machine(restore_machine(snap))
+        assert snapshot_digest(again) == snapshot_digest(snap)
+
+    def test_extra_payload_survives(self, machine):
+        snap = snapshot_machine(machine, extra={"note": "hello"})
+        assert snap["extra"] == {"note": "hello"}
+
+    def test_memory_serialised_sparsely(self, machine):
+        run_sample(machine)
+        snap = snapshot_machine(machine)
+        words = sum(
+            len(chunk) for chunk in snap["memory"]["chunks"].values()
+        )
+        assert 0 < words < machine.memory.size
+
+
+class TestSnapshotFiles:
+    def test_write_then_read(self, tmp_path, machine):
+        run_sample(machine)
+        path = str(tmp_path / "m.snap")
+        digest = write_snapshot_file(snapshot_machine(machine), path)
+        snap = read_snapshot_file(path)
+        assert snapshot_digest(snap) == digest
+
+    def test_tampered_snapshot_rejected(self, tmp_path, machine):
+        run_sample(machine)
+        path = tmp_path / "m.snap"
+        write_snapshot_file(snapshot_machine(machine), str(path))
+        envelope = json.loads(path.read_text())
+        envelope["snapshot"]["counters"]["cycles"] += 1
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(SnapshotError, match="integrity"):
+            read_snapshot_file(str(path))
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "m.snap"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(SnapshotError, match="not a machine snapshot"):
+            read_snapshot_file(str(path))
+
+    def test_wrong_version_rejected(self, tmp_path, machine):
+        path = tmp_path / "m.snap"
+        write_snapshot_file(snapshot_machine(machine), str(path))
+        envelope = json.loads(path.read_text())
+        envelope["version"] = 999
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(SnapshotError, match="version"):
+            read_snapshot_file(str(path))
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SnapshotError, match="cannot read"):
+            read_snapshot_file(str(tmp_path / "absent.snap"))
