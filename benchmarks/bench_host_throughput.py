@@ -3,8 +3,9 @@
 Unlike every other benchmark in this directory, the figure of interest
 here is *host* instructions per second, not simulated cycles: the
 validated-translation cache (PTLB), the decoded-instruction cache
-(``repro.cpu.access_cache``) and the superblock execution tier
-(``repro.cpu.blockcache``) elide Python-side SDW unpacking, bracket
+(``repro.cpu.access_cache``), the superblock execution tier
+(``repro.cpu.blockcache``) and the trace-compile tier
+(``repro.cpu.jit``) elide Python-side SDW unpacking, bracket
 validation, instruction decode, and per-instruction dispatch on the hot
 path, while charging the identical simulated cycles.  The benchmark
 records the throughput of each tier and the resulting speedups into
@@ -41,6 +42,9 @@ STRICT = os.environ.get("REPRO_BENCH_STRICT", "1") != "0"
 BLOCK_VS_FAST_TARGET = 1.5
 BLOCK_VS_OFF_TARGET = 4.0
 FAST_VS_OFF_TARGET = 2.0
+
+#: trace-compile tier vs. the superblock tier (the ISSUE 6 headline)
+JIT_VS_BLOCK_TARGET = 3.0
 
 
 def _tier_throughputs(tiers):
@@ -153,25 +157,31 @@ def test_h1_speedup_vs_disabled(benchmark):
 
     measured = _tier_throughputs(
         {
+            "jit": {"jit_tier_enabled": True},
             "block": {},
             "fast": {"block_tier_enabled": False},
             "off": {"fast_path_enabled": False, "block_tier_enabled": False},
         }
     )
+    ips_jit, result_jit = measured["jit"]
     ips_block, result_block = measured["block"]
     ips_fast, result_fast = measured["fast"]
     ips_off, result_off = measured["off"]
 
     # Cycle neutrality: the host tiers elide host work only.
+    _assert_neutral(result_block, result_jit)
     _assert_neutral(result_block, result_fast)
     _assert_neutral(result_block, result_off)
 
+    jit_vs_block = ips_jit / ips_block
     block_vs_fast = ips_block / ips_fast
     block_vs_off = ips_block / ips_off
     fast_vs_off = ips_fast / ips_off
+    benchmark.extra_info["instructions_per_sec_jit"] = round(ips_jit)
     benchmark.extra_info["instructions_per_sec_block"] = round(ips_block)
     benchmark.extra_info["instructions_per_sec_fast"] = round(ips_fast)
     benchmark.extra_info["instructions_per_sec_slow"] = round(ips_off)
+    benchmark.extra_info["jit_speedup_vs_block"] = round(jit_vs_block, 2)
     benchmark.extra_info["block_speedup_vs_fast"] = round(block_vs_fast, 2)
     benchmark.extra_info["block_speedup_vs_disabled"] = round(block_vs_off, 2)
     benchmark.extra_info["speedup_vs_disabled"] = round(fast_vs_off, 2)
@@ -188,4 +198,8 @@ def test_h1_speedup_vs_disabled(benchmark):
         assert block_vs_off >= BLOCK_VS_OFF_TARGET, (
             f"block tier speedup {block_vs_off:.2f}x over the seed "
             f"interpreter, below the {BLOCK_VS_OFF_TARGET}x target"
+        )
+        assert jit_vs_block >= JIT_VS_BLOCK_TARGET, (
+            f"trace tier speedup {jit_vs_block:.2f}x over the block "
+            f"tier, below the {JIT_VS_BLOCK_TARGET}x target"
         )

@@ -40,8 +40,21 @@ def load_measured(bench_json: Path, name: str) -> dict:
 
 
 def check(measured: dict, ratios: dict, tolerance: float) -> list:
-    """Failure messages for every gated ratio (empty = pass)."""
+    """Failure messages for every gated ratio (empty = pass).
+
+    Two kinds of missing key both fail: a baseline ratio absent from
+    the benchmark output (the benchmark silently stopped recording
+    it), and a measured speedup ratio absent from the baseline (a new
+    tier landed without committing its gate — exactly how a regression
+    in a new tier would slip through unnoticed).
+    """
     failures = []
+    for key in sorted(k for k in measured if "speedup" in k):
+        if key not in ratios:
+            failures.append(
+                f"{key}: measured but has no baseline entry — add it to "
+                "baseline.json so the new ratio is gated"
+            )
     for key, baseline in ratios.items():
         value = measured.get(key)
         if value is None:

@@ -31,6 +31,8 @@ def build_call_loop_machine(
     paged: bool = False,
     fast_path_enabled: bool = True,
     block_tier_enabled: bool | None = None,
+    jit_tier_enabled: bool | None = None,
+    fast_gate: bool = False,
 ):
     """A machine whose ``caller$main`` performs ``count`` call/return
     pairs against a gated callee executing at ``target_ring``."""
@@ -42,6 +44,8 @@ def build_call_loop_machine(
         paged=paged,
         fast_path_enabled=fast_path_enabled,
         block_tier_enabled=block_tier_enabled,
+        jit_tier_enabled=jit_tier_enabled,
+        fast_gate=fast_gate,
     )
     user = machine.add_user("bench")
     spec = (

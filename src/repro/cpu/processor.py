@@ -54,6 +54,7 @@ from .blockcache import (
 )
 from .faults import Fault, FaultCode
 from .isa import BY_NUMBER, Op
+from .jit import WARMUP_CHUNK as JIT_WARMUP_CHUNK, TraceCache, parity_requested
 from .registers import RegisterFile, STACK_PTR_PR, TPR
 from .sdwcache import SDWCache
 from .validate import validate_fetch, validate_read, validate_write
@@ -134,6 +135,7 @@ class Processor:
         nrings: int = 8,
         fast_path: bool = True,
         block_tier: Optional[bool] = None,
+        jit_tier: Optional[bool] = None,
     ):
         if stack_rule not in ("simple", "dbr"):
             raise ConfigurationError(f"unknown stack rule {stack_rule!r}")
@@ -146,6 +148,17 @@ class Processor:
                 "the superblock tier rides the fast-path PTLB; "
                 "block_tier=True requires fast_path=True"
             )
+        # REPRO_JIT_PARITY=1 is the parity-backstop mode: force the
+        # trace tier on wherever the block tier is on, and co-execute
+        # every trace against the per-step interpreter.
+        parity = parity_requested()
+        if jit_tier is None:
+            jit_tier = parity and block_tier
+        if jit_tier and not block_tier:
+            raise ConfigurationError(
+                "the trace-compile tier records through superblock "
+                "dispatch; jit_tier=True requires block_tier=True"
+            )
         self.memory = memory
         self.dbr = dbr or DBR()
         self.cost = cost or CostModel()
@@ -157,11 +170,15 @@ class Processor:
         #: superblock execution tier (see repro.cpu.blockcache): also
         #: architecturally invisible, also an ablation knob
         self.block_cache = SuperblockCache(enabled=block_tier)
+        #: trace-compile execution tier (see repro.cpu.jit): compiled
+        #: traces above the superblocks, architecturally invisible
+        self.jit_cache = TraceCache(enabled=jit_tier, parity=parity)
         if block_tier:
             # An SDW capacity eviction must stop any mid-flight block
-            # of the victim segment: per-step execution would pay (and
-            # charge) an SDW refetch at its next instruction fetch.
-            self.sdw_cache.on_evict = self.block_cache.pause_segment
+            # or compiled trace of the victim segment: per-step
+            # execution would pay (and charge) an SDW refetch at its
+            # next instruction fetch.
+            self.sdw_cache.on_evict = self._on_sdw_evict
         self.stack_rule = stack_rule
         self.hardware_rings = hardware_rings
         self.nrings = nrings
@@ -207,6 +224,28 @@ class Processor:
         self.access_cache.reset_stats()
         self.inst_cache.reset_stats()
         self.block_cache.reset_stats()
+        self.jit_cache.reset_stats()
+
+    def _on_sdw_evict(self, segno: int) -> None:
+        """SDW capacity eviction: stop both upper execution tiers."""
+        self.block_cache.pause_segment(segno)
+        if self.jit_cache.enabled:
+            self.jit_cache.pause_segment(segno)
+
+    def drop_host_caches(self) -> None:
+        """Empty every host-side cache; counters and SDWs survive.
+
+        Checkpoint hook: a snapshot never records host-tier contents, so
+        a worker that keeps running past a checkpoint must continue from
+        the same cold host caches a restored successor would start with
+        — that is what keeps a snapshot-resumed replay bit-identical in
+        *every* counter, host tiers included.
+        """
+        self.access_cache.invalidate()
+        self.inst_cache.invalidate()
+        self.block_cache.invalidate()
+        if self.jit_cache.enabled:
+            self.jit_cache.invalidate()
 
     def warm_sdw_cache(self, segnos: List[int]) -> None:
         """Refill the SDW associative memory from descriptor memory.
@@ -347,6 +386,8 @@ class Processor:
             self.inst_cache.invalidate_word(segno, wordno)
         if self.block_cache.enabled:
             self.block_cache.invalidate_word(segno, wordno)
+        if self.jit_cache.enabled:
+            self.jit_cache.invalidate_word(segno, wordno)
 
     # ------------------------------------------------------------------
     # instruction cycle
@@ -572,6 +613,9 @@ class Processor:
         """
         blocks = self.block_cache
         table = blocks._blocks
+        jit = self.jit_cache
+        jit_on = jit.enabled
+        traces = jit._traces
         ipr = self.registers.ipr
         remaining = max_steps
         while remaining > 0:
@@ -579,6 +623,38 @@ class Processor:
                 segno = ipr.segno
                 wordno = ipr.wordno
                 seg = table.get(segno)
+                block_budget = remaining
+                if jit_on:
+                    # The trace tier dispatches above the blocks: a
+                    # compiled trace at this (segno, wordno, ring) runs
+                    # first; a hot trace-less head records one (the
+                    # recording itself single-steps, so it is exact).
+                    # While a head is still warming toward a trace the
+                    # superblock budget below is clamped — block chains
+                    # would otherwise swallow the whole run in a single
+                    # dispatch and the head could never get hot.  The
+                    # clamp also keeps the block tier executing (and
+                    # its diagnostic counters meaningful) before the
+                    # first trace records.
+                    tkey = (segno, wordno, ipr.ring)
+                    trace = traces.get(tkey)
+                    if trace is not None:
+                        consumed = jit.execute(self, trace, remaining)
+                        if consumed:
+                            remaining -= consumed
+                            continue
+                    elif jit.note_dispatch(tkey):
+                        consumed, halted = jit.record_and_compile(
+                            self, remaining
+                        )
+                        if halted:
+                            self.halted = True
+                            return self.stats.instructions
+                        if consumed:
+                            remaining -= consumed
+                            continue
+                    elif jit.warming(tkey):
+                        block_budget = min(remaining, JIT_WARMUP_CHUNK)
                 block = None if seg is None else seg.get(wordno)
                 if block is None:
                     if blocks.note_dispatch(segno, wordno) and self._build_block(
@@ -586,7 +662,7 @@ class Processor:
                     ):
                         continue
                 elif block.entries:
-                    consumed = self._enter_block(block, remaining)
+                    consumed = self._enter_block(block, block_budget)
                     if consumed:
                         remaining -= consumed
                         continue
@@ -897,6 +973,8 @@ class Processor:
         self.access_cache.invalidate()
         self.inst_cache.invalidate()
         self.block_cache.invalidate()
+        if self.jit_cache.enabled:
+            self.jit_cache.invalidate()
 
     def set_dbr(self, dbr: DBR) -> None:
         """Supervisor-side DBR switch (process dispatch)."""
@@ -905,6 +983,8 @@ class Processor:
         self.access_cache.invalidate()
         self.inst_cache.invalidate()
         self.block_cache.invalidate()
+        if self.jit_cache.enabled:
+            self.jit_cache.invalidate()
 
     def connect_io(self, word: int) -> None:
         """CIOC: hand a channel-program word to the attached I/O system."""
@@ -923,3 +1003,5 @@ class Processor:
         self.access_cache.invalidate(segno)
         self.inst_cache.invalidate(segno)
         self.block_cache.invalidate(segno)
+        if self.jit_cache.enabled:
+            self.jit_cache.invalidate(segno)

@@ -35,6 +35,7 @@ fleet's ``verify_merge`` pins, held across a network boundary.
 
 from __future__ import annotations
 
+import json
 import os
 import threading
 import time
@@ -82,11 +83,20 @@ class GateCallEngine:
     """
 
     def __init__(self, machine: Optional[Machine] = None):
-        self.machine = machine if machine is not None else Machine(services=False)
+        # Serving machines run the full tier stack: the trace-compile
+        # tier plus the fast-gate entry path, so repeat (user, gate)
+        # calls skip re-validation and enter compiled traces directly.
+        # Architectural figures are identical either way.
+        self.machine = (
+            machine
+            if machine is not None
+            else Machine(services=False, jit_tier_enabled=True, fast_gate=True)
+        )
         self.processes: Dict[str, Any] = {}  # username -> Process
         self.installed: Dict[str, str] = {}  # variant key -> entry ref
         self.stored_paths: set = set()
         self.initiated: set = set()  # (username, variant key)
+        self._images: Dict[str, Any] = {}  # build_program memo
         self.calls = 0
         self.total = MetricsSnapshot.zero()
 
@@ -107,8 +117,15 @@ class GateCallEngine:
         can share segments (every ``call_loop`` variant with the same
         target ring reuses one gate segment) and a process may initiate
         each name only once.
+
+        ``build_program`` is pure in ``(program, args)``, so repeat
+        calls reuse the memoized image — part of the fast-gate path:
+        a repeat (user, gate) call does no assembly work at all.
         """
-        image = build_program(program, args)
+        memo_key = program + "\0" + json.dumps(args, sort_keys=True)
+        image = self._images.get(memo_key)
+        if image is None:
+            image = self._images[memo_key] = build_program(program, args)
         process = self.process_for(user)
         if image.key not in self.installed:
             for path, source, acl in image.segments:
@@ -399,6 +416,14 @@ class _WorkerState:
 
     def _checkpoint(self) -> None:
         self.journal.sync()
+        # Drop the live machine's host caches at the checkpoint
+        # boundary: a restored successor starts with cold host tiers
+        # (snapshots don't serialize translations, superblocks, or
+        # traces), so the live worker must go cold at the same point —
+        # otherwise post-checkpoint calls would report different host
+        # diagnostics live vs. replayed and verified replay would
+        # diverge.  Architectural counters are unaffected.
+        self.engine.machine.processor.drop_host_caches()
         extra = {
             "engine": self.engine.bookkeeping(),
             "last_seq": self.journal.last_seq,

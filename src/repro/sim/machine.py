@@ -30,6 +30,22 @@ Construction knobs map to the paper's design space:
     the superblock execution tier (:mod:`repro.cpu.blockcache`) layered
     on the fast path; ``None`` (default) follows ``fast_path_enabled``.
     Equally invisible to the simulated figures.
+``jit_tier_enabled``
+    the trace-compile tier (:mod:`repro.cpu.jit`) layered on the block
+    tier; ``None`` (default) leaves it off unless the
+    ``REPRO_JIT_PARITY`` backstop requests it.  Equally invisible to
+    the simulated figures.
+``fast_gate``
+    skip the supervisor re-attach in :meth:`Machine.start` when the
+    processor is already pointed at the same process and DBR — the
+    software analogue of the paper's repeat-gate-call hardware path.
+    Host caches (PTLB, icache, superblocks, traces) survive between
+    runs, and so does the paper's SDW associative memory: a repeat
+    call re-validates nothing, so its simulated figures drop by the
+    descriptor fetches the first call paid — the measured form of the
+    paper's claim that hardware rings make repeat protected calls as
+    cheap as ordinary ones.  Off by default: each ``run`` then starts
+    from a fresh attach and figures repeat exactly.
 """
 
 from __future__ import annotations
@@ -89,8 +105,11 @@ class Machine:
         sdw_cache_enabled: bool = True,
         fast_path_enabled: bool = True,
         block_tier_enabled: Optional[bool] = None,
+        jit_tier_enabled: Optional[bool] = None,
+        fast_gate: bool = False,
         services: bool = True,
     ):
+        self.fast_gate = fast_gate
         self.memory = PhysicalMemory(memory_words)
         self.supervisor = Supervisor(self.memory)
         self.supervisor.paged = paged
@@ -103,6 +122,7 @@ class Machine:
             sdw_cache=SDWCache(slots=sdw_cache_slots, enabled=sdw_cache_enabled),
             fast_path=fast_path_enabled,
             block_tier=block_tier_enabled,
+            jit_tier=jit_tier_enabled,
         )
         self.system_user = self.supervisor.users.register(
             "system", administrator=True
@@ -194,8 +214,25 @@ class Machine:
         All pointer registers are initialised to the ring's stack base
         (satisfying the ``PRn.RING >= IPR.RING`` invariant from the first
         instruction) and the stack's next-available word is honoured.
+
+        Under ``fast_gate``, a repeat start of the process the
+        processor is already attached to skips the supervisor
+        re-attach: the DBR switch (which would flush every host cache,
+        including compiled traces) is elided and only the interval
+        timer is re-armed.  The validated call environment — trap
+        handlers, translations, superblocks, traces — survives intact,
+        which is what makes repeat gate calls cheap.
         """
-        self.supervisor.attach(self.processor, process)
+        sup = self.supervisor
+        if (
+            self.fast_gate
+            and sup.attached_process is process
+            and self.processor.dbr is process.dbr
+        ):
+            if sup.timer_quantum is not None:
+                self.processor.set_timer(sup.timer_quantum)
+        else:
+            sup.attach(self.processor, process)
         segno, wordno = process.entry_of(ref)
         regs = self.processor.registers
         stack_segno = process.stack_segno(ring)

@@ -46,6 +46,11 @@ class MetricsSnapshot:
     block_misses: int = 0
     block_invalidations: int = 0
     block_instructions: int = 0
+    #: trace-compile tier (host-side only; see repro.cpu.jit)
+    jit_hits: int = 0
+    jit_misses: int = 0
+    jit_invalidations: int = 0
+    jit_instructions: int = 0
 
     #: counters that describe the simulated machine itself; identical
     #: whether the host-side tiers are on or off (the host-tier hit
@@ -71,6 +76,7 @@ class MetricsSnapshot:
         ptlb = proc.access_cache.stats()
         icache = proc.inst_cache.stats()
         blocks = proc.block_cache.stats()
+        traces = proc.jit_cache.stats()
         return cls(
             cycles=proc.cycles,
             instructions=proc.stats.instructions,
@@ -91,6 +97,10 @@ class MetricsSnapshot:
             block_misses=blocks["misses"],
             block_invalidations=blocks["invalidations"],
             block_instructions=blocks["block_instructions"],
+            jit_hits=traces["hits"],
+            jit_misses=traces["misses"],
+            jit_invalidations=traces["invalidations"],
+            jit_instructions=traces["jit_instructions"],
         )
 
     @classmethod
@@ -150,7 +160,7 @@ class MetricsSnapshot:
         return total
 
     #: the hit/miss counter pairs that have a meaningful hit rate
-    TIERS = ("sdw", "ptlb", "icache", "block")
+    TIERS = ("sdw", "ptlb", "icache", "block", "jit")
 
     def rates(self) -> Dict[str, Optional[float]]:
         """Hit rate per cache tier as ``{tier}_hit_rate`` keys.

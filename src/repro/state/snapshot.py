@@ -290,6 +290,8 @@ def snapshot_machine(
             "sdw_cache_enabled": proc.sdw_cache.enabled,
             "fast_path_enabled": proc.access_cache.enabled,
             "block_tier_enabled": proc.block_cache.enabled,
+            "jit_tier_enabled": proc.jit_cache.enabled,
+            "fast_gate": machine.fast_gate,
             "cost": {
                 "memory_reference": proc.cost.memory_reference,
                 "instruction_base": proc.cost.instruction_base,
@@ -381,17 +383,31 @@ def restore_machine(
     snap: Dict[str, Any],
     fast_path_enabled: Optional[bool] = None,
     block_tier_enabled: Optional[bool] = None,
+    jit_tier_enabled: Optional[bool] = None,
+    fast_gate: Optional[bool] = None,
 ) -> Machine:
     """Rebuild a machine from a snapshot dict.
 
-    ``fast_path_enabled`` / ``block_tier_enabled`` override the host-side
+    ``fast_path_enabled`` / ``block_tier_enabled`` /
+    ``jit_tier_enabled`` / ``fast_gate`` override the host-side
     execution tiers of the restored machine — the architectural figures
     are identical for every combination, which the restore-equivalence
-    test pins.  Everything else comes from the snapshot.
+    test pins.  Everything else comes from the snapshot.  Snapshots
+    written before the trace tier existed default its knobs to off.
     """
     cfg = snap["config"]
     fast = cfg["fast_path_enabled"] if fast_path_enabled is None else fast_path_enabled
     block = cfg["block_tier_enabled"] if block_tier_enabled is None else block_tier_enabled
+    if jit_tier_enabled is None:
+        # Inherited from the snapshot: clamp to the (possibly
+        # overridden) block tier — the trace tier records through
+        # superblock dispatch, and the figures are identical anyway.
+        jit = cfg.get("jit_tier_enabled", False) and (
+            block if block is not None else fast
+        )
+    else:
+        jit = jit_tier_enabled
+    gate = cfg.get("fast_gate", False) if fast_gate is None else fast_gate
     machine = Machine(
         memory_words=cfg["memory_words"],
         hardware_rings=cfg["hardware_rings"],
@@ -403,6 +419,8 @@ def restore_machine(
         sdw_cache_enabled=cfg["sdw_cache_enabled"],
         fast_path_enabled=fast,
         block_tier_enabled=block,
+        jit_tier_enabled=jit,
+        fast_gate=gate,
         services=False,
     )
     proc = machine.processor
@@ -576,6 +594,10 @@ def restore_machine(
     proc.block_cache.misses = counters.block_misses
     proc.block_cache.invalidations = counters.block_invalidations
     proc.block_cache.block_instructions = counters.block_instructions
+    proc.jit_cache.hits = counters.jit_hits
+    proc.jit_cache.misses = counters.jit_misses
+    proc.jit_cache.invalidations = counters.jit_invalidations
+    proc.jit_cache.instructions = counters.jit_instructions
     return machine
 
 

@@ -300,7 +300,11 @@ class TestAdmission:
         run(with_gateway(config, body))
 
     def test_timeout_answers_client_and_keeps_accounting_exact(self):
-        config = gateway_config(call_timeout=0.02)
+        # The timeout must undercut the call's worker-side execution
+        # even with the trace-compile tier collapsing the compute loop:
+        # 200k simulated iterations still cost a few milliseconds, and
+        # pool dispatch alone exceeds this deadline.
+        config = gateway_config(call_timeout=0.002)
 
         async def body(gateway):
             client = await Client(gateway.port).connect()
