@@ -184,3 +184,50 @@ def test_d2_journal_overhead_within_budget(benchmark, tmp_path):
         )
 
     benchmark(lambda: GateCallEngine().run_job(_job(0)))
+
+
+def test_d3_snapshot_compression_tradeoff(benchmark, tmp_path):
+    """zlib-compressed snapshots: smaller on disk, same machine back.
+
+    Records the size/latency tradeoff of ``write_snapshot_file(...,
+    compress=True)`` so the parking store's default (compress on) is a
+    measured choice, not folklore.  Asserted on every host: the
+    compressed file is strictly smaller, and restoring it reproduces
+    the uncompressed snapshot's digest bit for bit (the checksum covers
+    the uncompressed bytes, so corruption is still caught after
+    inflation).
+    """
+    machine, process = build_call_loop_machine(count=64)
+    machine.start(process, "caller$main", 4)
+    machine.processor.run(max_steps=100_000)
+    snap = snapshot_machine(machine)
+    plain_path = str(tmp_path / "plain.snap")
+    packed_path = str(tmp_path / "packed.snap")
+
+    write_plain_s, _ = _best_of(3, lambda: write_snapshot_file(snap, plain_path))
+    write_packed_s, _ = _best_of(
+        3, lambda: write_snapshot_file(snap, packed_path, compress=True)
+    )
+    read_plain_s, _ = _best_of(3, lambda: read_snapshot_file(plain_path))
+    read_packed_s, loaded = _best_of(3, lambda: read_snapshot_file(packed_path))
+
+    assert snapshot_digest(loaded) == snapshot_digest(snap)
+    assert snapshot_digest(snapshot_machine(restore_machine(loaded))) == (
+        snapshot_digest(snap)
+    )
+
+    plain_bytes = os.path.getsize(plain_path)
+    packed_bytes = os.path.getsize(packed_path)
+    assert packed_bytes < plain_bytes
+
+    benchmark.extra_info["plain_bytes"] = plain_bytes
+    benchmark.extra_info["packed_bytes"] = packed_bytes
+    benchmark.extra_info["compression_ratio"] = round(
+        packed_bytes / plain_bytes, 4
+    )
+    benchmark.extra_info["write_plain_ms"] = round(write_plain_s * 1e3, 3)
+    benchmark.extra_info["write_packed_ms"] = round(write_packed_s * 1e3, 3)
+    benchmark.extra_info["read_plain_ms"] = round(read_plain_s * 1e3, 3)
+    benchmark.extra_info["read_packed_ms"] = round(read_packed_s * 1e3, 3)
+
+    benchmark(lambda: write_snapshot_file(snap, packed_path, compress=True))

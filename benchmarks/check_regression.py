@@ -77,6 +77,39 @@ def check(measured: dict, ratios: dict, tolerance: float) -> list:
     return failures
 
 
+def check_ceilings(measured: dict, ceilings: dict, tolerance: float) -> list:
+    """Failure messages for every gated ceiling (empty = pass).
+
+    Ceilings are upper bounds — a parked-delta size ratio, a
+    hydrate-miss latency multiple — so the comparison runs the other
+    way round from ``check``: a measured value more than ``tolerance``
+    *above* its ceiling fails, values comfortably below it print a
+    refresh hint.  Missing keys fail in both directions, same as
+    ratios.
+    """
+    failures = []
+    for key, ceiling in ceilings.items():
+        value = measured.get(key)
+        if value is None:
+            failures.append(f"{key}: missing from the benchmark output")
+            continue
+        roof = ceiling * (1.0 + tolerance)
+        verdict = "ok"
+        if value > roof:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{key}: {value:.4f} is more than {tolerance:.0%} above "
+                f"the ceiling {ceiling:.4f} (roof {roof:.4f})"
+            )
+        elif value < ceiling * (1.0 - tolerance):
+            verdict = "improved — consider lowering the ceiling"
+        print(
+            f"  {key}: measured {value:.4f}, ceiling {ceiling:.4f} "
+            f"[{verdict}]"
+        )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("bench_json", type=Path)
@@ -97,7 +130,10 @@ def main(argv=None) -> int:
         return 2
 
     print(f"checking {args.bench_json} against {args.baseline}:")
-    failures = check(measured, baseline["ratios"], args.tolerance)
+    failures = check(measured, baseline.get("ratios", {}), args.tolerance)
+    failures += check_ceilings(
+        measured, baseline.get("ceilings", {}), args.tolerance
+    )
     if failures:
         print("host-throughput regression:", file=sys.stderr)
         for failure in failures:

@@ -164,7 +164,9 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
             halted = True
             break
     processor.halted = halted
-    digest = write_snapshot_file(snapshot_machine(machine), args.out)
+    digest = write_snapshot_file(
+        snapshot_machine(machine), args.out, compress=args.compress
+    )
     print(f"wrote {args.out}")
     print(f"sha256:         {digest}")
     print(f"halted:         {halted}")
@@ -241,38 +243,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve.admission import RingPolicy
     from .serve.gateway import GatewayConfig, RingGateway
 
-    config = GatewayConfig(
-        host=args.host,
-        port=args.port,
-        workers=args.workers,
-        backend=args.backend,
-        call_timeout=args.call_timeout,
-        drain_timeout=args.drain_timeout,
-        durability_dir=args.durability_dir,
-        checkpoint_interval=args.checkpoint_interval,
-        fsync_every=args.fsync_every,
-        default_policy=RingPolicy(
-            rate=args.rate,
-            burst=args.burst,
-            max_pending=args.max_pending,
-        ),
-        ring_policies=dict(args.ring_limit or []),
-    )
+    def gateway_config(host: str, port: int) -> GatewayConfig:
+        return GatewayConfig(
+            host=host,
+            port=port,
+            workers=args.workers,
+            backend=args.backend,
+            call_timeout=args.call_timeout,
+            drain_timeout=args.drain_timeout,
+            durability_dir=args.durability_dir,
+            checkpoint_interval=args.checkpoint_interval,
+            fsync_every=args.fsync_every,
+            max_sessions=args.max_sessions,
+            session_store_dir=args.session_store,
+            prefetch_interval=args.prefetch_interval,
+            default_policy=RingPolicy(
+                rate=args.rate,
+                burst=args.burst,
+                max_pending=args.max_pending,
+            ),
+            ring_policies=dict(args.ring_limit or []),
+        )
 
-    async def main() -> int:
-        gateway = RingGateway(config)
-        await gateway.start()
-        durable = (
-            f", durable in {config.durability_dir}"
-            if config.durability_dir
-            else ""
-        )
-        print(
-            f"ring gateway listening on {config.host}:{gateway.port} "
-            f"({gateway.pool.backend} backend, "
-            f"{config.workers} workers{durable})",
-            flush=True,
-        )
+    async def wait_for_shutdown() -> None:
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGINT, signal.SIGTERM):
@@ -281,6 +274,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             except NotImplementedError:  # pragma: no cover - non-POSIX
                 pass
         await stop.wait()
+
+    async def main_single() -> int:
+        gateway = RingGateway(gateway_config(args.host, args.port))
+        await gateway.start()
+        durable = (
+            f", durable in {args.durability_dir}"
+            if args.durability_dir
+            else ""
+        )
+        paged = (
+            f", {args.max_sessions} live session slots"
+            if args.max_sessions
+            else ""
+        )
+        print(
+            f"ring gateway listening on {args.host}:{gateway.port} "
+            f"({gateway.pool.backend} backend, "
+            f"{args.workers} workers{durable}{paged})",
+            flush=True,
+        )
+        await wait_for_shutdown()
         print("draining...", flush=True)
         await gateway.stop()
         counters = gateway.counters
@@ -293,7 +307,53 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         return 0
 
-    return asyncio.run(main())
+    async def main_routed() -> int:
+        from .serve.router import RouterConfig, SessionRouter
+
+        router = SessionRouter(
+            RouterConfig(
+                host=args.host,
+                port=args.port,
+                call_timeout=args.call_timeout,
+            )
+        )
+        await router.start()
+        for index in range(args.gateways):
+            await router.spawn(
+                f"gw{index}", gateway_config("127.0.0.1", 0)
+            )
+        print(
+            f"session router listening on {args.host}:{router.port} "
+            f"({args.gateways} gateways x {args.workers} workers, "
+            f"{args.max_sessions} live session slots each)",
+            flush=True,
+        )
+        await wait_for_shutdown()
+        print("draining...", flush=True)
+        await router.stop()
+        counters = router.counters
+        print(
+            f"routed {counters.calls_forwarded} calls across "
+            f"{args.gateways} gateways "
+            f"({counters.migrations} migrations, "
+            f"{counters.rebinds} rebinds)",
+            flush=True,
+        )
+        return 0
+
+    if args.gateways > 1:
+        if not args.max_sessions:
+            raise ReproError(
+                "--gateways > 1 requires --max-sessions (the router "
+                "migrates sessions by parking them to the shared store)"
+            )
+        if not args.session_store:
+            raise ReproError(
+                "--gateways > 1 requires --session-store so migrated "
+                "sessions hydrate on their new owner"
+            )
+        return asyncio.run(main_routed())
+    return asyncio.run(main_single())
 
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:
@@ -320,6 +380,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             program=args.program,
             args=call_args,
             rings=tuple(args.ring) or (4,),
+            concurrency=args.concurrency,
         )
     )
     payload = report.as_dict()
@@ -447,6 +508,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="fsync the journal every N appends (a crash can lose at "
         "most N-1 journaled calls; retries absorb that)",
     )
+    serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve each user on a private machine, paging idle ones "
+        "to copy-on-write parked snapshots and keeping at most N live "
+        "(default: classic shared-worker mode)",
+    )
+    serve.add_argument(
+        "--session-store",
+        metavar="DIR",
+        help="persist parked sessions under DIR (default: in-memory; "
+        "required when --gateways > 1)",
+    )
+    serve.add_argument(
+        "--prefetch-interval",
+        type=float,
+        default=0.05,
+        help="idle-tick period for warm-pool prefetching of recently "
+        "parked sessions (0: off)",
+    )
+    serve.add_argument(
+        "--gateways",
+        type=int,
+        default=1,
+        metavar="N",
+        help="front N session gateways with a consistent-hash router "
+        "(requires --max-sessions and --session-store)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     loadgen = sub.add_parser(
@@ -457,6 +548,13 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--sessions", type=int, default=16)
     loadgen.add_argument(
         "--calls", type=int, default=50, help="calls per session"
+    )
+    loadgen.add_argument(
+        "--concurrency",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap in-flight sessions at N (default: all at once)",
     )
     loadgen.add_argument(
         "--program", default="call_loop", help="catalog program to call"
@@ -500,6 +598,12 @@ def build_parser() -> argparse.ArgumentParser:
     checkpoint.add_argument("--ring", type=int, default=4)
     checkpoint.add_argument("--entry", default="main")
     checkpoint.add_argument("--name", help="segment name override")
+    checkpoint.add_argument(
+        "--compress",
+        action="store_true",
+        help="zlib-compress the snapshot body (the checksum still "
+        "covers the uncompressed bytes; restore auto-detects)",
+    )
     checkpoint.set_defaults(func=_cmd_checkpoint)
 
     restore = sub.add_parser(

@@ -46,6 +46,7 @@ from math import ceil
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import ConfigurationError
+from ..sim.fleet import stable_shard
 from ..sim.metrics import MetricsSnapshot
 from . import catalog
 from .admission import AdmissionController, RingPolicy
@@ -58,7 +59,18 @@ from .protocol import (
     error_response,
     ok_response,
 )
-from .workers import DurabilityConfig, WorkerPool, execute_gate_call
+from .sessions import (
+    SessionConfig,
+    TENANT_MEMORY_WORDS,
+    execute_session_call,
+    session_control,
+)
+from .workers import (
+    DurabilityConfig,
+    ShardedWorkerPool,
+    WorkerPool,
+    execute_gate_call,
+)
 
 #: retry hint handed to callers rejected because the gateway is draining
 DRAIN_RETRY_AFTER = 1.0
@@ -94,6 +106,24 @@ class GatewayConfig:
     #: batch journal fsyncs (crash loses at most ``fsync_every - 1``
     #: journaled calls; the gateway's retry path absorbs that)
     fsync_every: int = 8
+    #: session virtualization: total live tenant slots across all
+    #: worker shards; ``None`` keeps the classic one-machine-per-worker
+    #: layout.  With a value, every distinct user gets its own parked
+    #: machine and the gateway serves arbitrarily many tenants over
+    #: this many live machines.
+    max_sessions: Optional[int] = None
+    #: directory backing parked tenants and their WAL tails; ``None``
+    #: parks in worker memory (lost on crash, no cross-gateway handoff)
+    session_store_dir: Optional[str] = None
+    #: zlib-compress parked deltas
+    session_compress: bool = True
+    #: memory size of session tenant machines (small: hydration cost
+    #: scales with machine memory)
+    session_memory_words: int = TENANT_MEMORY_WORDS
+    #: idle-tick period of the warm-pool prefetcher; 0 disables it
+    prefetch_interval: float = 0.05
+    #: tenants hydrated per shard per idle tick
+    prefetch_batch: int = 2
 
     def durability(self) -> Optional[DurabilityConfig]:
         """The worker-side durability config, or ``None`` if disabled."""
@@ -104,6 +134,24 @@ class GatewayConfig:
             slots=self.workers,
             checkpoint_interval=self.checkpoint_interval,
             fsync_every=self.fsync_every,
+        )
+
+    def sessions(self) -> Optional[SessionConfig]:
+        """The shard-side session config, or ``None`` if disabled."""
+        if not self.max_sessions:
+            return None
+        return SessionConfig(
+            max_live=max(1, ceil(self.max_sessions / self.workers)),
+            shards=self.workers,
+            store_dir=self.session_store_dir,
+            memory_words=self.session_memory_words,
+            compress=self.session_compress,
+            fsync_every=self.fsync_every,
+            prefetch_batch=self.prefetch_batch,
+            # distinct per gateway instance: in-process gateways on the
+            # thread fallback share the worker module state and must
+            # not see each other's shard pools
+            namespace=uuid.uuid4().hex,
         )
 
 
@@ -129,6 +177,16 @@ class GatewayCounters:
     retried_calls: int = 0
     #: calls answered from a worker's journal instead of re-executing
     deduplicated_calls: int = 0
+    #: session mode: tenants hydrated from a parked delta on demand
+    session_hydrated: int = 0
+    #: session mode: tenants built fresh (first call ever)
+    session_created: int = 0
+    #: session mode: executed calls that paid the cold-attach vector
+    session_cold_calls: int = 0
+    #: session mode: calls that found their tenant prefetched and live
+    session_prefetch_hits: int = 0
+    #: session mode: tenants hydrated ahead of demand by the prefetcher
+    prefetch_hydrated: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """All counters as a plain dict, for the ``stats`` payload."""
@@ -159,6 +217,14 @@ class RingGateway:
 
     def __init__(self, config: Optional[GatewayConfig] = None):
         self.config = config or GatewayConfig()
+        if self.config.max_sessions and self.config.durability_dir:
+            raise ConfigurationError(
+                "session mode has its own per-tenant durability (the "
+                "session store); worker durability_dir does not compose "
+                "with it — set session_store_dir instead"
+            )
+        self._sessions = self.config.sessions()
+        self._prefetch_task: Optional[asyncio.Task] = None
         self.counters = GatewayCounters()
         self.admission = AdmissionController(
             self.config.default_policy, self.config.ring_policies
@@ -196,7 +262,13 @@ class RingGateway:
             raise ConfigurationError("gateway is not started")
         return self._server.sockets[0].getsockname()[1]
 
-    def _build_pool(self) -> WorkerPool:
+    def _build_pool(self):
+        if self._sessions is not None:
+            return ShardedWorkerPool(
+                shards=self.config.workers,
+                backend=self.config.backend,
+                session=self._sessions,
+            )
         return WorkerPool(
             workers=self.config.workers,
             backend=self.config.backend,
@@ -214,6 +286,8 @@ class RingGateway:
             port=self.config.port,
             limit=2 * MAX_LINE_BYTES,
         )
+        if self._sessions is not None and self.config.prefetch_interval > 0:
+            self._prefetch_task = asyncio.create_task(self._prefetch_loop())
 
     async def serve_until(self, stop_event: asyncio.Event) -> None:
         """Serve until ``stop_event`` fires, then drain and stop."""
@@ -225,6 +299,11 @@ class RingGateway:
         if self._server is None:
             return
         self._draining = True
+        if self._prefetch_task is not None:
+            self._prefetch_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._prefetch_task
+            self._prefetch_task = None
         self._server.close()
         loop = asyncio.get_running_loop()
         deadline = loop.time() + self.config.drain_timeout
@@ -242,6 +321,19 @@ class RingGateway:
             await asyncio.wait_for(self._server.wait_closed(), timeout=5.0)
         self._server = None
         if self.pool is not None:
+            if self._sessions is not None and self._sessions.store_dir:
+                # park every live tenant so the next incarnation (or
+                # another gateway) can hydrate them from the store
+                for shard in range(self.config.workers):
+                    with contextlib.suppress(Exception):
+                        self.pool.submit(
+                            shard, session_control,
+                            {
+                                "op": "park_all",
+                                "shard": shard,
+                                "ns": self._sessions.namespace,
+                            },
+                        ).result(timeout=self.config.drain_timeout)
             self.pool.shutdown(wait=True)
             self.pool = None
 
@@ -267,6 +359,39 @@ class RingGateway:
             self.pool = await loop.run_in_executor(None, self._build_pool)
             self._pool_epoch += 1
             self.counters.recoveries += 1
+
+    async def _prefetch_loop(self) -> None:
+        """Idle-tick warm-pool prefetcher (session mode only).
+
+        When the gateway has no in-flight calls, each shard hydrates up
+        to ``prefetch_batch`` of its most-recently-parked tenants into
+        free slots, so a returning tenant's next call finds its machine
+        live instead of paying the hydrate miss.  Prefetch work shares
+        each shard's single worker, so it only runs while idle and
+        never delays a real call that is already queued.
+        """
+        loop = asyncio.get_running_loop()
+        while not self._draining:
+            await asyncio.sleep(self.config.prefetch_interval)
+            if self._inflight or self._draining or self.pool is None:
+                continue
+            for shard in range(self.config.workers):
+                if self._inflight or self._draining:
+                    break
+                try:
+                    result = await loop.run_in_executor(
+                        self.pool.executor_for(shard),
+                        session_control,
+                        {
+                            "op": "prefetch",
+                            "shard": shard,
+                            "limit": self.config.prefetch_batch,
+                            "ns": self._sessions.namespace,
+                        },
+                    )
+                except (BrokenExecutor, RuntimeError, AttributeError):
+                    break
+                self.counters.prefetch_hydrated += result.get("hydrated", 0)
 
     # -- connection handling -----------------------------------------------
 
@@ -335,7 +460,9 @@ class RingGateway:
         if verb == "call":
             return await self._verb_call(session, message)
         if verb == "stats":
-            return self.stats_payload(request_id)
+            return await self._verb_stats(request_id)
+        if verb == "park":
+            return await self._verb_park(message)
         if verb == "bye":
             return ok_response(request_id, verb="bye")
         self.counters.bad_requests += 1
@@ -434,6 +561,11 @@ class RingGateway:
             # executing twice
             "call_id": uuid.uuid4().hex,
         }
+        if self._sessions is not None:
+            # worker affinity: the user's live machine (or parked
+            # image) belongs to exactly one shard
+            job["shard"] = stable_shard(session.user, self.config.workers)
+            job["ns"] = self._sessions.namespace
         loop = asyncio.get_running_loop()
         started = loop.time()
         result: Optional[Dict[str, Any]] = None
@@ -441,9 +573,17 @@ class RingGateway:
         for attempt in range(CALL_ATTEMPTS):
             epoch = self._pool_epoch
             try:
-                future = loop.run_in_executor(
-                    self.pool.executor, execute_gate_call, job
-                )
+                if self._sessions is not None:
+                    job["epoch"] = epoch
+                    future = loop.run_in_executor(
+                        self.pool.executor_for(job["shard"]),
+                        execute_session_call,
+                        job,
+                    )
+                else:
+                    future = loop.run_in_executor(
+                        self.pool.executor, execute_gate_call, job
+                    )
             except (BrokenExecutor, RuntimeError) as exc:
                 # the submit itself failed: no future was created, so
                 # this call still holds its admission slot
@@ -511,7 +651,7 @@ class RingGateway:
             )
         latency_ms = round((loop.time() - started) * 1e3, 3)
         metrics = MetricsSnapshot.from_dict(result["metrics"])
-        return ok_response(
+        response = ok_response(
             request_id,
             verb="call",
             result=result["payload"],
@@ -519,6 +659,11 @@ class RingGateway:
             worker=result["worker"],
             latency_ms=latency_ms,
         )
+        if "session" in result:
+            response["session"] = result["session"]
+        if result.get("deduplicated"):
+            response["deduplicated"] = True
+        return response
 
     def _call_finished(
         self,
@@ -541,6 +686,16 @@ class RingGateway:
         self._latencies_ms.append((loop.time() - started) * 1e3)
         worker = result["worker"]
         deduplicated = bool(result.get("deduplicated"))
+        session_info = result.get("session")
+        if session_info is not None:
+            if session_info.get("admitted") == "hydrated":
+                self.counters.session_hydrated += 1
+            elif session_info.get("admitted") == "created":
+                self.counters.session_created += 1
+            if session_info.get("prefetch_hit"):
+                self.counters.session_prefetch_hits += 1
+            if session_info.get("cold") and not deduplicated:
+                self.counters.session_cold_calls += 1
         if deduplicated:
             # answered from the worker's journal: the machine executed
             # this call in a previous incarnation (it is part of the
@@ -582,7 +737,113 @@ class RingGateway:
             )
             self._worker_baseline[worker] = (baseline_calls, baseline_total)
 
+    async def _verb_park(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Park one user's live tenant now (the migration handoff).
+
+        The router calls this on a session's *old* owner before the new
+        owner sees traffic for it: the park writes the tenant's current
+        state into the shared session store, where the new owner's
+        hydration picks it up.
+        """
+        request_id = message.get("id")
+        if self._sessions is None:
+            self.counters.bad_requests += 1
+            return error_response(
+                ErrorCode.BAD_REQUEST,
+                request_id,
+                detail="park requires session mode (--max-sessions)",
+            )
+        user = message.get("user")
+        if not isinstance(user, str) or not user:
+            self.counters.bad_requests += 1
+            return error_response(
+                ErrorCode.BAD_REQUEST,
+                request_id,
+                detail="park requires a user name",
+            )
+        shard = stable_shard(user, self.config.workers)
+        loop = asyncio.get_running_loop()
+        try:
+            result = await loop.run_in_executor(
+                self.pool.executor_for(shard),
+                session_control,
+                {
+                    "op": "park",
+                    "shard": shard,
+                    "user": user,
+                    "ns": self._sessions.namespace,
+                },
+            )
+        except (BrokenExecutor, RuntimeError, AttributeError) as exc:
+            return error_response(
+                ErrorCode.SHUTTING_DOWN
+                if self._draining
+                else ErrorCode.BAD_REQUEST,
+                request_id,
+                detail=f"park failed: {exc}",
+            )
+        return ok_response(
+            request_id, verb="park", user=user,
+            parked=bool(result.get("parked")),
+        )
+
     # -- stats ---------------------------------------------------------------
+
+    async def _verb_stats(
+        self, request_id: Optional[Any] = None
+    ) -> Dict[str, Any]:
+        """The ``stats`` response, with per-shard session figures
+        gathered from the workers in session mode."""
+        payload = self.stats_payload(request_id)
+        if self._sessions is None or self.pool is None:
+            return payload
+        loop = asyncio.get_running_loop()
+        shards: List[Dict[str, Any]] = []
+        for shard in range(self.config.workers):
+            try:
+                shards.append(
+                    await asyncio.wait_for(
+                        loop.run_in_executor(
+                            self.pool.executor_for(shard),
+                            session_control,
+                            {
+                                "op": "stats",
+                                "shard": shard,
+                                "ns": self._sessions.namespace,
+                            },
+                        ),
+                        timeout=self.config.call_timeout,
+                    )
+                )
+            except (
+                BrokenExecutor,
+                RuntimeError,
+                AttributeError,
+                asyncio.TimeoutError,
+            ):
+                continue
+        summable = [
+            "live", "parked", "created", "hydrated", "prefetch_hydrated",
+            "prefetch_hits", "parks", "evictions", "cold_calls",
+            "warm_calls", "deduplicated", "replayed_tail_calls",
+            "park_delta_bytes", "park_full_bytes", "park_stored_bytes",
+        ]
+        totals = {
+            name: sum(entry.get(name, 0) for entry in shards)
+            for name in summable
+        }
+        full = totals["park_full_bytes"]
+        payload["sessions"] = {
+            "enabled": True,
+            "max_sessions": self.config.max_sessions,
+            "store_dir": self.config.session_store_dir,
+            "park_size_ratio": (
+                round(totals["park_delta_bytes"] / full, 6) if full else None
+            ),
+            **totals,
+            "per_shard": shards,
+        }
+        return payload
 
     def stats_payload(self, request_id: Optional[Any] = None) -> Dict[str, Any]:
         """The ``stats`` response: counters, merged metrics, cross-check."""
@@ -624,6 +885,7 @@ class RingGateway:
         latency = {
             "count": len(samples),
             "p50_ms": round(_percentile(samples, 0.50), 3),
+            "p95_ms": round(_percentile(samples, 0.95), 3),
             "p99_ms": round(_percentile(samples, 0.99), 3),
         }
         return ok_response(

@@ -27,6 +27,15 @@ from ..errors import ConfigurationError
 from .protocol import ErrorCode, MAX_LINE_BYTES, decode_line, encode
 
 
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``values`` (0 if empty)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered), max(1, round(fraction * len(ordered) + 0.5)))
+    return ordered[rank - 1]
+
+
 @dataclass
 class LoadReport:
     """What one load-generation run observed, client side."""
@@ -41,9 +50,20 @@ class LoadReport:
     errors: int = 0
     elapsed_seconds: float = 0.0
     latencies_ms: List[float] = field(default_factory=list)
+    #: session-mode split: calls the serving pool ran against a cold
+    #: (just created or just hydrated) machine vs a warm live slot
+    cold_calls: int = 0
+    warm_calls: int = 0
+    hydrated: int = 0
+    created: int = 0
+    prefetch_hits: int = 0
+    cold_latencies_ms: List[float] = field(default_factory=list)
+    warm_latencies_ms: List[float] = field(default_factory=list)
     #: client-side sum of the per-call architectural metrics
     client_metrics: Dict[str, int] = field(default_factory=dict)
-    #: the gateway's final ``stats`` response
+    #: the first few non-retryable error responses, for diagnosis
+    error_details: List[Dict[str, Any]] = field(default_factory=list)
+    #: the gateway's (or router's) final ``stats`` response
     stats: Optional[Dict[str, Any]] = None
 
     @property
@@ -61,11 +81,7 @@ class LoadReport:
 
     def percentile(self, fraction: float) -> float:
         """Nearest-rank latency percentile in milliseconds (0 if empty)."""
-        if not self.latencies_ms:
-            return 0.0
-        ordered = sorted(self.latencies_ms)
-        rank = min(len(ordered), max(1, round(fraction * len(ordered) + 0.5)))
-        return ordered[rank - 1]
+        return percentile(self.latencies_ms, fraction)
 
     def check(self) -> List[str]:
         """Self-consistency violations (empty list == all good)."""
@@ -83,7 +99,21 @@ class LoadReport:
             problems.append(
                 "gateway reports merged != sum of per-worker snapshots"
             )
-        completed = self.stats.get("gateway", {}).get("completed", -1)
+        routed = "router" in self.stats
+        if routed:
+            # Router payload: no single "gateway" block — completed is
+            # summed over the backends, and the router's own per-call
+            # growth accounting must agree with every backend.
+            completed = sum(
+                entry.get("completed", 0)
+                for entry in self.stats.get("per_gateway", {}).values()
+            )
+            if not self.stats.get("router_consistent"):
+                problems.append(
+                    "router per-call sums disagree with backend counters"
+                )
+        else:
+            completed = self.stats.get("gateway", {}).get("completed", -1)
         if completed < self.ok:
             problems.append(
                 f"gateway completed {completed} < client OK count {self.ok}"
@@ -98,7 +128,8 @@ class LoadReport:
         crash_free = not gateway.get("recoveries", 0)
         gateway_arch = self.stats.get("architectural", {})
         if (
-            not self.dropped
+            not routed
+            and not self.dropped
             and crash_free
             and self.client_metrics
             and gateway_arch != self.client_metrics
@@ -123,9 +154,27 @@ class LoadReport:
             "dropped": self.dropped,
             "elapsed_seconds": round(self.elapsed_seconds, 4),
             "throughput_calls_per_second": round(self.throughput, 1),
+            "latency_mean_ms": round(
+                sum(self.latencies_ms) / len(self.latencies_ms), 3
+            )
+            if self.latencies_ms
+            else 0.0,
             "latency_p50_ms": round(self.percentile(0.50), 3),
+            "latency_p95_ms": round(self.percentile(0.95), 3),
             "latency_p99_ms": round(self.percentile(0.99), 3),
+            "cold_calls": self.cold_calls,
+            "warm_calls": self.warm_calls,
+            "hydrated": self.hydrated,
+            "created": self.created,
+            "prefetch_hits": self.prefetch_hits,
+            "cold_latency_p99_ms": round(
+                percentile(self.cold_latencies_ms, 0.99), 3
+            ),
+            "warm_latency_p50_ms": round(
+                percentile(self.warm_latencies_ms, 0.50), 3
+            ),
             "client_metrics": dict(self.client_metrics),
+            "error_details": list(self.error_details),
             "stats": self.stats,
             "problems": self.check(),
         }
@@ -199,10 +248,24 @@ async def _drive_session(
                 response = await conn.request(message)
                 if response.get("ok"):
                     report.ok += 1
-                    report.latencies_ms.append(
-                        (time.perf_counter() - started) * 1e3
-                    )
+                    latency_ms = (time.perf_counter() - started) * 1e3
+                    report.latencies_ms.append(latency_ms)
                     _merge_counts(report.client_metrics, response["metrics"])
+                    session_info = response.get("session")
+                    if session_info and not response.get("deduplicated"):
+                        if session_info.get("cold"):
+                            report.cold_calls += 1
+                            report.cold_latencies_ms.append(latency_ms)
+                        else:
+                            report.warm_calls += 1
+                            report.warm_latencies_ms.append(latency_ms)
+                        admitted = session_info.get("admitted")
+                        if admitted == "hydrated":
+                            report.hydrated += 1
+                        elif admitted == "created":
+                            report.created += 1
+                        if session_info.get("prefetch_hit"):
+                            report.prefetch_hits += 1
                     break
                 code = response.get("error")
                 if code in ErrorCode.RETRYABLE:
@@ -219,6 +282,10 @@ async def _drive_session(
                     report.timed_out += 1
                 else:
                     report.errors += 1
+                if len(report.error_details) < 8:
+                    report.error_details.append(
+                        {"user": user, "call": seq, "response": response}
+                    )
                 break
         await conn.request({"verb": "bye"})
     finally:
@@ -234,39 +301,56 @@ async def run_load(
     args: Optional[Dict[str, Any]] = None,
     rings: Sequence[int] = (4,),
     user_prefix: str = "load",
+    user_offset: int = 0,
     max_retries: int = 50,
     fetch_stats: bool = True,
+    concurrency: Optional[int] = None,
 ) -> LoadReport:
     """Drive ``sessions`` concurrent sessions of ``calls`` calls each.
 
-    Session ``i`` authenticates as ``{user_prefix}{i}`` bound to
-    ``rings[i % len(rings)]`` — pass several rings for mixed-ring
-    traffic.  Returns the consolidated :class:`LoadReport`; call
-    :meth:`LoadReport.check` for the self-consistency verdict.
+    Session ``i`` authenticates as ``{user_prefix}{user_offset + i}``
+    bound to ``rings[i % len(rings)]`` — pass several rings for
+    mixed-ring traffic, or an offset to address a different slice of
+    an established user population.  ``concurrency`` caps how many sessions are in flight at
+    once (default: all of them) so very large user populations can be
+    streamed through a bounded connection pool.  Returns the
+    consolidated :class:`LoadReport`; call :meth:`LoadReport.check`
+    for the self-consistency verdict.
     """
     if sessions <= 0 or calls <= 0:
         raise ConfigurationError("sessions and calls must be positive")
     if not rings:
         raise ConfigurationError("rings must be non-empty")
+    if concurrency is not None and concurrency <= 0:
+        raise ConfigurationError("concurrency must be positive")
     args = dict(args or {})
     report = LoadReport(sessions=sessions, calls_per_session=calls)
     started = time.perf_counter()
-    await asyncio.gather(
-        *(
-            _drive_session(
-                host,
-                port,
-                f"{user_prefix}{index}",
-                rings[index % len(rings)],
-                calls,
-                program,
-                args,
-                max_retries,
-                report,
-            )
-            for index in range(sessions)
+
+    async def _drive(index: int) -> None:
+        await _drive_session(
+            host,
+            port,
+            f"{user_prefix}{user_offset + index}",
+            rings[index % len(rings)],
+            calls,
+            program,
+            args,
+            max_retries,
+            report,
         )
-    )
+
+    workers = min(concurrency or sessions, sessions)
+    if workers >= sessions:
+        await asyncio.gather(*(_drive(index) for index in range(sessions)))
+    else:
+        pending = iter(range(sessions))
+
+        async def _worker() -> None:
+            for index in pending:
+                await _drive(index)
+
+        await asyncio.gather(*(_worker() for _ in range(workers)))
     report.elapsed_seconds = time.perf_counter() - started
     if fetch_stats:
         conn = await _Connection.open(host, port)

@@ -1,0 +1,594 @@
+"""The session router: consistent-hash front tier over N gateways.
+
+One gateway serves many tenants over few live slots; the router scales
+that horizontally.  It speaks the same JSON-lines protocol as the
+gateway — clients cannot tell the difference — and forwards each
+session's calls to the gateway that owns the session's user on a
+:class:`~repro.sim.fleet.ConsistentHashRing`.  Gateways can join and
+leave at runtime; consistent hashing moves only the sessions the
+membership change re-owns (~K/N on a join), and each moved session is
+migrated by **snapshot handoff**: the router tells the old owner to
+``park`` the tenant into the shared session store, and the new owner's
+next hydration picks the machine up exactly where it stopped —
+architectural counters intact, because parked state is exact by
+construction.  Migration therefore requires the gateways to share a
+``session_store_dir``; without one, a moved session simply starts a
+fresh tenant on its new owner (correct, but the counters restart).
+
+The router holds the cross-gateway half of the exactness contract: its
+``stats`` verb fans out to every backend, sums the merged architectural
+counters, and cross-checks its own per-gateway sums of forwarded call
+deltas against each backend's growth since the backend joined — the
+same growth-baseline discipline the gateway applies to its workers,
+lifted one tier.  The per-backend check is exact while the router is
+the backend's only traffic source and no forwarded call timed out
+(a timed-out call's delta is counted by the backend but never seen by
+the router); the ``consistent`` flag reports it honestly either way.
+
+Backends are ``(host, port)`` addresses.  :meth:`SessionRouter.spawn`
+builds an in-process gateway (its workers are still real processes —
+the same pool machinery the fleet driver uses) and attaches it, which
+is how ``repro serve --gateways N`` assembles a multi-gateway service
+in one command.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..sim.fleet import ConsistentHashRing
+from ..sim.metrics import MetricsSnapshot
+from .gateway import GatewayConfig, RingGateway
+from .protocol import (
+    ErrorCode,
+    GatewayProtocolError,
+    MAX_LINE_BYTES,
+    decode_line,
+    encode,
+    error_response,
+    ok_response,
+)
+
+#: bound on the user -> owner map the router keeps for migration; the
+#: ring answers ownership for everyone, this map only remembers who to
+#: tell to park when the ring changes
+TRACKED_SESSIONS = 1 << 16
+
+
+@dataclass
+class RouterConfig:
+    """Everything the router needs to start serving."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0: let the kernel pick
+    #: virtual nodes per gateway on the hash ring
+    vnodes: int = 64
+    #: per-forwarded-request timeout (covers the backend's own
+    #: call_timeout plus queueing)
+    call_timeout: float = 30.0
+
+
+@dataclass
+class RouterCounters:
+    """Router-level event counters the ``stats`` verb reports."""
+
+    sessions_opened: int = 0
+    sessions_closed: int = 0
+    calls_forwarded: int = 0
+    #: upstream re-binds because the ring re-owned a bound session
+    rebinds: int = 0
+    #: park handoffs sent during rebalances
+    migrations: int = 0
+    #: ring membership changes
+    rebalances: int = 0
+    protocol_errors: int = 0
+    bad_requests: int = 0
+    upstream_errors: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """All counters as a plain dict, for the ``stats`` payload."""
+        return dict(self.__dict__)
+
+
+class _Upstream:
+    """One client connection's bound backend connection."""
+
+    def __init__(self, name: str, host: str, port: int):
+        self.name = name
+        self.host = host
+        self.port = port
+        self.reader: Optional[asyncio.StreamReader] = None
+        self.writer: Optional[asyncio.StreamWriter] = None
+
+    async def open(self) -> None:
+        self.reader, self.writer = await asyncio.open_connection(
+            self.host, self.port, limit=2 * MAX_LINE_BYTES
+        )
+
+    async def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        self.writer.write(encode(message))
+        await self.writer.drain()
+        line = await self.reader.readline()
+        if not line:
+            raise ConnectionError(f"gateway {self.name} closed the stream")
+        return decode_line(line.strip())
+
+    async def close(self) -> None:
+        if self.writer is None:
+            return
+        self.writer.close()
+        with contextlib.suppress(ConnectionError, OSError):
+            await self.writer.wait_closed()
+        self.reader = self.writer = None
+
+
+class SessionRouter:
+    """The consistent-hash routing tier.  See the module docstring."""
+
+    def __init__(self, config: Optional[RouterConfig] = None):
+        self.config = config or RouterConfig()
+        self.counters = RouterCounters()
+        self._ring = ConsistentHashRing(vnodes=self.config.vnodes)
+        self._backends: Dict[str, Tuple[str, int]] = {}
+        #: in-process gateways this router owns (built by :meth:`spawn`)
+        self._owned: Dict[str, RingGateway] = {}
+        #: users routed recently -> the gateway name they were sent to
+        self._session_owners: "OrderedDict[str, str]" = OrderedDict()
+        #: per-gateway sums of forwarded (non-deduplicated) call deltas
+        self._per_gateway: Dict[str, MetricsSnapshot] = {}
+        self._per_gateway_calls: Dict[str, int] = {}
+        #: (completed, merged architectural) sampled when each backend
+        #: joined — growth baselines, as in the gateway/worker check
+        self._baselines: Dict[str, Tuple[int, Dict[str, int]]] = {}
+        self._timeouts_seen = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._draining = False
+        self._rebalance_lock = asyncio.Lock()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (after :meth:`start`)."""
+        if self._server is None:
+            raise ConfigurationError("router is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def gateways(self) -> List[str]:
+        """The attached gateway names, sorted."""
+        return self._ring.nodes
+
+    async def start(self) -> None:
+        """Start accepting client connections."""
+        if self._server is not None:
+            raise ConfigurationError("router is already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=2 * MAX_LINE_BYTES,
+        )
+
+    async def stop(self) -> None:
+        """Stop the router, then every in-process gateway it owns."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            with contextlib.suppress(asyncio.TimeoutError, OSError):
+                await asyncio.wait_for(self._server.wait_closed(), timeout=5.0)
+            self._server = None
+        for gateway in self._owned.values():
+            await gateway.stop()
+        self._owned.clear()
+
+    async def spawn(
+        self, name: str, config: GatewayConfig
+    ) -> RingGateway:
+        """Build, start, and attach an in-process gateway."""
+        gateway = RingGateway(config)
+        await gateway.start()
+        self._owned[name] = gateway
+        await self.attach(name, gateway.config.host, gateway.port)
+        return gateway
+
+    # -- membership ----------------------------------------------------------
+
+    async def _sample_baseline(self, name: str) -> None:
+        """Record the backend's pre-join figures so the cross-check
+        compares growth the router itself routed."""
+        try:
+            stats = await self._one_shot(name, {"verb": "stats"})
+        except (OSError, ConnectionError, GatewayProtocolError):
+            stats = None
+        if stats and stats.get("ok"):
+            self._baselines[name] = (
+                stats["gateway"]["completed"]
+                - stats["gateway"].get("deduplicated_calls", 0),
+                dict(stats["architectural"]),
+            )
+        else:
+            self._baselines[name] = (0, {})
+
+    async def attach(self, name: str, host: str, port: int) -> int:
+        """Add a gateway to the ring; park re-owned sessions on their
+        old owners so the new gateway can hydrate them.  Returns how
+        many tracked sessions moved."""
+        if not name:
+            raise ConfigurationError("gateway name must be non-empty")
+        async with self._rebalance_lock:
+            if name in self._backends:
+                raise ConfigurationError(
+                    f"gateway {name!r} is already attached"
+                )
+            self._backends[name] = (host, port)
+            await self._sample_baseline(name)
+            self._ring.add(name)
+            self.counters.rebalances += 1
+            return await self._migrate_moved()
+
+    async def detach(self, name: str) -> int:
+        """Remove a gateway from the ring, parking what it owned first
+        so the survivors can hydrate the departed gateway's sessions.
+        Returns how many tracked sessions moved."""
+        async with self._rebalance_lock:
+            if name not in self._backends:
+                raise ConfigurationError(f"gateway {name!r} is not attached")
+            self._ring.remove(name)
+            self.counters.rebalances += 1
+            moved = await self._migrate_moved()
+            self._backends.pop(name)
+            owned = self._owned.pop(name, None)
+            if owned is not None:
+                await owned.stop()
+            return moved
+
+    async def _migrate_moved(self) -> int:
+        """Park every tracked session whose ring owner changed."""
+        moved = 0
+        for user, owner in list(self._session_owners.items()):
+            try:
+                new_owner = self._ring.owner(user)
+            except ConfigurationError:
+                break  # ring emptied
+            if new_owner == owner:
+                continue
+            if owner in self._backends:
+                with contextlib.suppress(
+                    OSError, ConnectionError, GatewayProtocolError
+                ):
+                    await self._one_shot(
+                        owner, {"verb": "park", "user": user}
+                    )
+                    self.counters.migrations += 1
+            self._session_owners.pop(user, None)
+            moved += 1
+        return moved
+
+    async def _one_shot(
+        self, name: str, message: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """One request to one backend on a throwaway connection."""
+        host, port = self._backends[name]
+        upstream = _Upstream(name, host, port)
+        await upstream.open()
+        try:
+            return await asyncio.wait_for(
+                upstream.request(message), timeout=self.config.call_timeout
+            )
+        finally:
+            await upstream.close()
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.counters.sessions_opened += 1
+        hello: Optional[Dict[str, Any]] = None
+        upstream: Optional[_Upstream] = None
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, ValueError):
+                    self.counters.protocol_errors += 1
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    message = decode_line(line.strip())
+                except GatewayProtocolError as exc:
+                    self.counters.protocol_errors += 1
+                    writer.write(
+                        encode(
+                            error_response(
+                                ErrorCode.BAD_REQUEST, detail=str(exc)
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    continue
+                response, hello, upstream = await self._handle_message(
+                    message, hello, upstream
+                )
+                writer.write(encode(response))
+                await writer.drain()
+                if message.get("verb") == "bye":
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            if upstream is not None:
+                await upstream.close()
+            self.counters.sessions_closed += 1
+            writer.close()
+            with contextlib.suppress(ConnectionError, OSError):
+                await writer.wait_closed()
+
+    async def _handle_message(
+        self,
+        message: Dict[str, Any],
+        hello: Optional[Dict[str, Any]],
+        upstream: Optional[_Upstream],
+    ) -> Tuple[Dict[str, Any], Optional[Dict[str, Any]], Optional[_Upstream]]:
+        verb = message.get("verb")
+        request_id = message.get("id")
+        if verb == "hello":
+            user = message.get("user")
+            if not isinstance(user, str) or not 1 <= len(user) <= 64:
+                self.counters.bad_requests += 1
+                return (
+                    error_response(
+                        ErrorCode.BAD_REQUEST,
+                        request_id,
+                        detail="hello requires a user name (1..64 chars)",
+                    ),
+                    hello,
+                    upstream,
+                )
+            # bind lazily: the upstream opens (and replays hello) on
+            # the first call, so a rebalance between hello and call
+            # still routes to the final owner
+            if upstream is not None:
+                await upstream.close()
+            return (
+                ok_response(
+                    request_id,
+                    verb="hello",
+                    user=user,
+                    ring=message.get("ring", 4),
+                ),
+                dict(message),
+                None,
+            )
+        if verb == "call":
+            return await self._verb_call(message, hello, upstream)
+        if verb == "stats":
+            return await self._verb_stats(request_id), hello, upstream
+        if verb == "park":
+            return await self._verb_park(message), hello, upstream
+        if verb == "bye":
+            return ok_response(request_id, verb="bye"), hello, upstream
+        self.counters.bad_requests += 1
+        return (
+            error_response(
+                ErrorCode.BAD_REQUEST,
+                request_id,
+                detail=f"unknown verb {verb!r}",
+            ),
+            hello,
+            upstream,
+        )
+
+    async def _verb_call(
+        self,
+        message: Dict[str, Any],
+        hello: Optional[Dict[str, Any]],
+        upstream: Optional[_Upstream],
+    ) -> Tuple[Dict[str, Any], Optional[Dict[str, Any]], Optional[_Upstream]]:
+        request_id = message.get("id")
+        if hello is None:
+            self.counters.bad_requests += 1
+            return (
+                error_response(
+                    ErrorCode.AUTH_REQUIRED,
+                    request_id,
+                    detail="send hello before call",
+                ),
+                hello,
+                upstream,
+            )
+        if self._draining:
+            return (
+                error_response(
+                    ErrorCode.SHUTTING_DOWN, request_id, retry_after=1.0
+                ),
+                hello,
+                upstream,
+            )
+        user = hello["user"]
+        try:
+            owner = self._ring.owner(user)
+        except ConfigurationError:
+            return (
+                error_response(
+                    ErrorCode.BAD_REQUEST,
+                    request_id,
+                    detail="no gateways attached",
+                ),
+                hello,
+                upstream,
+            )
+        if upstream is not None and upstream.name != owner:
+            # the ring re-owned this session since the last call
+            await upstream.close()
+            upstream = None
+            self.counters.rebinds += 1
+        if upstream is None:
+            host, port = self._backends[owner]
+            upstream = _Upstream(owner, host, port)
+            try:
+                await upstream.open()
+                hello_reply = await asyncio.wait_for(
+                    upstream.request(hello),
+                    timeout=self.config.call_timeout,
+                )
+            except (OSError, ConnectionError, asyncio.TimeoutError) as exc:
+                self.counters.upstream_errors += 1
+                await upstream.close()
+                return (
+                    error_response(
+                        ErrorCode.SHUTTING_DOWN,
+                        request_id,
+                        retry_after=1.0,
+                        detail=f"gateway {owner} unreachable: {exc}",
+                    ),
+                    hello,
+                    None,
+                )
+            if not hello_reply.get("ok"):
+                await upstream.close()
+                return hello_reply, hello, None
+        self._session_owners[user] = owner
+        self._session_owners.move_to_end(user)
+        while len(self._session_owners) > TRACKED_SESSIONS:
+            self._session_owners.popitem(last=False)
+        try:
+            response = await asyncio.wait_for(
+                upstream.request(message), timeout=self.config.call_timeout
+            )
+        except (OSError, ConnectionError, asyncio.TimeoutError) as exc:
+            self.counters.upstream_errors += 1
+            await upstream.close()
+            return (
+                error_response(
+                    ErrorCode.SHUTTING_DOWN,
+                    request_id,
+                    retry_after=1.0,
+                    detail=f"gateway {owner} failed mid-call: {exc}",
+                ),
+                hello,
+                None,
+            )
+        self.counters.calls_forwarded += 1
+        if response.get("ok") and "metrics" in response:
+            if not response.get("deduplicated"):
+                delta = MetricsSnapshot.from_dict(response["metrics"])
+                current = self._per_gateway.get(
+                    owner, MetricsSnapshot.zero()
+                )
+                self._per_gateway[owner] = current.plus(delta)
+                self._per_gateway_calls[owner] = (
+                    self._per_gateway_calls.get(owner, 0) + 1
+                )
+        elif response.get("error") == ErrorCode.TIMEOUT:
+            self._timeouts_seen += 1
+        response["gateway"] = owner
+        return response, hello, upstream
+
+    async def _verb_park(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Forward a park to the user's current owner."""
+        request_id = message.get("id")
+        user = message.get("user")
+        if not isinstance(user, str) or not user:
+            self.counters.bad_requests += 1
+            return error_response(
+                ErrorCode.BAD_REQUEST,
+                request_id,
+                detail="park requires a user name",
+            )
+        try:
+            owner = self._ring.owner(user)
+        except ConfigurationError:
+            return error_response(
+                ErrorCode.BAD_REQUEST,
+                request_id,
+                detail="no gateways attached",
+            )
+        try:
+            response = await self._one_shot(owner, message)
+        except (OSError, ConnectionError, GatewayProtocolError) as exc:
+            self.counters.upstream_errors += 1
+            return error_response(
+                ErrorCode.BAD_REQUEST,
+                request_id,
+                detail=f"gateway {owner} unreachable: {exc}",
+            )
+        response["gateway"] = owner
+        return response
+
+    # -- stats ---------------------------------------------------------------
+
+    async def _verb_stats(
+        self, request_id: Optional[Any] = None
+    ) -> Dict[str, Any]:
+        """Fan out to every backend and merge, with cross-checks."""
+        per_gateway: Dict[str, Dict[str, Any]] = {}
+        merged = MetricsSnapshot.zero()
+        all_backends_consistent = True
+        router_consistent = True
+        for name in sorted(self._backends):
+            try:
+                stats = await self._one_shot(name, {"verb": "stats"})
+            except (OSError, ConnectionError, GatewayProtocolError) as exc:
+                self.counters.upstream_errors += 1
+                per_gateway[name] = {"reachable": False, "error": str(exc)}
+                all_backends_consistent = False
+                router_consistent = False
+                continue
+            backend_merged = MetricsSnapshot.from_dict(
+                stats.get("architectural", {})
+            )
+            merged = merged.plus(backend_merged)
+            summed = self._per_gateway.get(name, MetricsSnapshot.zero())
+            baseline_calls, baseline_total = self._baselines.get(
+                name, (0, {})
+            )
+            expected = {
+                key: value + baseline_total.get(key, 0)
+                for key, value in summed.architectural().items()
+            }
+            agrees = expected == stats.get("architectural", {})
+            per_gateway[name] = {
+                "reachable": True,
+                "consistent": stats.get("consistent", False),
+                "router_calls": self._per_gateway_calls.get(name, 0),
+                "router_summed": summed.architectural(),
+                "baseline": baseline_total,
+                "architectural": stats.get("architectural", {}),
+                "router_agrees": agrees,
+                "completed": stats.get("gateway", {}).get("completed", 0),
+                "sessions": stats.get("sessions"),
+            }
+            all_backends_consistent = all_backends_consistent and stats.get(
+                "consistent", False
+            )
+            router_consistent = router_consistent and agrees
+        # a timed-out forward's delta reaches the backend's sums but
+        # not the router's, so the growth check is only claimed when
+        # every forwarded call came back with its metrics
+        if self._timeouts_seen:
+            router_consistent = False
+        return ok_response(
+            request_id,
+            verb="stats",
+            router={
+                **self.counters.as_dict(),
+                "gateways": self.gateways,
+                "tracked_sessions": len(self._session_owners),
+                "timeouts_seen": self._timeouts_seen,
+                "draining": self._draining,
+            },
+            per_gateway=per_gateway,
+            architectural=merged.architectural(),
+            consistent=all_backends_consistent,
+            router_consistent=router_consistent,
+        )

@@ -47,7 +47,7 @@ from concurrent.futures import (
     ThreadPoolExecutor,
 )
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..cpu.faults import Fault
 from ..errors import ConfigurationError, ReproError
@@ -193,11 +193,18 @@ class GateCallEngine:
         }
 
     @classmethod
-    def from_snapshot(cls, snap: Dict[str, Any]) -> "GateCallEngine":
-        """Rebuild an engine from a machine snapshot's ``extra`` block."""
+    def from_snapshot(
+        cls, snap: Dict[str, Any], **tier_knobs: Any
+    ) -> "GateCallEngine":
+        """Rebuild an engine from a machine snapshot's ``extra`` block.
+
+        ``tier_knobs`` are forwarded to
+        :func:`~repro.state.snapshot.restore_machine` — host-tier
+        overrides only, architecturally invisible by contract.
+        """
         from ..state.snapshot import restore_machine
 
-        machine = restore_machine(snap)
+        machine = restore_machine(snap, **tier_knobs)
         engine = cls(machine)
         engine.processes = {
             p.user.name: p for p in machine.supervisor.processes
@@ -576,3 +583,90 @@ class WorkerPool:
         self.executor.shutdown(wait=wait, cancel_futures=not wait)
         if wait:
             release_live_slots()
+
+
+class ShardedWorkerPool:
+    """N single-worker executors, one per session shard.
+
+    The session layer needs worker *affinity*: a tenant's live machine
+    exists in exactly one process, so every call for a user must land
+    on the same executor.  A shared multi-worker pool cannot promise
+    that — this pool gives each shard its own one-worker executor and
+    the gateway routes ``stable_shard(user, shards)`` onto it.
+
+    Backend semantics mirror :class:`WorkerPool`: the process backend
+    is probed end to end on shard 0 and the whole pool falls back to
+    threads when process pools are unavailable (with the session state
+    then keyed by shard index inside the one process — the shard-keyed
+    module state in :mod:`repro.serve.sessions` makes both layouts run
+    the same code).
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        backend: str = "process",
+        session: Optional["SessionConfig"] = None,
+    ):
+        from .sessions import SessionConfig
+
+        if shards <= 0:
+            raise ConfigurationError("shards must be positive")
+        if backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown worker backend {backend!r}; expected one of "
+                f"{BACKENDS}"
+            )
+        if session is None:
+            raise ConfigurationError("sharded pools need a session config")
+        if not isinstance(session, SessionConfig):
+            raise ConfigurationError(
+                "session must be a SessionConfig, got "
+                f"{type(session).__name__}"
+            )
+        self.shards = shards
+        self.workers = shards
+        self.backend = backend
+        self.session = session
+        self._thread_configured = False
+        self._executors: List[Executor] = [
+            self._build_executor(shard) for shard in range(shards)
+        ]
+
+    def _build_executor(self, shard: int) -> Executor:
+        from .sessions import (
+            _init_session_worker,
+            configure_sessions,
+            session_ping,
+        )
+
+        if self.backend == "process":
+            try:
+                executor = ProcessPoolExecutor(
+                    max_workers=1,
+                    initializer=_init_session_worker,
+                    initargs=(self.session,),
+                )
+                executor.submit(session_ping, shard, 0).result(timeout=60)
+                return executor
+            except (OSError, PermissionError, BrokenExecutor):
+                self.backend = "thread (process pool unavailable)"
+        if not self._thread_configured:
+            configure_sessions(self.session)
+            self._thread_configured = True
+        return ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"sessionshard{shard}"
+        )
+
+    def executor_for(self, shard: int) -> Executor:
+        """The executor owning ``shard``."""
+        return self._executors[shard]
+
+    def submit(self, shard: int, fn, *args):
+        """Submit ``fn(*args)`` onto ``shard``'s executor."""
+        return self._executors[shard].submit(fn, *args)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop every shard executor."""
+        for executor in self._executors:
+            executor.shutdown(wait=wait, cancel_futures=not wait)

@@ -34,10 +34,12 @@ Backends:
 
 from __future__ import annotations
 
+import hashlib
 import time
+from bisect import bisect_right
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 from ..errors import ConfigurationError, FleetWorkerError
 from .metrics import MetricsSnapshot
@@ -46,6 +48,89 @@ from .metrics import MetricsSnapshot
 Workload = Callable[[int], Tuple[Any, MetricsSnapshot]]
 
 BACKENDS = ("process", "thread", "serial")
+
+
+def stable_hash(key: str) -> int:
+    """A process-stable 64-bit hash of ``key``.
+
+    Python's builtin ``hash`` is salted per interpreter
+    (``PYTHONHASHSEED``), which would route the same session to
+    different shards across gateway restarts; sha1 is identical
+    everywhere.
+    """
+    return int.from_bytes(
+        hashlib.sha1(key.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+def stable_shard(key: str, shards: int) -> int:
+    """Deterministically map ``key`` onto ``[0, shards)``."""
+    if shards <= 0:
+        raise ConfigurationError("shards must be positive")
+    return stable_hash(key) % shards
+
+
+class ConsistentHashRing:
+    """Consistent hashing of session keys onto named nodes.
+
+    Each node owns ``vnodes`` points on a 64-bit ring; a key belongs to
+    the first node point at or after its own hash (wrapping).  The
+    property the router relies on: adding a node moves only the keys the
+    *new* node now owns (~K/N of them) and removing a node moves only
+    the departed node's keys — everything else keeps its owner, so a
+    rebalance migrates the minimum number of parked sessions.
+    """
+
+    def __init__(self, nodes: Iterable[str] = (), vnodes: int = 64):
+        if vnodes <= 0:
+            raise ConfigurationError("vnodes must be positive")
+        self.vnodes = vnodes
+        self._nodes: set = set()
+        self._points: List[Tuple[int, str]] = []
+        self._hashes: List[int] = []
+        for node in nodes:
+            self.add(node)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def nodes(self) -> List[str]:
+        """The member nodes, sorted."""
+        return sorted(self._nodes)
+
+    def _rebuild(self) -> None:
+        points = [
+            (stable_hash(f"{node}#{index}"), node)
+            for node in self._nodes
+            for index in range(self.vnodes)
+        ]
+        points.sort()
+        self._points = points
+        self._hashes = [point for point, _ in points]
+
+    def add(self, node: str) -> None:
+        """Add a node (idempotent)."""
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        self._rebuild()
+
+    def remove(self, node: str) -> None:
+        """Remove a node (idempotent)."""
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        self._rebuild()
+
+    def owner(self, key: str) -> str:
+        """The node that owns ``key``; raises when the ring is empty."""
+        if not self._points:
+            raise ConfigurationError("consistent-hash ring has no nodes")
+        index = bisect_right(self._hashes, stable_hash(key))
+        if index == len(self._points):
+            index = 0
+        return self._points[index][1]
 
 
 @dataclass(frozen=True)

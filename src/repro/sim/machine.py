@@ -208,6 +208,20 @@ class Machine:
 
     # -- execution -------------------------------------------------------------
 
+    def detach(self) -> None:
+        """Forget which process the processor is attached to.
+
+        The parking discipline of the session layer: a parked snapshot
+        records no attachment, so the next :meth:`start` after hydration
+        goes through the full supervisor re-attach — the DBR load
+        flushes every cache, including the SDW associative memory and
+        the ``fast_gate`` attach memo, and the first gate call re-fetches
+        its descriptors exactly like a tenant's first call ever did.
+        Processor state (registers, DBR contents) is untouched; this
+        only invalidates the memo.
+        """
+        self.supervisor.attached_process = None
+
     def start(self, process: Process, ref: str, ring: int) -> None:
         """Point the processor at ``ref`` in ``ring`` without running.
 

@@ -41,10 +41,12 @@ trusted.
 
 from __future__ import annotations
 
+import base64
 import hashlib
 import json
 import os
 import tempfile
+import zlib
 from typing import Any, Dict, List, Optional
 
 from ..core.acl import AclEntry, RingBracketSpec
@@ -68,6 +70,14 @@ from ..sim.metrics import MetricsSnapshot
 
 SNAPSHOT_FORMAT = "repro-machine-snapshot"
 SNAPSHOT_VERSION = 1
+
+DELTA_FORMAT = "repro-machine-delta"
+DELTA_VERSION = 1
+
+#: zlib level used when compression is requested as a plain ``True``;
+#: level 1 already removes the bulk of JSON redundancy on
+#: checkpoint-sized snapshots at a fraction of level 9's latency
+DEFAULT_COMPRESS_LEVEL = 1
 
 #: sparse-memory granularity: chunks with any non-zero word are stored
 MEMORY_CHUNK = 256
@@ -617,10 +627,203 @@ def snapshot_digest(snap: Dict[str, Any]) -> str:
     return hashlib.sha256(_canonical(snap)).hexdigest()
 
 
-def write_snapshot_file(snap: Dict[str, Any], path: str) -> str:
+def canonical_bytes(snap: Dict[str, Any]) -> bytes:
+    """The canonical JSON encoding a snapshot's digest is taken over."""
+    return _canonical(snap)
+
+
+# ---------------------------------------------------------------------------
+# delta snapshots (park/hydrate paging)
+# ---------------------------------------------------------------------------
+#
+# A delta records a snapshot as edits against a *base* snapshot of the
+# same shape (same programs installed, same construction knobs — tenant
+# machines built through the same code path place every segment at the
+# same addresses).  Dicts are diffed key by key recursively, so the
+# sparse memory chunks — a dict keyed by chunk start — drop out
+# wherever a tenant's memory matches the base image: those chunks are
+# stored *by reference* (their absence from the delta), which is what
+# makes a parked call_loop tenant a few KB instead of a full machine.
+#
+# Delta nodes use a two-token vocabulary that cannot collide with
+# snapshot data (data values are always wrapped):
+#
+#   {"v": value}                 replace this position with ``value``
+#   {"k": {...}, "x": [...]}     recurse: per-key child nodes, plus the
+#                                keys deleted relative to the base
+#
+# Integrity is end-to-end: the delta envelope records the sha256 of the
+# *reconstructed* snapshot, and :func:`apply_delta` refuses a result
+# that does not hash back to it — a wrong or stale base image can never
+# hydrate silently.
+
+
+def _diff_node(base: Any, new: Any) -> Optional[Dict[str, Any]]:
+    if base == new:
+        return None
+    if isinstance(base, dict) and isinstance(new, dict):
+        changed: Dict[str, Any] = {}
+        for key, value in new.items():
+            if key in base:
+                child = _diff_node(base[key], value)
+                if child is not None:
+                    changed[key] = child
+            else:
+                changed[key] = {"v": value}
+        removed = sorted(key for key in base if key not in new)
+        return {"k": changed, "x": removed}
+    if isinstance(base, list) and isinstance(new, list):
+        # Lists recurse element-wise over the common prefix: the
+        # supervisor's user, process, and file-system tables are lists
+        # that differ between same-shape tenants only in a name here
+        # and a counter there — replacing them wholesale would dominate
+        # the parked delta.  A length change records the new length
+        # plus any appended tail.  JSON object keys are strings, so
+        # indices are encoded as such.
+        elements = {}
+        for index in range(min(len(base), len(new))):
+            child = _diff_node(base[index], new[index])
+            if child is not None:
+                elements[str(index)] = child
+        node: Dict[str, Any] = {"l": elements}
+        if len(new) != len(base):
+            node["n"] = len(new)
+            if len(new) > len(base):
+                node["t"] = new[len(base):]
+        return node
+    return {"v": new}
+
+
+def _apply_node(base: Any, node: Optional[Dict[str, Any]]) -> Any:
+    if node is None:
+        return base
+    if "v" in node:
+        return node["v"]
+    if "l" in node:
+        if not isinstance(base, list):
+            raise SnapshotError(
+                "delta recurses into a position the base does not hold "
+                "a list at — wrong base image"
+            )
+        length = node.get("n", len(base))
+        out_list = list(base[:length])
+        for index, child in node["l"].items():
+            out_list[int(index)] = _apply_node(base[int(index)], child)
+        out_list.extend(node.get("t", ()))
+        return out_list
+    if not isinstance(base, dict):
+        raise SnapshotError(
+            "delta recurses into a position the base does not hold a "
+            "dict at — wrong base image"
+        )
+    removed = set(node.get("x", ()))
+    changed = node.get("k", {})
+    out = {
+        key: value for key, value in base.items()
+        if key not in removed and key not in changed
+    }
+    for key, child in changed.items():
+        out[key] = _apply_node(base.get(key), child)
+    return out
+
+
+def delta_snapshot(
+    snap: Dict[str, Any], base: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Encode ``snap`` as a delta against ``base``.
+
+    Returns a JSON-serializable envelope carrying the base's digest
+    (so hydration can pick the right base image), the reconstructed
+    snapshot's digest, and the edit tree.
+    """
+    return {
+        "format": DELTA_FORMAT,
+        "version": DELTA_VERSION,
+        "base_sha256": snapshot_digest(base),
+        "sha256": snapshot_digest(snap),
+        "delta": _diff_node(base, snap),
+    }
+
+
+def apply_delta(
+    base: Dict[str, Any], delta: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Reconstruct the full snapshot ``delta`` encodes against ``base``.
+
+    The result shares unchanged subtrees with ``base`` — treat both as
+    read-only (restore never mutates a snapshot dict).  Raises
+    :class:`~repro.errors.SnapshotError` on a format mismatch, a wrong
+    base image, or a reconstruction that fails its integrity hash.
+    """
+    if (
+        not isinstance(delta, dict)
+        or delta.get("format") != DELTA_FORMAT
+    ):
+        raise SnapshotError("not a machine snapshot delta")
+    if delta.get("version") != DELTA_VERSION:
+        raise SnapshotError(
+            f"snapshot delta has version {delta.get('version')!r}; "
+            f"this build reads version {DELTA_VERSION}"
+        )
+    base_digest = snapshot_digest(base)
+    if base_digest != delta.get("base_sha256"):
+        raise SnapshotError(
+            f"delta was taken against base {delta.get('base_sha256')!r}, "
+            f"got base {base_digest!r}"
+        )
+    snap = _apply_node(base, delta.get("delta"))
+    digest = snapshot_digest(snap)
+    if digest != delta.get("sha256"):
+        raise SnapshotError(
+            f"delta reconstruction failed its integrity check: "
+            f"recorded sha256 {delta.get('sha256')!r}, computed {digest!r}"
+        )
+    return snap
+
+
+def encode_delta(
+    delta: Dict[str, Any], compress: Any = False
+) -> bytes:
+    """Canonical bytes of a delta envelope, optionally zlib-compressed.
+
+    The compressed form is self-describing (zlib's two-byte header
+    never starts a JSON document), so :func:`decode_delta` needs no
+    side channel.
+    """
+    body = _canonical(delta)
+    if compress:
+        level = (
+            DEFAULT_COMPRESS_LEVEL if compress is True else int(compress)
+        )
+        return zlib.compress(body, level)
+    return body
+
+
+def decode_delta(data: bytes) -> Dict[str, Any]:
+    """Inverse of :func:`encode_delta`."""
+    if data[:1] != b"{":
+        try:
+            data = zlib.decompress(data)
+        except zlib.error as exc:
+            raise SnapshotError(
+                f"undecodable snapshot delta: {exc}"
+            ) from None
+    try:
+        return json.loads(data.decode("utf-8"))
+    except ValueError as exc:
+        raise SnapshotError(f"undecodable snapshot delta: {exc}") from None
+
+
+def write_snapshot_file(
+    snap: Dict[str, Any], path: str, compress: Any = False
+) -> str:
     """Write ``snap`` to ``path`` atomically (tmp + fsync + rename).
 
-    Returns the sha256 digest recorded in the envelope.
+    ``compress`` (flag or zlib level) stores the snapshot body
+    zlib-compressed inside the envelope; the recorded sha256 is always
+    taken over the *uncompressed* canonical bytes, so integrity
+    semantics — and the digest a given machine state produces — are
+    identical in both encodings.  Returns that digest.
     """
     # encode the snapshot exactly once: the digest is taken over the
     # same bytes that are spliced into the envelope (streaming
@@ -632,7 +835,16 @@ def write_snapshot_file(snap: Dict[str, Any], path: str) -> str:
     head = json.dumps(
         {"format": SNAPSHOT_FORMAT, "version": SNAPSHOT_VERSION, "sha256": digest}
     ).encode("utf-8")
-    envelope = head[:-1] + b', "snapshot": ' + body + b"}"
+    if compress:
+        level = (
+            DEFAULT_COMPRESS_LEVEL if compress is True else int(compress)
+        )
+        packed = json.dumps(
+            base64.b64encode(zlib.compress(body, level)).decode("ascii")
+        ).encode("ascii")
+        envelope = head[:-1] + b', "snapshot_zlib": ' + packed + b"}"
+    else:
+        envelope = head[:-1] + b', "snapshot": ' + body + b"}"
     directory = os.path.dirname(os.path.abspath(path))
     fd, tmp = tempfile.mkstemp(
         dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
@@ -670,6 +882,26 @@ def read_snapshot_file(path: str) -> Dict[str, Any]:
             f"snapshot {path!r} has version {envelope.get('version')!r}; "
             f"this build reads version {SNAPSHOT_VERSION}"
         )
+    if "snapshot_zlib" in envelope:
+        try:
+            body = zlib.decompress(
+                base64.b64decode(envelope["snapshot_zlib"])
+            )
+        except (ValueError, zlib.error) as exc:
+            raise SnapshotError(
+                f"snapshot {path!r} has an undecodable compressed body: "
+                f"{exc}"
+            ) from None
+        # the digest covers the uncompressed canonical bytes — exactly
+        # the bytes just recovered, so verify them directly
+        digest = hashlib.sha256(body).hexdigest()
+        if digest != envelope.get("sha256"):
+            raise SnapshotError(
+                f"snapshot {path!r} failed its integrity check: "
+                f"recorded sha256 {envelope.get('sha256')!r}, "
+                f"computed {digest!r}"
+            )
+        return json.loads(body.decode("utf-8"))
     snap = envelope.get("snapshot")
     digest = snapshot_digest(snap)
     if digest != envelope.get("sha256"):

@@ -1,0 +1,199 @@
+"""The session-routing tier: consistent-hash stability, multi-gateway
+merged-stats cross-checks, and live migration on rebalance.
+
+The routing contract has two halves.  The hash ring guarantees a
+rebalance is *minimal*: adding a node moves only the keys the new node
+now owns (about K/N of K keys over N nodes) and nothing else changes
+owner.  The migration protocol guarantees a rebalance is *invisible*:
+a moved session is parked on its old owner and hydrated on its new
+one, so the merged architectural counters keep adding up exactly
+across the move.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.gateway import GatewayConfig
+from repro.serve.loadgen import run_load
+from repro.serve.router import RouterConfig, SessionRouter
+from repro.sim.fleet import ConsistentHashRing
+
+
+class TestConsistentHashStability:
+    def test_join_moves_at_most_its_share(self):
+        keys = [f"user{i}" for i in range(4000)]
+        ring = ConsistentHashRing(["gw0", "gw1", "gw2"])
+        before = {key: ring.owner(key) for key in keys}
+        ring.add("gw3")
+        after = {key: ring.owner(key) for key in keys}
+
+        moved = [key for key in keys if before[key] != after[key]]
+        # every moved key is now owned by the joining node — nothing
+        # shuffled between the incumbents
+        assert all(after[key] == "gw3" for key in moved)
+        # and the new node took about K/N; allow 2x slack for vnode
+        # placement variance, which still pins "not a full reshuffle"
+        assert len(moved) <= 2 * len(keys) // len(ring.nodes)
+        assert len(moved) > 0
+
+    def test_leave_moves_only_the_departed_nodes_keys(self):
+        keys = [f"user{i}" for i in range(4000)]
+        ring = ConsistentHashRing(["gw0", "gw1", "gw2", "gw3"])
+        before = {key: ring.owner(key) for key in keys}
+        ring.remove("gw3")
+        after = {key: ring.owner(key) for key in keys}
+        for key in keys:
+            if before[key] != "gw3":
+                assert after[key] == before[key]
+            else:
+                assert after[key] != "gw3"
+
+    def test_join_then_leave_restores_every_owner(self):
+        keys = [f"user{i}" for i in range(1000)]
+        ring = ConsistentHashRing(["gw0", "gw1"])
+        before = {key: ring.owner(key) for key in keys}
+        ring.add("gw2")
+        ring.remove("gw2")
+        assert {key: ring.owner(key) for key in keys} == before
+
+    def test_empty_ring_refuses_lookup(self):
+        with pytest.raises(ConfigurationError):
+            ConsistentHashRing().owner("anyone")
+
+
+def _gateway_config(store, workers=2, slots=4):
+    return GatewayConfig(
+        workers=workers,
+        backend="thread",
+        max_sessions=slots,
+        session_store_dir=store,
+        prefetch_interval=0,
+    )
+
+
+class TestRoutedServing:
+    def test_merged_stats_cross_check_across_gateways(self, tmp_path):
+        async def main():
+            store = str(tmp_path / "store")
+            router = SessionRouter(RouterConfig())
+            await router.start()
+            try:
+                for i in range(2):
+                    await router.spawn(f"gw{i}", _gateway_config(store))
+                report = await run_load(
+                    "127.0.0.1",
+                    router.port,
+                    sessions=16,
+                    calls=2,
+                    args={"count": 3},
+                    concurrency=8,
+                )
+            finally:
+                await router.stop()
+            return report
+
+        report = asyncio.run(main())
+        assert report.dropped == 0
+        assert report.check() == []
+        stats = report.stats
+        assert stats["consistent"]
+        assert stats["router_consistent"]
+        per_gateway = stats["per_gateway"]
+        assert len(per_gateway) == 2
+        # both backends actually served traffic, and the router's own
+        # per-gateway sums plus baselines equal each backend's counters
+        for entry in per_gateway.values():
+            assert entry["reachable"]
+            assert entry["router_agrees"]
+        assert (
+            sum(e["router_calls"] for e in per_gateway.values())
+            == report.ok
+        )
+        # merged == integer sum of the backends, counter by counter
+        for counter, value in stats["architectural"].items():
+            assert value == sum(
+                e["architectural"][counter] for e in per_gateway.values()
+            )
+
+    def test_gateway_join_migrates_and_stays_exact(self, tmp_path):
+        async def main():
+            store = str(tmp_path / "store")
+            router = SessionRouter(RouterConfig())
+            await router.start()
+            try:
+                for i in range(2):
+                    await router.spawn(f"gw{i}", _gateway_config(store))
+                first = await run_load(
+                    "127.0.0.1",
+                    router.port,
+                    sessions=24,
+                    calls=1,
+                    args={"count": 3},
+                    concurrency=8,
+                )
+                await router.spawn("gw2", _gateway_config(store))
+                migrations = router.counters.migrations
+                second = await run_load(
+                    "127.0.0.1",
+                    router.port,
+                    sessions=24,
+                    calls=1,
+                    args={"count": 3},
+                    concurrency=8,
+                )
+            finally:
+                await router.stop()
+            return first, migrations, second
+
+        first, migrations, second = asyncio.run(main())
+        assert first.dropped == 0
+        assert second.dropped == 0
+        # the join actually moved sessions (parked on the old owner,
+        # hydrated on the new one)...
+        assert migrations > 0
+        # ...and the cross-gateway ledger still closes afterwards
+        stats = second.stats
+        assert stats["consistent"]
+        assert stats["router_consistent"]
+        assert len(stats["per_gateway"]) == 3
+        merged_calls = stats["architectural"]["calls"]
+        assert merged_calls == (first.ok + second.ok) * 3
+
+    def test_detach_hands_sessions_back(self, tmp_path):
+        async def main():
+            store = str(tmp_path / "store")
+            router = SessionRouter(RouterConfig())
+            await router.start()
+            try:
+                for i in range(3):
+                    await router.spawn(f"gw{i}", _gateway_config(store))
+                first = await run_load(
+                    "127.0.0.1",
+                    router.port,
+                    sessions=18,
+                    calls=1,
+                    args={"count": 3},
+                    concurrency=6,
+                )
+                await router.detach("gw2")
+                second = await run_load(
+                    "127.0.0.1",
+                    router.port,
+                    sessions=18,
+                    calls=1,
+                    args={"count": 3},
+                    concurrency=6,
+                )
+            finally:
+                await router.stop()
+            return first, second
+
+        first, second = asyncio.run(main())
+        assert first.dropped == 0
+        assert second.dropped == 0
+        stats = second.stats
+        assert stats["consistent"]
+        assert stats["router_consistent"]
+        assert len(stats["per_gateway"]) == 2

@@ -147,3 +147,141 @@ class TestSnapshotFiles:
     def test_missing_file_rejected(self, tmp_path):
         with pytest.raises(SnapshotError, match="cannot read"):
             read_snapshot_file(str(tmp_path / "absent.snap"))
+
+
+class TestCompressedSnapshotFiles:
+    def test_compressed_round_trip_same_digest(self, tmp_path, machine):
+        run_sample(machine)
+        snap = snapshot_machine(machine)
+        plain = str(tmp_path / "plain.snap")
+        packed = str(tmp_path / "packed.snap")
+        assert write_snapshot_file(snap, plain) == write_snapshot_file(
+            snap, packed, compress=True
+        )
+        assert read_snapshot_file(packed) == read_snapshot_file(plain)
+
+    def test_compressed_file_is_smaller(self, tmp_path, machine):
+        import os
+
+        run_sample(machine)
+        snap = snapshot_machine(machine)
+        plain = tmp_path / "plain.snap"
+        packed = tmp_path / "packed.snap"
+        write_snapshot_file(snap, str(plain))
+        write_snapshot_file(snap, str(packed), compress=True)
+        assert os.path.getsize(packed) < os.path.getsize(plain)
+
+    def test_explicit_level_accepted(self, tmp_path, machine):
+        run_sample(machine)
+        snap = snapshot_machine(machine)
+        path = str(tmp_path / "packed.snap")
+        write_snapshot_file(snap, path, compress=9)
+        assert read_snapshot_file(path) == snap
+
+    def test_corrupt_compressed_body_rejected(self, tmp_path, machine):
+        """The checksum covers the uncompressed bytes: flipping state
+        inside the compressed body is still caught after inflation."""
+        import base64
+        import zlib
+
+        run_sample(machine)
+        path = tmp_path / "m.snap"
+        write_snapshot_file(snapshot_machine(machine), str(path), compress=True)
+        envelope = json.loads(path.read_text())
+        body = json.loads(
+            zlib.decompress(base64.b64decode(envelope["snapshot_zlib"]))
+        )
+        body["counters"]["cycles"] += 1
+        envelope["snapshot_zlib"] = base64.b64encode(
+            zlib.compress(json.dumps(body).encode())
+        ).decode("ascii")
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(SnapshotError, match="integrity"):
+            read_snapshot_file(str(path))
+
+    def test_undecodable_compressed_body_rejected(self, tmp_path, machine):
+        import base64
+
+        run_sample(machine)
+        path = tmp_path / "m.snap"
+        write_snapshot_file(snapshot_machine(machine), str(path), compress=True)
+        envelope = json.loads(path.read_text())
+        envelope["snapshot_zlib"] = base64.b64encode(b"not zlib").decode()
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(SnapshotError):
+            read_snapshot_file(str(path))
+
+
+class TestDeltaSnapshots:
+    def _snap_pair(self, machine):
+        from repro.sim.machine import Machine
+
+        run_sample(machine)
+        other = Machine()
+        run_sample(other)
+        other.processor.registers.a = 7
+        return snapshot_machine(machine), snapshot_machine(other)
+
+    def test_delta_reconstructs_bit_identically(self, machine):
+        from repro.state.snapshot import apply_delta, delta_snapshot
+
+        base, snap = self._snap_pair(machine)
+        delta = delta_snapshot(snap, base)
+        assert snapshot_digest(apply_delta(base, delta)) == snapshot_digest(
+            snap
+        )
+
+    def test_delta_is_much_smaller_than_full(self, machine):
+        from repro.state.snapshot import canonical_bytes, delta_snapshot
+
+        base, snap = self._snap_pair(machine)
+        delta = delta_snapshot(snap, base)
+        assert len(canonical_bytes(delta)) < len(canonical_bytes(snap)) // 2
+
+    def test_encode_decode_round_trip_compressed(self, machine):
+        from repro.state.snapshot import (
+            decode_delta,
+            delta_snapshot,
+            encode_delta,
+        )
+
+        base, snap = self._snap_pair(machine)
+        delta = delta_snapshot(snap, base)
+        assert decode_delta(encode_delta(delta)) == delta
+        assert decode_delta(encode_delta(delta, compress=True)) == delta
+
+    def test_wrong_base_rejected(self, machine):
+        from repro.sim.machine import Machine
+        from repro.state.snapshot import apply_delta, delta_snapshot
+
+        base, snap = self._snap_pair(machine)
+        delta = delta_snapshot(snap, base)
+        stranger = Machine()
+        run_sample(stranger)
+        stranger.processor.registers.q = 99
+        wrong = snapshot_machine(stranger)
+        wrong["counters"]["cycles"] += 123
+        with pytest.raises(SnapshotError, match="base"):
+            apply_delta(wrong, delta)
+
+    def test_list_edits_encode_as_prefix_diffs(self):
+        from repro.state.snapshot import _apply_node, _diff_node
+
+        base = {"xs": [1, 2, 3, 4], "ys": [5, 6]}
+        # one element changed, one list grew, dict keys untouched
+        new = {"xs": [1, 9, 3, 4], "ys": [5, 6, 7, 8]}
+        node = _diff_node(base, new)
+        assert _apply_node(base, node) == new
+        # the unchanged elements are not re-encoded wholesale
+        xs_node = node["k"]["xs"]
+        assert set(xs_node["l"]) == {"1"}
+        ys_node = node["k"]["ys"]
+        assert ys_node["t"] == [7, 8]
+
+    def test_list_shrink_round_trips(self):
+        from repro.state.snapshot import _apply_node, _diff_node
+
+        base = {"xs": [1, 2, 3, 4]}
+        new = {"xs": [1, 2]}
+        node = _diff_node(base, new)
+        assert _apply_node(base, node) == new
