@@ -31,6 +31,13 @@ Subcommands, all runnable as ``python -m repro <cmd>``:
 ``replay``
     Replay a gate-call journal through a fresh machine, optionally
     verifying every replayed outcome against the journaled one.
+``standby``
+    Run a standalone warm standby that receives shipped journal
+    records from a replicated gateway (``serve --replica-endpoint``),
+    maintains replica machines, and serves promotion on failover.
+``journal dump``
+    List a gate-call journal's records (seq, CRC, call id, outcome)
+    human-readably or as JSON.
 """
 
 from __future__ import annotations
@@ -218,6 +225,92 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_journal_dump(args: argparse.Namespace) -> int:
+    import os
+
+    from .state.recover import JOURNAL_NAME
+    from .state.replication import read_frames
+
+    path = args.journal
+    if os.path.isdir(path):
+        path = os.path.join(path, JOURNAL_NAME)
+    frames = read_frames(path, limit=args.limit)
+    if args.json:
+        payload = {
+            "path": path,
+            "count": len(frames),
+            "last_seq": frames[-1].seq if frames else 0,
+            "records": [
+                {"seq": f.seq, "crc": f.crc, **f.record} for f in frames
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"{path}: {len(frames)} record(s)")
+    header = (
+        f"{'seq':>6}  {'crc':>8}  {'call_id':<32}  "
+        f"{'user':<10} {'ring':>4}  {'program':<12} {'outcome':<14} "
+        f"{'cycles':>8}"
+    )
+    print(header)
+    for frame in frames:
+        record = frame.record
+        job = record.get("job", {})
+        result = record.get("result", {})
+        if "error" in result:
+            outcome = result["error"]
+            cycles = ""
+        else:
+            outcome = "ok"
+            cycles = str(result.get("metrics", {}).get("cycles", ""))
+        print(
+            f"{frame.seq:>6}  {frame.crc:08x}  "
+            f"{str(record.get('call_id', ''))[:32]:<32}  "
+            f"{str(job.get('user', ''))[:10]:<10} "
+            f"{job.get('ring', ''):>4}  "
+            f"{str(job.get('program', ''))[:12]:<12} "
+            f"{outcome[:14]:<14} {cycles:>8}"
+        )
+    return 0
+
+
+def _cmd_standby(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from .serve.standby import StandbyConfig, StandbyServer
+
+    async def main() -> int:
+        server = StandbyServer(
+            StandbyConfig(dir=args.dir, host=args.host, port=args.port)
+        )
+        await server.start()
+        print(
+            f"ring standby listening on {args.host}:{server.port} "
+            f"(mirroring slots under {args.dir})",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        await stop.wait()
+        await server.stop()
+        for slot, applier in sorted(server._appliers.items()):
+            print(
+                f"slot {slot}: applied {applier.applied} record(s) "
+                f"through seq {applier.applied_seq} "
+                f"({applier.promotions} promotion(s))",
+                flush=True,
+            )
+        return 0
+
+    return asyncio.run(main())
+
+
 def _parse_ring_limit(text: str):
     """``RING=RATE[:BURST[:PENDING]]`` -> (ring, RingPolicy)."""
     from .serve.admission import RingPolicy
@@ -257,6 +350,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_sessions=args.max_sessions,
             session_store_dir=args.session_store,
             prefetch_interval=args.prefetch_interval,
+            replicas=args.replicas,
+            ship_every=args.ship_every,
+            ack_window=args.ack_window,
+            replica_endpoints=tuple(args.replica_endpoint or ()),
             default_policy=RingPolicy(
                 rate=args.rate,
                 burst=args.burst,
@@ -288,10 +385,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             if args.max_sessions
             else ""
         )
+        replica_count = args.replicas + len(args.replica_endpoint or ())
+        replicated = (
+            f", {replica_count} replica(s)" if replica_count else ""
+        )
         print(
             f"ring gateway listening on {args.host}:{gateway.port} "
             f"({gateway.pool.backend} backend, "
-            f"{args.workers} workers{durable}{paged})",
+            f"{args.workers} workers{durable}{paged}{replicated})",
             flush=True,
         )
         await wait_for_shutdown()
@@ -302,7 +403,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"served {counters.completed} calls "
             f"({counters.timed_out} timed out, "
             f"{counters.rejected_rate_limited + counters.rejected_queue_full}"
-            f" rejected, {counters.recoveries} pool recoveries)",
+            f" rejected, {counters.recoveries} pool recoveries, "
+            f"{counters.promotions} promotions)",
             flush=True,
         )
         return 0
@@ -509,6 +611,37 @@ def build_parser() -> argparse.ArgumentParser:
         "most N-1 journaled calls; retries absorb that)",
     )
     serve.add_argument(
+        "--replicas",
+        type=int,
+        default=0,
+        metavar="N",
+        help="spawn N in-process warm standbys and ship every slot's "
+        "journal to them; on a pool crash the lowest-lag follower is "
+        "promoted instead of cold-restoring (requires --durability-dir)",
+    )
+    serve.add_argument(
+        "--ship-every",
+        type=int,
+        default=8,
+        metavar="K",
+        help="journal records per shipped replication frame",
+    )
+    serve.add_argument(
+        "--ack-window",
+        type=int,
+        default=4,
+        metavar="W",
+        help="shipped frames in flight before the shipper waits for "
+        "a standby ack",
+    )
+    serve.add_argument(
+        "--replica-endpoint",
+        action="append",
+        metavar="HOST:PORT",
+        help="also ship to an external `repro standby` (repeatable; "
+        "the standby must see the same --durability-dir filesystem)",
+    )
+    serve.add_argument(
         "--max-sessions",
         type=int,
         default=None,
@@ -638,6 +771,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="refuse a torn journal tail instead of ignoring it",
     )
     replay.set_defaults(func=_cmd_replay)
+
+    standby = sub.add_parser(
+        "standby",
+        help="run a standalone warm standby for a replicated gateway",
+    )
+    standby.add_argument(
+        "--dir",
+        required=True,
+        metavar="DIR",
+        help="the gateway's --durability-dir (shared filesystem): "
+        "promotion replays journal tails from it and writes promotion "
+        "snapshots into it",
+    )
+    standby.add_argument("--host", default="127.0.0.1")
+    standby.add_argument(
+        "--port", type=int, default=7118, help="TCP port (0: kernel-chosen)"
+    )
+    standby.set_defaults(func=_cmd_standby)
+
+    journal = sub.add_parser(
+        "journal", help="gate-call journal inspection utilities"
+    )
+    journal_sub = journal.add_subparsers(dest="journal_command", required=True)
+    dump = journal_sub.add_parser(
+        "dump", help="list a journal's records (seq, CRC, call id, outcome)"
+    )
+    dump.add_argument(
+        "journal", help="journal file, or a worker slot directory"
+    )
+    dump.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full records as one JSON document",
+    )
+    dump.add_argument(
+        "--limit", type=int, default=None, help="stop after N records"
+    )
+    dump.set_defaults(func=_cmd_journal_dump)
     return parser
 
 

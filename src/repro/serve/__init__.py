@@ -25,6 +25,8 @@ Modules:
     token buckets and bounded per-ring pending queues;
 ``gateway``
     the asyncio server tying the above together;
+``standby``
+    warm replicas: journal shipping, standby servers, hot failover;
 ``loadgen``
     the load-generator client and its report.
 """
@@ -34,6 +36,13 @@ from .catalog import CATALOG, build_program
 from .gateway import GatewayConfig, RingGateway
 from .loadgen import LoadReport, run_load
 from .protocol import ErrorCode
+from .standby import (
+    ReplicaClient,
+    ReplicaSet,
+    ReplicationConfig,
+    StandbyConfig,
+    StandbyServer,
+)
 from .workers import (
     DurabilityConfig,
     GateCallEngine,
@@ -49,8 +58,13 @@ __all__ = [
     "GateCallEngine",
     "GatewayConfig",
     "LoadReport",
+    "ReplicaClient",
+    "ReplicaSet",
+    "ReplicationConfig",
     "RingGateway",
     "RingPolicy",
+    "StandbyConfig",
+    "StandbyServer",
     "TokenBucket",
     "WorkerPool",
     "build_program",

@@ -65,6 +65,7 @@ from .sessions import (
     execute_session_call,
     session_control,
 )
+from .standby import ReplicaSet, ReplicationConfig
 from .workers import (
     DurabilityConfig,
     ShardedWorkerPool,
@@ -124,6 +125,16 @@ class GatewayConfig:
     prefetch_interval: float = 0.05
     #: tenants hydrated per shard per idle tick
     prefetch_batch: int = 2
+    #: warm standbys spawned in-process; each mirrors every slot by
+    #: applying shipped journal records (requires ``durability_dir``)
+    replicas: int = 0
+    #: journal records per shipped frame
+    ship_every: int = 8
+    #: shipped frames in flight before the shipper waits for an ack
+    ack_window: int = 4
+    #: external ``repro standby`` endpoints (``HOST:PORT``) to ship to,
+    #: in addition to any in-process replicas
+    replica_endpoints: Tuple[str, ...] = ()
 
     def durability(self) -> Optional[DurabilityConfig]:
         """The worker-side durability config, or ``None`` if disabled."""
@@ -134,6 +145,24 @@ class GatewayConfig:
             slots=self.workers,
             checkpoint_interval=self.checkpoint_interval,
             fsync_every=self.fsync_every,
+        )
+
+    def replication(self) -> Optional[ReplicationConfig]:
+        """The replica-set config, or ``None`` if replication is off."""
+        if not self.replicas and not self.replica_endpoints:
+            return None
+        if not self.durability_dir:
+            raise ConfigurationError(
+                "replication ships the gate-call journal, so --replicas / "
+                "--replica-endpoint require --durability-dir"
+            )
+        return ReplicationConfig(
+            dir=self.durability_dir,
+            slots=self.workers,
+            replicas=self.replicas,
+            ship_every=self.ship_every,
+            ack_window=self.ack_window,
+            endpoints=tuple(self.replica_endpoints),
         )
 
     def sessions(self) -> Optional[SessionConfig]:
@@ -177,6 +206,11 @@ class GatewayCounters:
     retried_calls: int = 0
     #: calls answered from a worker's journal instead of re-executing
     deduplicated_calls: int = 0
+    #: slots failed over onto a warm follower instead of cold-restoring
+    promotions: int = 0
+    #: retried calls answered from a follower's shipped journal (the
+    #: cross-slot dedup path; also counted in ``deduplicated_calls``)
+    replica_answered_calls: int = 0
     #: session mode: tenants hydrated from a parked delta on demand
     session_hydrated: int = 0
     #: session mode: tenants built fresh (first call ever)
@@ -224,6 +258,10 @@ class RingGateway:
                 "with it — set session_store_dir instead"
             )
         self._sessions = self.config.sessions()
+        #: validated eagerly so a bad replication setup fails at
+        #: construction, not mid-failover
+        self._replication = self.config.replication()
+        self._replicas: Optional[ReplicaSet] = None
         self._prefetch_task: Optional[asyncio.Task] = None
         self.counters = GatewayCounters()
         self.admission = AdmissionController(
@@ -288,6 +326,9 @@ class RingGateway:
         )
         if self._sessions is not None and self.config.prefetch_interval > 0:
             self._prefetch_task = asyncio.create_task(self._prefetch_loop())
+        if self._replication is not None:
+            self._replicas = ReplicaSet(self._replication)
+            await self._replicas.start()
 
     async def serve_until(self, stop_event: asyncio.Event) -> None:
         """Serve until ``stop_event`` fires, then drain and stop."""
@@ -336,6 +377,11 @@ class RingGateway:
                         ).result(timeout=self.config.drain_timeout)
             self.pool.shutdown(wait=True)
             self.pool = None
+        if self._replicas is not None:
+            # after the pool drained: the shippers do one final
+            # poll/ship round so followers end current
+            await self._replicas.stop()
+            self._replicas = None
 
     async def _ensure_pool(self, observed_epoch: int) -> None:
         """Replace a broken worker pool (at most once per epoch).
@@ -356,6 +402,13 @@ class RingGateway:
                 await loop.run_in_executor(
                     None, functools.partial(old.shutdown, True)
                 )
+            if self._replicas is not None:
+                # hot failover: each slot's lowest-lag follower replays
+                # the unshipped journal tail and writes a promotion
+                # snapshot *before* the replacement workers claim the
+                # slots — the successors then recover with an empty
+                # tail instead of cold-restoring and replaying
+                self.counters.promotions += await self._replicas.promote_all()
             self.pool = await loop.run_in_executor(None, self._build_pool)
             self._pool_epoch += 1
             self.counters.recoveries += 1
@@ -627,6 +680,21 @@ class RingGateway:
             if self._draining or attempt == CALL_ATTEMPTS - 1:
                 break
             await self._ensure_pool(epoch)
+            if self._replicas is not None:
+                # Before resubmitting: the dead pool may have journaled
+                # this call already, and the retry can land on a
+                # *different* slot whose worker has never seen the
+                # call_id — per-slot dedup cannot catch that.  The
+                # followers collectively saw every shipped journal;
+                # answering from them is what guarantees zero
+                # double-execution across a failover.
+                answered = await self._replicas.lookup(job["call_id"])
+                if answered is not None:
+                    self.admission.release(session.ring)
+                    slot, journaled = answered
+                    return self._replica_answer(
+                        request_id, slot, journaled, loop.time() - started
+                    )
             self.counters.retried_calls += 1
         if failure is not None:
             self.admission.release(session.ring)
@@ -664,6 +732,45 @@ class RingGateway:
         if result.get("deduplicated"):
             response["deduplicated"] = True
         return response
+
+    def _replica_answer(
+        self,
+        request_id: Any,
+        slot: Any,
+        journaled: Dict[str, Any],
+        elapsed: float,
+    ) -> Dict[str, Any]:
+        """Answer a retried call from a follower's journaled result.
+
+        The dead pool executed (and journaled) the call; the machine
+        state change is part of the replayed history the per-worker
+        baseline absorbs, so the per-worker sums are *not* touched —
+        exactly like a worker-side dedup hit.
+        """
+        self.counters.deduplicated_calls += 1
+        self.counters.replica_answered_calls += 1
+        worker = f"slot{slot}"
+        if "error" in journaled:
+            self.counters.machine_faults += 1
+            return error_response(
+                journaled["error"],
+                request_id,
+                detail=journaled.get("detail", ""),
+                worker=worker,
+                deduplicated=True,
+            )
+        self.counters.completed += 1
+        self._latencies_ms.append(elapsed * 1e3)
+        metrics = MetricsSnapshot.from_dict(journaled["metrics"])
+        return ok_response(
+            request_id,
+            verb="call",
+            result=journaled["payload"],
+            metrics=metrics.architectural(),
+            worker=worker,
+            latency_ms=round(elapsed * 1e3, 3),
+            deduplicated=True,
+        )
 
     def _call_finished(
         self,
@@ -888,6 +995,13 @@ class RingGateway:
             "p95_ms": round(_percentile(samples, 0.95), 3),
             "p99_ms": round(_percentile(samples, 0.99), 3),
         }
+        replication: Dict[str, Any] = {"enabled": False}
+        if self._replicas is not None:
+            replication = self._replicas.stats()
+            replication["promotions"] = self.counters.promotions
+            replication["replica_answered_calls"] = (
+                self.counters.replica_answered_calls
+            )
         return ok_response(
             request_id,
             verb="stats",
@@ -913,6 +1027,7 @@ class RingGateway:
                 },
                 "per_worker": per_worker,
             },
+            replication=replication,
             merged=merged.as_dict(),
             architectural=merged.architectural(),
             rates=merged.rates(),

@@ -13,11 +13,15 @@ serializable value.  This package exploits it.
   as ``snapshot + deterministic replay``;
 * :mod:`repro.state.recover` — the replay engine, with a verification
   mode that cross-checks replayed outcomes against the journaled ones
-  record by record.
+  record by record;
+* :mod:`repro.state.replication` — the journal as a replication log:
+  live tailing, CRC-reusing ship frames, and warm replica appliers
+  with hot failover promotion.
 
-The gateway (:mod:`repro.serve`) builds worker crash recovery out of
-these three pieces; the ``repro checkpoint`` / ``repro restore`` /
-``repro replay`` CLI verbs expose them directly.
+The gateway (:mod:`repro.serve`) builds worker crash recovery and
+WAL-shipping replication out of these pieces; the ``repro checkpoint``
+/ ``repro restore`` / ``repro replay`` / ``repro journal`` CLI verbs
+expose them directly.
 """
 
 from .journal import (
@@ -31,6 +35,14 @@ from .recover import (
     recover_slot,
     replay_journal,
 )
+from .replication import (
+    Frame,
+    JournalTailer,
+    ReplicaApplier,
+    decode_frame,
+    encode_frame,
+    read_frames,
+)
 from .snapshot import (
     SNAPSHOT_FORMAT,
     SNAPSHOT_VERSION,
@@ -42,8 +54,14 @@ from .snapshot import (
 )
 
 __all__ = [
+    "Frame",
     "JournalReader",
+    "JournalTailer",
     "JournalWriter",
+    "ReplicaApplier",
+    "decode_frame",
+    "encode_frame",
+    "read_frames",
     "read_journal",
     "RecoveryResult",
     "ReplayReport",

@@ -1,5 +1,7 @@
 """The write-ahead journal: framing, torn tails, corruption, batching."""
 
+import threading
+
 import pytest
 
 from repro.errors import ConfigurationError, JournalError
@@ -10,6 +12,7 @@ from repro.state.journal import (
     _encode_record,
     read_journal,
 )
+from repro.state.replication import JournalTailer
 
 
 def write_records(path, payloads, fsync_every=1):
@@ -117,6 +120,105 @@ class TestCorruption:
         path.write_bytes(b"NOTJRNL\n" + _encode_record({"seq": 1}))
         with pytest.raises(JournalError, match="magic"):
             read_journal(str(path))
+
+
+class TestTailing:
+    """Live-tailing semantics the replication shipper depends on."""
+
+    def test_poll_is_incremental(self, tmp_path):
+        path = tmp_path / "j.bin"
+        write_records(path, [{"x": 0}, {"x": 1}])
+        tailer = JournalTailer(str(path))
+        assert [f.seq for f in tailer.poll()] == [1, 2]
+        assert tailer.poll() == []
+        write_records(path, [{"x": 2}])  # appends via reopen
+        assert [f.record["x"] for f in tailer.poll()] == [2]
+
+    def test_missing_file_is_an_empty_journal(self, tmp_path):
+        tailer = JournalTailer(str(tmp_path / "absent.bin"))
+        assert tailer.poll() == []
+
+    def test_since_seq_parses_but_does_not_emit(self, tmp_path):
+        path = tmp_path / "j.bin"
+        write_records(path, [{"x": i} for i in range(5)])
+        tailer = JournalTailer(str(path), since_seq=3)
+        assert [f.seq for f in tailer.poll()] == [4, 5]
+        assert tailer.last_seq == 5
+
+    def test_torn_tail_appearing_mid_read_completes_later(self, tmp_path):
+        # the shipper's key edge: a record is half-written when the
+        # tailer polls; the remaining bytes land afterwards and the
+        # next poll must pick the record up whole
+        path = tmp_path / "j.bin"
+        write_records(path, [{"x": 0}, {"x": 1}])
+        tailer = JournalTailer(str(path))
+        assert len(tailer.poll()) == 2
+        frame = _encode_record({"x": 2, "seq": 3})
+        with open(path, "ab") as handle:
+            handle.write(frame[:5])  # torn: partial header+payload
+        assert tailer.poll() == []  # waits, does not drop or raise
+        with open(path, "ab") as handle:
+            handle.write(frame[5:])
+        (completed,) = tailer.poll()
+        assert completed.seq == 3
+        assert completed.record["x"] == 2
+
+    def test_truncated_then_rewritten_torn_tail_is_picked_up(self, tmp_path):
+        # a restarting writer truncates the torn tail in place; the
+        # tailer's offset stands at the end of the intact prefix and
+        # the replacement bytes must be read from there
+        path = tmp_path / "j.bin"
+        write_records(path, [{"x": 0}])
+        tailer = JournalTailer(str(path))
+        assert len(tailer.poll()) == 1
+        with open(path, "ab") as handle:
+            handle.write(b"\x99\x99\x99")
+        assert tailer.poll() == []
+        with JournalWriter(str(path)) as writer:  # truncates, appends
+            writer.append({"x": 1})
+        (frame,) = tailer.poll()
+        assert frame.seq == 2
+
+    def test_concurrent_append_while_shipping(self, tmp_path):
+        # a writer appends (with batched fsyncs) while the tailer
+        # polls: every record must arrive exactly once, in seq order
+        path = tmp_path / "j.bin"
+        total = 200
+        writer = JournalWriter(str(path), fsync_every=8)
+
+        def append_all():
+            for i in range(total):
+                writer.append({"x": i})
+            writer.close()
+
+        thread = threading.Thread(target=append_all)
+        thread.start()
+        tailer = JournalTailer(str(path))
+        seen = []
+        while len(seen) < total:
+            seen.extend(tailer.poll())
+        thread.join()
+        assert [f.seq for f in seen] == list(range(1, total + 1))
+        assert [f.record["x"] for f in seen] == list(range(total))
+        assert tailer.poll() == []
+
+    def test_interior_corruption_is_fatal(self, tmp_path):
+        path = tmp_path / "j.bin"
+        write_records(path, [{"x": 0}, {"x": 1}])
+        data = bytearray(path.read_bytes())
+        data[len(MAGIC) + 8] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(JournalError, match="CRC mismatch"):
+            JournalTailer(str(path)).poll()
+
+    def test_shrinking_below_the_offset_is_fatal(self, tmp_path):
+        path = tmp_path / "j.bin"
+        write_records(path, [{"x": 0}, {"x": 1}])
+        tailer = JournalTailer(str(path))
+        tailer.poll()
+        path.write_bytes(path.read_bytes()[: len(MAGIC)])
+        with pytest.raises(JournalError, match="shrank"):
+            tailer.poll()
 
 
 class TestFsyncBatching:
