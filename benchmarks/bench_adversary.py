@@ -1,0 +1,155 @@
+"""Experiment A1 — live hardware-vs-software A/B under adversarial load.
+
+Two gateways serve the identical catalog, one per machine profile:
+``ringed`` (the paper's hardware ring checks) and ``baseline645`` (the
+GE 645 software-ring assist the paper was written against, where every
+legal cross-ring CALL/RETURN pays a supervisor-sized cycle surcharge).
+Both are driven with the same mixed workload:
+
+* a **legal phase** — ``call_loop`` bursts crossing from ring 4 into a
+  ring-0 gate — whose per-call simulated cycles give the crossing-cost
+  A/B.  Simulated cycles are deterministic, so the claim is asserted
+  outright: the hardware profile completes the same calls at least
+  ``MIN_CYCLES_RATIO``x cheaper (and the measured ratio is also gated
+  against ``baseline_adversary.json`` so drift fails CI);
+* an **adversarial phase** — concurrent sessions calling an ``attack``
+  catalog program from the ring-violation corpus — whose only legal
+  outcome is a ``machine_fault`` carrying the oracle's code.  The
+  fault rate must be 100% on *both* profiles: turning the hardware
+  checks off may slow the machine down, it must never let an attack
+  through.
+
+The security claim of the paper in one benchmark: the rings cost
+little when implemented in hardware, and cost no protection when they
+are not.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.serve.gateway import GatewayConfig, RingGateway
+from repro.serve.loadgen import run_load
+
+WORKERS = 2
+
+#: legal phase: sessions x calls of `count` call/return pairs into ring 0
+LEGAL_SESSIONS = 8
+LEGAL_CALLS = 4
+COUNT = 16
+
+#: adversarial phase: concurrent attackers, one corpus family each
+ATTACKS = (
+    ("nongate_call", "ACV_NOT_GATE"),
+    ("gate_skip", "ACV_NOT_GATE"),
+    ("launder_call", "ACV_RING_RAISED"),
+    ("write_bracket", "ACV_WRITE_BRACKET"),
+)
+ATTACK_SESSIONS = 4
+ATTACK_CALLS = 3
+
+#: the deterministic floor: software rings must make the same legal
+#: crossing workload at least this many times more expensive
+MIN_CYCLES_RATIO = 2.0
+
+
+async def _drive(profile: str):
+    gateway = RingGateway(
+        GatewayConfig(
+            port=0,
+            workers=WORKERS,
+            backend="thread",
+            call_timeout=60.0,
+            drain_timeout=60.0,
+            machine_profile=profile,
+        )
+    )
+    await gateway.start()
+    try:
+        legal = await run_load(
+            "127.0.0.1",
+            gateway.port,
+            sessions=LEGAL_SESSIONS,
+            calls=LEGAL_CALLS,
+            program="call_loop",
+            args={"count": COUNT, "target_ring": 0},
+            user_prefix=f"ab_{profile}",
+            expect_profile=profile,
+        )
+        attacks = []
+        for family, code in ATTACKS:
+            attacks.append(
+                await run_load(
+                    "127.0.0.1",
+                    gateway.port,
+                    sessions=ATTACK_SESSIONS,
+                    calls=ATTACK_CALLS,
+                    program="attack",
+                    args={"family": family},
+                    user_prefix=f"adv_{profile}_{family}",
+                    expect_fault=code,
+                    expect_profile=profile,
+                )
+            )
+    finally:
+        await gateway.stop()
+    return legal, attacks
+
+
+def _cycles_per_call(report) -> float:
+    assert report.ok == report.sent, report.check()
+    return report.client_metrics["cycles"] / report.ok
+
+
+def test_adversary_ab_live(benchmark):
+    """Same workload, two profiles: cheaper crossings, equal security."""
+    results = {
+        profile: asyncio.run(_drive(profile))
+        for profile in ("ringed", "baseline645")
+    }
+
+    # -- legal phase: the crossing-cost A/B --------------------------------
+    per_call = {}
+    for profile, (legal, _) in results.items():
+        assert legal.check() == []
+        per_call[profile] = _cycles_per_call(legal)
+    ratio = per_call["baseline645"] / per_call["ringed"]
+    assert ratio >= MIN_CYCLES_RATIO, (
+        f"software rings are only {ratio:.2f}x the hardware cycle cost "
+        f"for the same legal crossings (floor {MIN_CYCLES_RATIO}x)"
+    )
+
+    # -- adversarial phase: 100% fault rate on both profiles ---------------
+    fault_rate = {}
+    for profile, (_, attacks) in results.items():
+        expected = sum(a.expected_faults for a in attacks)
+        sent = sum(a.sent for a in attacks)
+        leaked = sum(a.unexpected_ok for a in attacks)
+        for report in attacks:
+            assert report.check() == []
+        assert leaked == 0, f"{profile}: {leaked} attack call(s) SUCCEEDED"
+        assert expected == sent, (
+            f"{profile}: only {expected}/{sent} attack calls faulted "
+            "with the expected code"
+        )
+        fault_rate[profile] = expected / sent
+
+    benchmark.extra_info["legal_calls_per_profile"] = (
+        LEGAL_SESSIONS * LEGAL_CALLS
+    )
+    benchmark.extra_info["attack_calls_per_profile"] = (
+        len(ATTACKS) * ATTACK_SESSIONS * ATTACK_CALLS
+    )
+    benchmark.extra_info["ringed_cycles_per_call"] = round(
+        per_call["ringed"], 1
+    )
+    benchmark.extra_info["baseline645_cycles_per_call"] = round(
+        per_call["baseline645"], 1
+    )
+    benchmark.extra_info["soft_over_hw_cycles_ratio"] = round(ratio, 2)
+    benchmark.extra_info["attack_fault_rate_ringed"] = fault_rate["ringed"]
+    benchmark.extra_info["attack_fault_rate_baseline645"] = fault_rate[
+        "baseline645"
+    ]
+
+    benchmark(lambda: None)

@@ -13,57 +13,41 @@ ring-4 data survives) and once promoted to ring 4 after "certification"
 (it runs — programming generality: the protection environment changed,
 the program did not).
 
+The binary and its ring-4 victim data come from the serving catalog
+(:mod:`repro.serve.catalog`, program ``debug``), where the *session
+ring* of a gateway caller decides the same outcome; this script
+installs them on a standalone machine.
+
 Run:  python examples/debug_ring5.py
 """
 
-from repro import AclEntry, Fault, Machine, RingBracketSpec
-
-BUGGY = """
-; buggy - writes through a wild pointer into ring-4 data
-        .seg    buggy
-main::  lda     =123
-        sta     l_wild,*       ; the addressing error
-        halt
-l_wild: .its    precious
-"""
-
-SCRATCH_ACL = [AclEntry("*", RingBracketSpec.data(5))]   # debug workspace
-PRECIOUS_ACL = [AclEntry("*", RingBracketSpec.data(4))]  # ring-4 data
+from repro import Fault, Machine
+from repro.serve.catalog import build_program, install_image
 
 
 def main() -> None:
-    machine = Machine()
+    machine = Machine(services=False)
     dev = machine.add_user("dev")
-
-    machine.store_data(">udd>dev>precious", [7, 7, 7, 7], acl=PRECIOUS_ACL)
-    machine.store_data(">udd>dev>scratch", [0, 0, 0, 0], acl=SCRATCH_ACL)
-    machine.store_program(
-        ">udd>dev>buggy",
-        BUGGY,
-        acl=[
-            # debug grant: executable in ring 5
-            AclEntry("*", RingBracketSpec(r1=4, r2=5, r3=5, read=True, execute=True)),
-        ],
-    )
-
     process = machine.login(dev)
-    machine.initiate(process, ">udd>dev>buggy")
+    entry = install_image(
+        machine, process, build_program("debug", {"value": 123})
+    )
 
     print("== run the untested program in ring 5 ==")
     try:
-        machine.run(process, "buggy$main", ring=5)
+        machine.run(process, entry, ring=5)
     except Fault as fault:
         print(f"   caught by ring hardware: {fault.code.name}")
         print(f"   at instruction ({fault.at_segno},{fault.at_wordno}), "
               f"target ({fault.segno},{fault.wordno}), effective ring {fault.ring}")
 
-    precious = machine.supervisor.activate(">udd>dev>precious")
+    precious = machine.supervisor.activate(">serve>db_prec")
     data = machine.memory.peek_block(precious.placed.addr, 4)
     print(f"   ring-4 data after the crash: {data}  (unharmed)")
     assert data == [7, 7, 7, 7]
 
     print("== the developer decides the write was intended; certify to ring 4 ==")
-    result = machine.run(process, "buggy$main", ring=4)
+    result = machine.run(process, entry, ring=4)
     data = machine.memory.peek_block(precious.placed.addr, 4)
     print(f"   ran to completion in ring 4; data now {data}")
     assert result.halted and data[0] == 123

@@ -9,66 +9,37 @@ The grader (ring 4) calls each student's ``solve`` entry with an input
 in A.  The call is *upward* — completed by the supervisor's return-gate
 machinery since upward calls are the one crossing the hardware hands to
 software — and the student code runs with ring-6 rights only: it cannot
-call supervisor gates (their gate extensions stop at ring 5), cannot
+reach inner-ring gates (their gate extensions stop at ring 5), cannot
 touch the grader's ring-4 stack, and cannot read ring-4 data.
+
+The grader and all three student submissions come from the serving
+catalog (:mod:`repro.serve.catalog`, program ``grading_sandbox``) so
+grading is also a multi-tenant gateway workload; this script installs
+the variants on a standalone machine.
 
 Run:  python examples/grading_sandbox.py
 """
 
-from repro import AclEntry, Fault, Machine, RingBracketSpec
+from repro import Fault, Machine
+from repro.serve.catalog import build_program, install_image
 
-GRADER = """
-; grader - ring 4; calls one student solution and checks the answer
-        .seg    grader
-main::  lda     =5             ; the test input
-        eap4    back
-        call    l_student,*    ; upward call into ring 6
-back:   sba     =42            ; expected answer is 42
-        halt                   ; A == 0 means PASS
-l_student: .its  student$solve
-"""
-
-HONEST = """
-; student - adds 37, as the assignment asked
-        .seg    student
-        .gates  1
-solve:: ada     =37
-        return  pr4|0
-"""
-
-CHEAT_SUPERVISOR = """
-; student - tries to call a supervisor gate from ring 6
-        .seg    student
-        .gates  1
-solve:: eap4    back
-        call    l_svc,*
-back:   return  pr4|0
-l_svc:  .its    svc$write
-"""
-
-CHEAT_STACK = """
-; student - tries to scribble on the grader's ring-4 stack
-        .seg    student
-        .gates  1
-solve:: lda     =0
-        sta     pr6|1          ; PR6 came from the grader...
-        return  pr4|0
-"""
-
-STUDENT_ACL = [AclEntry("*", RingBracketSpec.procedure(6))]
-GRADER_ACL = [AclEntry("*", RingBracketSpec.procedure(4))]
+LABELS = {
+    0: "honest student: solve(x) = x + 37",
+    1: "student who calls a guarded inner-ring gate",
+    2: "student who pokes the grader's stack",
+}
 
 
-def grade(source: str, label: str) -> None:
-    machine = Machine()
+def grade(variant: int) -> None:
+    machine = Machine(services=False)
     grader = machine.add_user("grader")
-    machine.store_program(">udd>grader>grader", GRADER, acl=GRADER_ACL)
-    machine.store_program(">udd>grader>student", source, acl=STUDENT_ACL)
     process = machine.login(grader)
-    machine.initiate(process, ">udd>grader>grader")
-    print(f"== {label} ==")
+    entry = install_image(
+        machine, process, build_program("grading_sandbox", {"variant": variant})
+    )
+    print(f"== {LABELS[variant]} ==")
     try:
-        result = machine.run(process, "grader$main", ring=4)
+        result = machine.run(process, entry, ring=4)
     except Fault as fault:
         print(f"   sandbox violation: {fault.code.name} ({fault.code.label})")
         print("   grade: DISQUALIFIED")
@@ -78,9 +49,8 @@ def grade(source: str, label: str) -> None:
 
 
 def main() -> None:
-    grade(HONEST, "honest student: solve(x) = x + 37")
-    grade(CHEAT_SUPERVISOR, "student who calls supervisor gates")
-    grade(CHEAT_STACK, "student who pokes the grader's stack")
+    for variant in (0, 1, 2):
+        grade(variant)
     print()
     print("Ring 6 confined every escape attempt; the honest submission ran")
     print("and returned through the software-stacked return gate to ring 4.")

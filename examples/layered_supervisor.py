@@ -12,97 +12,44 @@ The demo then shows the layering enforced: the user calling the ring-0
 gate directly is refused, and a change to the ring-1 layer cannot touch
 ring-0 data (the error-confinement argument for layered supervisors).
 
+Both layers and both user programs come from the serving catalog
+(:mod:`repro.serve.catalog`, program ``layered``) so the layered
+service is also a multi-tenant gateway workload; this script installs
+them on a standalone machine.
+
 Run:  python examples/layered_supervisor.py
 """
 
-from repro import AclEntry, Fault, Machine, RingBracketSpec
-
-CORE = """
-; core - ring-0 primitives; gates reachable only from ring 1
-        .seg    core
-        .gates  1
-prim::  aos     l_calls,*      ; ring-0 bookkeeping
-        ada     =1000          ; "the privileged operation"
-        return  pr4|0
-l_calls: .its   coredata
-"""
-
-CORE_DATA_ACL = [AclEntry("*", RingBracketSpec.data(0))]
-
-LAYER1 = """
-; layer1 - ring-1 supervisor layer; gates reachable from rings 2-5
-        .seg    layer1
-        .gates  1
-serve:: eap6    pr0|0          ; my stack base, before PR0 is clobbered
-        spr4    pr6|1          ; save the user's return pointer
-        ada     =100           ; layer-1 work
-        eap4    back
-        call    l_prim,*       ; internal interface: ring 1 -> ring 0
-back:   eap4    pr6|1,*        ; restore the user's return pointer
-        return  pr4|0
-l_prim: .its    core$prim
-"""
-
-APP = """
-; app - an ordinary ring-4 program
-        .seg    app
-main::  lda     =1
-        eap4    back
-        call    l_serve,*
-back:   halt
-l_serve: .its   layer1$serve
-"""
-
-DIRECT = """
-; direct - a ring-4 program trying to skip the ring-1 layer
-        .seg    direct
-main::  eap4    back
-        call    l_prim,*
-back:   halt
-l_prim: .its    core$prim
-"""
+from repro import Fault, Machine
+from repro.serve.catalog import build_program, install_image
 
 
 def main() -> None:
-    machine = Machine()
+    machine = Machine(services=False)
     user = machine.add_user("u")
-
-    machine.store_data(">sys>coredata", [0], acl=CORE_DATA_ACL)
-    machine.store_program(
-        ">sys>core",
-        CORE,
-        acl=[AclEntry("*", RingBracketSpec.procedure(0, callable_from=1))],
-    )
-    machine.store_program(
-        ">sys>layer1",
-        LAYER1,
-        acl=[AclEntry("*", RingBracketSpec.procedure(1, callable_from=5))],
-    )
-    machine.store_program(
-        ">udd>u>app", APP, acl=[AclEntry("*", RingBracketSpec.procedure(4))]
-    )
-    machine.store_program(
-        ">udd>u>direct", DIRECT, acl=[AclEntry("*", RingBracketSpec.procedure(4))]
-    )
-
     process = machine.login(user)
-    machine.initiate(process, ">udd>u>app")
-    machine.initiate(process, ">udd>u>direct")
+
+    app = install_image(
+        machine, process, build_program("layered", {"n": 1})
+    )
+    direct = install_image(
+        machine, process, build_program("layered", {"direct": 1})
+    )
 
     print("== service request through the layers ==")
-    result = machine.run(process, "app$main", ring=4)
+    result = machine.run(process, app, ring=4)
     print(f"   result A = {result.a}  (1 + 100 from ring 1 + 1000 from ring 0)")
     print(f"   ring crossings: {result.ring_crossings}  (4->1, 1->0, 0->1, 1->4)")
     print(f"   back in ring {result.ring}, {result.cycles} cycles, no supervisor traps for the crossings")
     assert result.a == 1101 and result.ring_crossings == 4
 
-    core_calls = machine.supervisor.activate(">sys>coredata")
+    core_calls = machine.supervisor.activate(">serve>ls_coredata")
     count = machine.memory.peek_block(core_calls.placed.addr, 1)[0]
     print(f"   ring-0 call counter: {count}")
 
     print("== user calls the ring-0 gate directly ==")
     try:
-        machine.run(process, "direct$main", ring=4)
+        machine.run(process, direct, ring=4)
     except Fault as fault:
         print(f"   refused: {fault.code.name} — ring 4 is outside core's gate extension (R3=1)")
 

@@ -17,89 +17,43 @@ ring, and shows:
   because every ring-3 capability is a subset of ring 2's;
 * swapping the assignment merely swaps the victim.
 
-The paper accepts this as the price of the total ordering that makes
-the hardware simple ("it is just that subset property which imposes an
-organization which is easy to understand").  Capability systems (its
-refs [5, 8, 13]) are the roads not taken here.
+The story is built by the serving catalog
+(:mod:`repro.serve.catalog`, program ``mutual_suspicion``) so the same
+segments are a multi-tenant gateway workload; this script installs
+them on a standalone machine.  The paper accepts the asymmetry as the
+price of the total ordering that makes the hardware simple ("it is
+just that subset property which imposes an organization which is easy
+to understand").  Capability systems (its refs [5, 8, 13]) are the
+roads not taken here.
 
 Run:  python examples/mutual_suspicion.py
 """
 
-from repro import AclEntry, Fault, Machine, RingBracketSpec
-
-
-def build(machine):
-    user = machine.add_user("u")
-    machine.store_data(
-        ">vendors>a_secret", [0o101], acl=[AclEntry("*", RingBracketSpec.data(2))]
-    )
-    machine.store_data(
-        ">vendors>b_secret", [0o102], acl=[AclEntry("*", RingBracketSpec.data(3))]
-    )
-    # vendor B's code, running in ring 3, tries to read A's secret
-    machine.store_program(
-        ">vendors>b_spy",
-        """
-        .seg    b_spy
-        .gates  1
-spy::   lda     l_a,*
-        return  pr4|0
-l_a:    .its    a_secret
-""",
-        acl=[AclEntry("*", RingBracketSpec.procedure(3, callable_from=5))],
-    )
-    # vendor A's code, running in ring 2, reads B's secret
-    machine.store_program(
-        ">vendors>a_spy",
-        """
-        .seg    a_spy
-        .gates  1
-spy::   lda     l_b,*
-        return  pr4|0
-l_b:    .its    b_secret
-""",
-        acl=[AclEntry("*", RingBracketSpec.procedure(2, callable_from=5))],
-    )
-    machine.store_program(
-        ">u>driver",
-        """
-        .seg    driver
-main::  eap4    back
-        call    l_spy,*
-back:   halt
-l_spy:  .its    TARGET$spy
-""".replace("TARGET", "b_spy"),
-        acl=[AclEntry("*", RingBracketSpec.procedure(4))],
-    )
-    machine.store_program(
-        ">u>driver2",
-        """
-        .seg    driver2
-main::  eap4    back
-        call    l_spy,*
-back:   halt
-l_spy:  .its    a_spy$spy
-""",
-        acl=[AclEntry("*", RingBracketSpec.procedure(4))],
-    )
-    process = machine.login(user)
-    machine.initiate(process, ">u>driver")
-    machine.initiate(process, ">u>driver2")
-    return process
+from repro import Fault, Machine
+from repro.serve.catalog import build_program, install_image
 
 
 def main() -> None:
     machine = Machine(services=False)
-    process = build(machine)
+    user = machine.add_user("u")
+    process = machine.login(user)
+
+    # attacker_ring picks the direction of the spying
+    b_attacks = install_image(
+        machine, process, build_program("mutual_suspicion", {"attacker_ring": 3})
+    )
+    a_attacks = install_image(
+        machine, process, build_program("mutual_suspicion", {"attacker_ring": 2})
+    )
 
     print("== vendor B (ring 3) attacks vendor A's ring-2 data ==")
     try:
-        machine.run(process, "driver$main", ring=4)
+        machine.run(process, b_attacks, ring=4)
     except Fault as fault:
         print(f"   blocked by the rings: {fault.code.name}")
 
     print("== vendor A (ring 2) attacks vendor B's ring-3 data ==")
-    result = machine.run(process, "driver2$main", ring=4)
+    result = machine.run(process, a_attacks, ring=4)
     print(f"   succeeds: A read B's secret word = {result.a:#o}")
     assert result.a == 0o102
 

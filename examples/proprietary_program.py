@@ -12,32 +12,21 @@ Bob can call the gate and get answers; he cannot disassemble, copy, or
 even load a single word of the code.  Alice, matching her own ACL
 entry, reads it freely.
 
+The algorithm and both client programs come from the serving catalog
+(:mod:`repro.serve.catalog`, program ``proprietary``) so the same
+trade secret is a multi-tenant gateway workload; this script installs
+them on a standalone machine and adds the owner's-eye view.
+
 Run:  python examples/proprietary_program.py
 """
 
 from repro import AclEntry, Fault, Machine, RingBracketSpec
+from repro.serve.catalog import build_program, install_image
 
-#: Alice's secret-sauce algorithm (three-instruction trade secret).
-SECRET_ALGORITHM = """
-        .seg    magic
-        .gates  1
-compute:: als   2              ; the proprietary transformation:
-        ada     =7             ;   f(x) = 4x + 7
-        return  pr4|0
-"""
-
-CLIENT = """
-        .seg    client
-main::  lda     =5
-        eap4    back
-        call    l_magic,*
-back:   halt                   ; A = f(5) = 27
-l_magic: .its   magic$compute
-"""
-
-PIRATE = """
-        .seg    pirate
-main::  lda     l_code,*       ; try to read the algorithm's first word
+#: alice's private reader: load the first word of her own code
+OWNER_READER = """
+        .seg    owner_reader
+main::  lda     l_code,*
         halt
 l_code: .its    magic
 """
@@ -48,17 +37,38 @@ def main() -> None:
     alice = machine.add_user("alice")
     bob = machine.add_user("bob")
 
+    # the catalog's execute-only subsystem: f(x) = 4x + 7
+    client_image = build_program("proprietary", {"value": 5})
+    pirate_image = build_program("proprietary", {"peek": 1})
+
+    process = machine.login(bob)
+    client = install_image(machine, process, client_image)
+    pirate = install_image(machine, process, pirate_image)
+
+    print("== bob uses the proprietary subsystem ==")
+    result = machine.run(process, client, ring=4)
+    print(f"   pp_magic$compute(5) = {result.a}")
+    assert result.a == 27
+
+    print("== bob tries to read the algorithm ==")
+    try:
+        machine.run(process, pirate, ring=4)
+    except Fault as fault:
+        print(f"   refused: {fault.code.name} — execute permission does not imply read")
+
+    print("== alice, the owner, reads her own code ==")
+    # same source text as the served gate, but under alice's own ACL:
+    # read on for her, execute-only for everyone else
+    _, gate_source, _ = client_image.segments[0]
     machine.store_program(
         ">udd>alice>magic",
-        SECRET_ALGORITHM,
+        gate_source.replace(".seg    pp_magic", ".seg    magic"),
         owner=alice,
         acl=[
-            # alice: full access to her own property
             AclEntry(
                 "alice",
                 RingBracketSpec(r1=4, r2=4, r3=5, read=True, execute=True, gate=1),
             ),
-            # everyone else: execute-only, through the gate
             AclEntry(
                 "*",
                 RingBracketSpec(r1=4, r2=4, r3=5, read=False, execute=True, gate=1),
@@ -66,42 +76,13 @@ def main() -> None:
         ],
     )
     machine.store_program(
-        ">udd>bob>client",
-        CLIENT,
-        owner=bob,
-        acl=[AclEntry("*", RingBracketSpec.procedure(4))],
-    )
-    machine.store_program(
-        ">udd>bob>pirate",
-        PIRATE,
-        owner=bob,
-        acl=[AclEntry("*", RingBracketSpec.procedure(4))],
-    )
-
-    process = machine.login(bob)
-    machine.initiate(process, ">udd>bob>client")
-    machine.initiate(process, ">udd>bob>pirate")
-
-    print("== bob uses the proprietary subsystem ==")
-    result = machine.run(process, "client$main", ring=4)
-    print(f"   magic$compute(5) = {result.a}")
-    assert result.a == 27
-
-    print("== bob tries to read the algorithm ==")
-    try:
-        machine.run(process, "pirate$main", ring=4)
-    except Fault as fault:
-        print(f"   refused: {fault.code.name} — execute permission does not imply read")
-
-    print("== alice, the owner, reads her own code ==")
-    alice_process = machine.login(alice)
-    machine.initiate(alice_process, ">udd>alice>magic")
-    machine.store_program(
         ">udd>alice>reader",
-        PIRATE.replace(".seg    pirate", ".seg    owner_reader"),
+        OWNER_READER,
         owner=alice,
         acl=[AclEntry("*", RingBracketSpec.procedure(4))],
     )
+    alice_process = machine.login(alice)
+    machine.initiate(alice_process, ">udd>alice>magic")
     machine.initiate(alice_process, ">udd>alice>reader")
     result = machine.run(alice_process, "owner_reader$main", ring=4)
     print(f"   first word of her code: {result.a:#o}")

@@ -38,6 +38,14 @@ Subcommands, all runnable as ``python -m repro <cmd>``:
 ``journal dump``
     List a gate-call journal's records (seq, CRC, call id, outcome)
     human-readably or as JSON.
+``adversary run``
+    Sweep the seeded ring-violation attack corpus across the
+    execution-tier matrix (interpreter, fast path, block, JIT, fast
+    gate, snapshot-restore) asserting every attack faults with the
+    expected code, bit-identically on every tier.
+``adversary dump``
+    List the generated attack corpus — or, with ``--json``, emit the
+    full program summaries — without executing anything.
 """
 
 from __future__ import annotations
@@ -354,6 +362,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ship_every=args.ship_every,
             ack_window=args.ack_window,
             replica_endpoints=tuple(args.replica_endpoint or ()),
+            machine_profile=args.machine_profile,
             default_policy=RingPolicy(
                 rate=args.rate,
                 burst=args.burst,
@@ -389,10 +398,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         replicated = (
             f", {replica_count} replica(s)" if replica_count else ""
         )
+        profile = (
+            f", {args.machine_profile} machines"
+            if args.machine_profile != "ringed"
+            else ""
+        )
         print(
             f"ring gateway listening on {args.host}:{gateway.port} "
             f"({gateway.pool.backend} backend, "
-            f"{args.workers} workers{durable}{paged}{replicated})",
+            f"{args.workers} workers{durable}{paged}{replicated}{profile})",
             flush=True,
         )
         await wait_for_shutdown()
@@ -472,6 +486,12 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         call_args["n"] = args.n
     if args.value is not None:
         call_args["value"] = args.value
+    if args.family is not None:
+        call_args["family"] = args.family
+    if args.seed is not None:
+        call_args["seed"] = args.seed
+    if args.attack_ring is not None:
+        call_args["ring"] = args.attack_ring
 
     report = asyncio.run(
         run_load(
@@ -483,6 +503,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             args=call_args,
             rings=tuple(args.ring) or (4,),
             concurrency=args.concurrency,
+            expect_fault=args.expect_fault,
+            expect_profile=args.expect_profile,
         )
     )
     payload = report.as_dict()
@@ -493,19 +515,103 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         print(f"wrote {args.json}")
     else:
         print(text)
-    print(
-        f"{payload['ok']}/{payload['sent']} OK at "
-        f"{payload['throughput_calls_per_second']} calls/s "
-        f"(p50 {payload['latency_p50_ms']} ms, "
-        f"p99 {payload['latency_p99_ms']} ms)",
-        file=sys.stderr,
-    )
+    if args.expect_fault:
+        print(
+            f"{payload['expected_faults']}/{payload['sent']} faulted "
+            f"{args.expect_fault} as expected at "
+            f"{payload['throughput_calls_per_second']} calls/s "
+            f"(p50 {payload['latency_p50_ms']} ms, "
+            f"p99 {payload['latency_p99_ms']} ms)",
+            file=sys.stderr,
+        )
+    else:
+        print(
+            f"{payload['ok']}/{payload['sent']} OK at "
+            f"{payload['throughput_calls_per_second']} calls/s "
+            f"(p50 {payload['latency_p50_ms']} ms, "
+            f"p99 {payload['latency_p99_ms']} ms)",
+            file=sys.stderr,
+        )
     problems = payload["problems"]
     if problems:
         for problem in problems:
             print(f"problem: {problem}", file=sys.stderr)
     if args.check and problems:
         return 1
+    return 0
+
+
+def _cmd_adversary_run(args: argparse.Namespace) -> int:
+    from .adversary.harness import TIER_NAMES, run_corpus
+
+    report = run_corpus(
+        seed=args.seed,
+        per_family=args.per_family,
+        families=tuple(args.family) if args.family else None,
+        tiers=tuple(args.tier) if args.tier else TIER_NAMES,
+        hardware_rings=not args.baseline645,
+        ring=args.attack_ring,
+    )
+    if args.json:
+        text = json.dumps(report, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(text + "\n")
+            print(f"wrote {args.json}")
+    else:
+        profile = "baseline645" if args.baseline645 else "ringed"
+        print(
+            f"adversary sweep: {report['total']} attack program(s) x "
+            f"{len(report['tiers'])} tier(s) [{profile}]"
+        )
+        for entry in report["programs"]:
+            verdict = "ok" if entry["ok"] else "FAIL"
+            print(
+                f"  {verdict:<4} {entry['name']:<16} "
+                f"{entry['family']:<18} expects "
+                f"{entry['expected']['code']}"
+            )
+            for problem in entry["problems"]:
+                print(f"       problem: {problem}")
+        print(
+            f"{report['total'] - report['failed']}/{report['total']} "
+            f"held the oracle bit-identically across "
+            f"{', '.join(report['tiers'])}"
+        )
+    return 0 if report["ok"] else 1
+
+
+def _cmd_adversary_dump(args: argparse.Namespace) -> int:
+    from .adversary.corpus import generate_corpus
+
+    corpus = generate_corpus(
+        seed=args.seed,
+        per_family=args.per_family,
+        families=tuple(args.family) if args.family else None,
+        ring=args.attack_ring,
+    )
+    if args.json:
+        payload = {
+            "seed": args.seed,
+            "count": len(corpus),
+            "programs": [program.summary() for program in corpus],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"{len(corpus)} attack program(s) (seed {args.seed})")
+    header = (
+        f"{'name':<16} {'family':<18} {'ring':>4}  "
+        f"{'expected fault':<24} {'victim rule violated'}"
+    )
+    print(header)
+    for program in corpus:
+        print(
+            f"{program.name:<16} {program.family:<18} "
+            f"{program.ring:>4}  {program.expect_code.name:<24} "
+            f"{program.description}"
+        )
     return 0
 
 
@@ -671,6 +777,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="front N session gateways with a consistent-hash router "
         "(requires --max-sessions and --session-store)",
     )
+    serve.add_argument(
+        "--machine-profile",
+        choices=("ringed", "baseline645"),
+        default="ringed",
+        help="worker machine hardware profile: 'ringed' (hardware ring "
+        "checks) or 'baseline645' (GE 645 software rings, identical "
+        "fault verdicts, slower crossings) for live A/B comparison",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     loadgen = sub.add_parser(
@@ -705,6 +819,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadgen.add_argument("--n", type=int, help="compute: loop iterations")
     loadgen.add_argument("--value", type=int, help="echo: value to return")
+    loadgen.add_argument(
+        "--family", help="attack: adversary corpus family to build"
+    )
+    loadgen.add_argument("--seed", type=int, help="attack: corpus seed")
+    loadgen.add_argument(
+        "--attack-ring", type=int, help="attack: attacker's ring"
+    )
+    loadgen.add_argument(
+        "--expect-fault",
+        metavar="CODE",
+        help="adversarial mode: every call must FAIL with this fault "
+        "code (e.g. ACV_NOT_GATE); a call that succeeds, or faults "
+        "differently, is reported as a problem",
+    )
+    loadgen.add_argument(
+        "--expect-profile",
+        choices=("ringed", "baseline645"),
+        help="assert the gateway's advertised machine profile",
+    )
     loadgen.add_argument("--json", metavar="FILE", help="write the report")
     loadgen.add_argument(
         "--check",
@@ -809,6 +942,86 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=None, help="stop after N records"
     )
     dump.set_defaults(func=_cmd_journal_dump)
+
+    adversary = sub.add_parser(
+        "adversary",
+        help="ring-violation attack corpus and fault-oracle harness",
+    )
+    adversary_sub = adversary.add_subparsers(
+        dest="adversary_command", required=True
+    )
+
+    def _corpus_arguments(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--seed",
+            type=int,
+            default=1971,
+            help="corpus seed (every program is derived deterministically)",
+        )
+        p.add_argument(
+            "--per-family",
+            type=int,
+            default=1,
+            help="attack programs generated per family",
+        )
+        p.add_argument(
+            "--family",
+            action="append",
+            default=[],
+            metavar="NAME",
+            help="restrict to one attack family (repeatable; "
+            "default: all families)",
+        )
+        p.add_argument(
+            "--attack-ring",
+            type=int,
+            default=None,
+            metavar="RING",
+            help="pin the attacker's ring of execution (default: drawn "
+            "per program from the seed)",
+        )
+
+    adv_run = adversary_sub.add_parser(
+        "run",
+        help="sweep the attack corpus across the execution-tier matrix, "
+        "asserting every attack faults bit-identically with the "
+        "expected code",
+    )
+    _corpus_arguments(adv_run)
+    adv_run.add_argument(
+        "--tier",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="restrict to one execution tier (repeatable; default: "
+        "interp, fast_path, block, jit, fast_gate, restore)",
+    )
+    adv_run.add_argument(
+        "--baseline645",
+        action="store_true",
+        help="run with hardware rings off (the GE 645 software-ring "
+        "profile); the fault verdicts must not change",
+    )
+    adv_run.add_argument(
+        "--json",
+        metavar="FILE",
+        help="write the full sweep report as JSON ('-' for stdout)",
+    )
+    adv_run.set_defaults(func=_cmd_adversary_run)
+
+    adv_dump = adversary_sub.add_parser(
+        "dump",
+        help="list the generated attack corpus (name, family, ring, "
+        "expected fault) without executing it",
+    )
+    _corpus_arguments(adv_dump)
+    adv_dump.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full program summaries (segments, oracle, "
+        "entry) as one JSON document",
+    )
+    adv_dump.set_defaults(func=_cmd_adversary_dump)
     return parser
 
 

@@ -926,17 +926,24 @@ class Processor:
             raise fault
         self.stats.traps_delivered += 1
         self.charge(self.cost.trap_overhead)
+        depth = len(self._save_stack)
         self._save_stack.append(self.registers.snapshot())
         # The handler conceptually executes in ring 0 at the trap vector.
         action = self.fault_handler(self, fault)
         if action == HANDLER_ABORT:
+            # The aborted program is done with: discard everything this
+            # trap pushed, or an attack that faults repeatedly would
+            # grow the save stack without bound (and leak the aborted
+            # registers into snapshots).
+            del self._save_stack[depth:]
             raise fault
         if action == HANDLER_RETRY:
             ring, segno, wordno = at
             self.registers.ipr.set(ring, segno, wordno)
         # HANDLER_CONTINUE (or None after the handler rewrote the IPR):
-        # execution proceeds wherever the registers now point.
-        if self._save_stack:
+        # execution proceeds wherever the registers now point.  Pop our
+        # frame only if the handler did not already consume it via RCU.
+        if len(self._save_stack) > depth:
             self._save_stack.pop()
 
     def restore_control_unit(self) -> None:

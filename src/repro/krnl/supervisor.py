@@ -54,6 +54,11 @@ IO_LATENCY = 25
 #: Cycles charged for fielding one I/O-completion event.
 IO_COMPLETION_CYCLES = 15
 
+#: Most recent aborted faults retained for post-mortems.  Long-lived
+#: serving machines field an unbounded stream of (expected) attack
+#: faults; the diagnostic log must not grow with them.
+ABORT_LOG_LIMIT = 64
+
 
 @dataclass
 class ActiveSegment:
@@ -98,6 +103,7 @@ class Supervisor:
         self._assists: Dict[int, UpwardCallAssist] = {}
         self._soft_rings: Dict[int, SoftwareRingAssist] = {}
         #: faults the supervisor refused to handle, for post-mortems
+        #: (bounded: only the most recent ABORT_LOG_LIMIT are retained)
         self.aborted_faults: List[Fault] = []
         #: use paged storage for newly activated segments
         self.paged = False
@@ -457,6 +463,13 @@ class Supervisor:
     # trap handling
     # ------------------------------------------------------------------
 
+    def _record_abort(self, fault: Fault) -> None:
+        """Log a fault the supervisor refused to handle, keeping only
+        the most recent ``ABORT_LOG_LIMIT`` entries."""
+        self.aborted_faults.append(fault)
+        if len(self.aborted_faults) > ABORT_LOG_LIMIT:
+            del self.aborted_faults[: -ABORT_LOG_LIMIT]
+
     def _make_fault_handler(self, process: Process):
         def handler(proc: Processor, fault: Fault) -> str:
             return self.handle_fault(proc, process, fault)
@@ -476,7 +489,7 @@ class Supervisor:
         if assist.matches_downward_return(fault):
             action = assist.perform_downward_return(proc, fault)
             if action == "abort":
-                self.aborted_faults.append(fault)
+                self._record_abort(fault)
             return action
 
         if soft.handles(fault):
@@ -491,7 +504,7 @@ class Supervisor:
         if self.linkage.matches(fault):
             action = self.linkage.snap(proc, fault, self._name_resolver)
             if action == "abort":
-                self.aborted_faults.append(fault)
+                self._record_abort(fault)
             return action
 
         if fault.code is FaultCode.TIMER:
@@ -503,7 +516,7 @@ class Supervisor:
             proc.charge(IO_COMPLETION_CYCLES)
             return HANDLER_CONTINUE
 
-        self.aborted_faults.append(fault)
+        self._record_abort(fault)
         return HANDLER_ABORT
 
     def _service_missing_segment(
@@ -527,12 +540,12 @@ class Supervisor:
                     active = self.activate(path)
                     break
         if active is None or fault.segno in process.by_segno:
-            self.aborted_faults.append(fault)
+            self._record_abort(fault)
             return HANDLER_ABORT
         try:
             self.initiate(process, active.path)
         except AccessDenied:
-            self.aborted_faults.append(fault)
+            self._record_abort(fault)
             return HANDLER_ABORT
         proc.charge(SEGMENT_SERVICE_CYCLES)
         proc.invalidate_sdw(fault.segno)
@@ -555,7 +568,7 @@ class Supervisor:
             self.timer_limit is not None
             and self._timer_counts[key] > self.timer_limit
         ):
-            self.aborted_faults.append(fault)
+            self._record_abort(fault)
             return HANDLER_ABORT
         if self.timer_quantum is not None:
             proc.set_timer(self.timer_quantum)
@@ -570,7 +583,7 @@ class Supervisor:
         assert fault.segno is not None and fault.wordno is not None
         active = self.active_by_segno.get(fault.segno)
         if active is None or active.placed.page_table is None:
-            self.aborted_faults.append(fault)
+            self._record_abort(fault)
             return HANDLER_ABORT
         from ..mem.paging import PAGE_BITS, PAGE_WORDS
 

@@ -67,6 +67,7 @@ from .sessions import (
 )
 from .standby import ReplicaSet, ReplicationConfig
 from .workers import (
+    MACHINE_PROFILES,
     DurabilityConfig,
     ShardedWorkerPool,
     WorkerPool,
@@ -135,6 +136,11 @@ class GatewayConfig:
     #: external ``repro standby`` endpoints (``HOST:PORT``) to ship to,
     #: in addition to any in-process replicas
     replica_endpoints: Tuple[str, ...] = ()
+    #: worker machine profile: ``ringed`` (the paper's hardware) or
+    #: ``baseline645`` (software-assisted crossings at 150 cycles each);
+    #: protection verdicts are identical, crossing cost is not — the
+    #: knob behind the live hardware-vs-software A/B
+    machine_profile: str = "ringed"
 
     def durability(self) -> Optional[DurabilityConfig]:
         """The worker-side durability config, or ``None`` if disabled."""
@@ -257,6 +263,21 @@ class RingGateway:
                 "session store); worker durability_dir does not compose "
                 "with it — set session_store_dir instead"
             )
+        if self.config.machine_profile not in MACHINE_PROFILES:
+            raise ConfigurationError(
+                f"unknown machine profile "
+                f"{self.config.machine_profile!r}; expected one of "
+                f"{MACHINE_PROFILES}"
+            )
+        if self.config.machine_profile != "ringed" and (
+            self.config.max_sessions or self.config.replicas
+            or self.config.replica_endpoints
+        ):
+            raise ConfigurationError(
+                "machine_profile is an A/B measurement knob for the "
+                "classic worker pool; it does not compose with session "
+                "mode or replication"
+            )
         self._sessions = self.config.sessions()
         #: validated eagerly so a bad replication setup fails at
         #: construction, not mid-failover
@@ -311,6 +332,7 @@ class RingGateway:
             workers=self.config.workers,
             backend=self.config.backend,
             durability=self.config.durability(),
+            machine_profile=self.config.machine_profile,
         )
 
     async def start(self) -> None:
@@ -824,6 +846,7 @@ class RingGateway:
             "generation": result.get("generation", 0),
             "pid": result.get("pid"),
             "slot": result.get("slot"),
+            "machine_profile": result.get("machine_profile"),
         }
         generation = result.get("generation", 0)
         if self._worker_generation.get(worker) != generation:
@@ -1018,6 +1041,7 @@ class RingGateway:
             workers={
                 "backend": self.pool.backend if self.pool else "stopped",
                 "configured": self.config.workers,
+                "machine_profile": self.config.machine_profile,
                 "pool_epoch": self._pool_epoch,
                 "durability": {
                     "enabled": bool(self.config.durability_dir),

@@ -65,6 +65,18 @@ class LoadReport:
     error_details: List[Dict[str, Any]] = field(default_factory=list)
     #: the gateway's (or router's) final ``stats`` response
     stats: Optional[Dict[str, Any]] = None
+    #: adversarial mode: the fault-code name every call is REQUIRED to
+    #: come back with (``None`` = normal load, faults are errors)
+    expect_fault: Optional[str] = None
+    #: adversarial mode: machine_fault responses carrying the expected
+    #: code — the *success* count of an attack run
+    expected_faults: int = 0
+    #: adversarial mode: calls that came back OK (the attack "won") —
+    #: any non-zero value is a protection failure
+    unexpected_ok: int = 0
+    #: machine profile the gateway is REQUIRED to be serving with
+    #: (``None`` = don't check)
+    expect_profile: Optional[str] = None
 
     @property
     def throughput(self) -> float:
@@ -86,6 +98,17 @@ class LoadReport:
     def check(self) -> List[str]:
         """Self-consistency violations (empty list == all good)."""
         problems: List[str] = []
+        if self.expect_fault is not None:
+            if self.unexpected_ok:
+                problems.append(
+                    f"{self.unexpected_ok} attack call(s) SUCCEEDED — "
+                    f"expected every call to fault with {self.expect_fault}"
+                )
+            if self.errors:
+                problems.append(
+                    f"{self.errors} call(s) failed with something other "
+                    f"than the expected {self.expect_fault} fault"
+                )
         if self.dropped:
             problems.append(
                 f"{self.dropped} dropped request(s): "
@@ -99,6 +122,13 @@ class LoadReport:
             problems.append(
                 "gateway reports merged != sum of per-worker snapshots"
             )
+        if self.expect_profile is not None:
+            served = self.stats.get("workers", {}).get("machine_profile")
+            if served != self.expect_profile:
+                problems.append(
+                    f"gateway serves machine profile {served!r}, "
+                    f"expected {self.expect_profile!r}"
+                )
         routed = "router" in self.stats
         if routed:
             # Router payload: no single "gateway" block — completed is
@@ -173,6 +203,9 @@ class LoadReport:
             "warm_latency_p50_ms": round(
                 percentile(self.warm_latencies_ms, 0.50), 3
             ),
+            "expect_fault": self.expect_fault,
+            "expected_faults": self.expected_faults,
+            "unexpected_ok": self.unexpected_ok,
             "client_metrics": dict(self.client_metrics),
             "error_details": list(self.error_details),
             "stats": self.stats,
@@ -225,6 +258,7 @@ async def _drive_session(
     args: Dict[str, Any],
     max_retries: int,
     report: LoadReport,
+    expect_fault: Optional[str] = None,
 ) -> None:
     conn = await _Connection.open(host, port)
     try:
@@ -248,6 +282,8 @@ async def _drive_session(
                 response = await conn.request(message)
                 if response.get("ok"):
                     report.ok += 1
+                    if expect_fault is not None:
+                        report.unexpected_ok += 1
                     latency_ms = (time.perf_counter() - started) * 1e3
                     report.latencies_ms.append(latency_ms)
                     _merge_counts(report.client_metrics, response["metrics"])
@@ -278,6 +314,20 @@ async def _drive_session(
                         max(0.001, float(response.get("retry_after", 0.01)))
                     )
                     continue
+                if (
+                    expect_fault is not None
+                    and code == ErrorCode.MACHINE_FAULT
+                    and str(response.get("detail", "")).startswith(
+                        expect_fault
+                    )
+                ):
+                    # the attack was caught with exactly the fault the
+                    # oracle demands: that IS the success path here
+                    report.expected_faults += 1
+                    report.latencies_ms.append(
+                        (time.perf_counter() - started) * 1e3
+                    )
+                    break
                 if code == ErrorCode.TIMEOUT:
                     report.timed_out += 1
                 else:
@@ -305,6 +355,8 @@ async def run_load(
     max_retries: int = 50,
     fetch_stats: bool = True,
     concurrency: Optional[int] = None,
+    expect_fault: Optional[str] = None,
+    expect_profile: Optional[str] = None,
 ) -> LoadReport:
     """Drive ``sessions`` concurrent sessions of ``calls`` calls each.
 
@@ -316,6 +368,13 @@ async def run_load(
     streamed through a bounded connection pool.  Returns the
     consolidated :class:`LoadReport`; call :meth:`LoadReport.check`
     for the self-consistency verdict.
+
+    ``expect_fault`` flips the run into adversarial mode: every call is
+    *required* to come back as a ``machine_fault`` whose detail starts
+    with that fault-code name — matching faults count as
+    ``expected_faults``, an OK response is a protection failure.
+    ``expect_profile`` asserts the gateway's worker machine profile
+    (``ringed`` / ``baseline645``) in the final stats.
     """
     if sessions <= 0 or calls <= 0:
         raise ConfigurationError("sessions and calls must be positive")
@@ -324,7 +383,12 @@ async def run_load(
     if concurrency is not None and concurrency <= 0:
         raise ConfigurationError("concurrency must be positive")
     args = dict(args or {})
-    report = LoadReport(sessions=sessions, calls_per_session=calls)
+    report = LoadReport(
+        sessions=sessions,
+        calls_per_session=calls,
+        expect_fault=expect_fault,
+        expect_profile=expect_profile,
+    )
     started = time.perf_counter()
 
     async def _drive(index: int) -> None:
@@ -338,6 +402,7 @@ async def run_load(
             args,
             max_retries,
             report,
+            expect_fault=expect_fault,
         )
 
     workers = min(concurrency or sessions, sessions)

@@ -61,6 +61,16 @@ from .protocol import ErrorCode
 
 BACKENDS = ("process", "thread")
 
+#: selectable worker machine profiles: ``ringed`` runs the paper's ring
+#: hardware; ``baseline645`` runs the GE-645 trap machine, where every
+#: ring crossing is completed by the software assist at
+#: ``SOFT_CROSSING_CYCLES`` apiece.  Protection verdicts are identical
+#: (validation precedes the trap); only the crossing cost differs —
+#: which is exactly what the live A/B measures.
+MACHINE_PROFILES = ("ringed", "baseline645")
+
+_MACHINE_PROFILE = "ringed"
+
 #: per-call step cap: generous for any catalog program, small enough
 #: that a runaway variant cannot wedge a worker for long
 MAX_STEPS_PER_CALL = 2_000_000
@@ -71,6 +81,34 @@ MAX_STEPS_PER_CALL = 2_000_000
 RECENT_CALLS = 512
 
 _LOCAL = threading.local()
+
+
+def configure_machine_profile(profile: str) -> None:
+    """Select the machine profile for engines built in this process.
+
+    Like :func:`configure_durability`, this is process-level state: the
+    thread backend calls it directly, process-pool children get it via
+    :func:`_init_worker`.  Restored engines keep the profile of the
+    machine that was snapshotted (``hardware_rings`` is serialized), so
+    recovery is unaffected.
+    """
+    global _MACHINE_PROFILE
+    if profile not in MACHINE_PROFILES:
+        raise ConfigurationError(
+            f"unknown machine profile {profile!r}; expected one of "
+            f"{MACHINE_PROFILES}"
+        )
+    _MACHINE_PROFILE = profile
+
+
+def machine_profile() -> str:
+    """The machine profile engines in this process are built with."""
+    return _MACHINE_PROFILE
+
+
+def hardware_rings_enabled() -> bool:
+    """Whether new engine machines run the ring hardware."""
+    return _MACHINE_PROFILE != "baseline645"
 
 
 class GateCallEngine:
@@ -90,7 +128,12 @@ class GateCallEngine:
         self.machine = (
             machine
             if machine is not None
-            else Machine(services=False, jit_tier_enabled=True, fast_gate=True)
+            else Machine(
+                services=False,
+                jit_tier_enabled=True,
+                fast_gate=True,
+                hardware_rings=hardware_rings_enabled(),
+            )
         )
         self.processes: Dict[str, Any] = {}  # username -> Process
         self.installed: Dict[str, str] = {}  # variant key -> entry ref
@@ -132,8 +175,12 @@ class GateCallEngine:
                 if path not in self.stored_paths:
                     self.machine.store_program(path, source, acl=list(acl))
                     self.stored_paths.add(path)
+            for path, values, acl in image.data_segments:
+                if path not in self.stored_paths:
+                    self.machine.store_data(path, list(values), acl=list(acl))
+                    self.stored_paths.add(path)
             self.installed[image.key] = image.entry
-        for path, _, _ in image.segments:
+        for path, _, _ in image.segments + image.data_segments:
             if (user, path) not in self.initiated:
                 self.machine.initiate(process, path)
                 self.initiated.add((user, path))
@@ -264,7 +311,9 @@ def configure_durability(config: Optional[DurabilityConfig]) -> None:
     _DURABILITY = config
 
 
-def _init_worker(config: Optional[DurabilityConfig]) -> None:
+def _init_worker(
+    config: Optional[DurabilityConfig], profile: str = "ringed"
+) -> None:
     """Process-pool child initializer.
 
     A forked child inherits the parent's module state wholesale —
@@ -280,6 +329,7 @@ def _init_worker(config: Optional[DurabilityConfig]) -> None:
     with _LIVE_LOCK:
         _LIVE_SLOTS.clear()
     configure_durability(config)
+    configure_machine_profile(profile)
 
 
 def release_live_slots() -> None:
@@ -482,6 +532,11 @@ class _WorkerState:
         out["worker"] = self.worker_id
         out["pid"] = os.getpid()
         out["generation"] = self.generation
+        out["machine_profile"] = (
+            "ringed"
+            if self.engine.machine.processor.hardware_rings
+            else "baseline645"
+        )
         if self.slot is not None:
             out["slot"] = self.slot
         out["worker_calls"] = self.engine.calls
@@ -542,6 +597,7 @@ class WorkerPool:
         workers: int = 4,
         backend: str = "process",
         durability: Optional[DurabilityConfig] = None,
+        machine_profile: str = "ringed",
     ):
         if workers <= 0:
             raise ConfigurationError("workers must be positive")
@@ -550,6 +606,11 @@ class WorkerPool:
                 f"unknown worker backend {backend!r}; expected one of "
                 f"{BACKENDS}"
             )
+        if machine_profile not in MACHINE_PROFILES:
+            raise ConfigurationError(
+                f"unknown machine profile {machine_profile!r}; expected "
+                f"one of {MACHINE_PROFILES}"
+            )
         if durability is not None and durability.slots < workers:
             raise ConfigurationError(
                 "durability needs at least one slot per worker"
@@ -557,6 +618,7 @@ class WorkerPool:
         self.workers = workers
         self.backend = backend
         self.durability = durability
+        self.machine_profile = machine_profile
         self.executor = self._build_executor()
 
     def _build_executor(self) -> Executor:
@@ -565,7 +627,7 @@ class WorkerPool:
                 executor = ProcessPoolExecutor(
                     max_workers=self.workers,
                     initializer=_init_worker,
-                    initargs=(self.durability,),
+                    initargs=(self.durability, self.machine_profile),
                 )
                 # Probe one task end to end: pool creation succeeds on
                 # some hosts where the first real submit then dies.
@@ -574,6 +636,7 @@ class WorkerPool:
             except (OSError, PermissionError, BrokenExecutor):
                 self.backend = "thread (process pool unavailable)"
         configure_durability(self.durability)
+        configure_machine_profile(self.machine_profile)
         return ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="ringworker"
         )

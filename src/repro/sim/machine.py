@@ -274,6 +274,9 @@ class Machine:
         self.start(process, ref, ring)
         if reset_counters:
             self.processor.reset_counters()
+            # Fault-side diagnostics are part of the per-run figure too:
+            # a fresh run should not inherit another run's post-mortems.
+            self.supervisor.aborted_faults.clear()
         before = MetricsSnapshot.collect(self.processor)
         self.processor.run(max_steps=max_steps)
         after = MetricsSnapshot.collect(self.processor)
