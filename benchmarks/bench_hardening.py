@@ -1,0 +1,86 @@
+"""Experiment H1 — what the hardening extensions cost per crossing.
+
+Each hardening flag intercepts the ring-crossing machinery somewhere:
+``auth_return_stack`` charges an ``auth_mac_cycles`` MAC per downward
+CALL and per verified upward RETURN, ``ring_domains`` adds a table
+lookup to operand validation, and ``nx_brackets`` adds a bracket-shape
+check to execute validation.  The paper's pitch for hardware rings is
+that protection must be cheap enough to leave on; the same standard is
+applied to the extensions here: the identical gate-crossing workload
+(``call_loop`` — ring-4 bursts into a ring-0 gate and back) is run
+with each flag on alone, with all three on, and with all off, and the
+simulated cycles per crossing pair are compared.
+
+Simulated cycles are deterministic, so the claims are asserted
+outright: no single flag may cost more than ``MAX_FLAG_OVERHEAD`` over
+the unhardened machine, and the two pure-check flags (domains, NX)
+must be architecturally *free* — their work rides the slow validation
+path whose results the PTLB caches, so the cost model never sees them.
+The measured overhead ratios are also gated against
+``baseline_hardening.json`` (as ceilings) so drift fails CI.
+"""
+
+from __future__ import annotations
+
+from repro.hardening import HARDENING_FLAGS, HardeningConfig
+from repro.serve.catalog import build_program, install_image
+from repro.sim.machine import Machine
+
+#: crossing pairs per run: each count is one downward CALL into the
+#: ring-0 gate plus one authenticated upward RETURN
+COUNT = 32
+
+#: ceiling on hardened-over-plain cycles for any single flag
+MAX_FLAG_OVERHEAD = 1.15
+
+#: flags whose checks ride the validation path and must cost nothing
+FREE_FLAGS = ("ring_domains", "nx_brackets")
+
+
+def _run(hardening: HardeningConfig):
+    machine = Machine(services=False, hardening=hardening)
+    process = machine.login(machine.add_user("bench"))
+    entry = install_image(
+        machine, process, build_program("call_loop", {"count": COUNT})
+    )
+    result = machine.run(process, entry, ring=4)
+    # each count is one inward and one outward crossing
+    assert result.halted and result.ring_crossings == 2 * COUNT
+    return result.cycles
+
+
+def test_hardening_overhead(benchmark):
+    """Cycles per crossing, per flag: hardening must stay cheap."""
+    plain = _run(HardeningConfig())
+    cycles = {
+        flag: _run(HardeningConfig.from_flags([flag]))
+        for flag in HARDENING_FLAGS
+    }
+    cycles["all"] = _run(HardeningConfig.from_flags(HARDENING_FLAGS))
+
+    overhead = {name: value / plain for name, value in cycles.items()}
+    for flag in HARDENING_FLAGS:
+        assert overhead[flag] <= MAX_FLAG_OVERHEAD, (
+            f"{flag} costs {overhead[flag]:.3f}x the unhardened machine "
+            f"on the same {COUNT} crossings (ceiling {MAX_FLAG_OVERHEAD}x)"
+        )
+    for flag in FREE_FLAGS:
+        assert cycles[flag] == plain, (
+            f"{flag} is a pure check but changed the cycle count: "
+            f"{plain} -> {cycles[flag]}"
+        )
+    # the flags compose: all-on overhead is the sum of the parts
+    assert cycles["all"] - plain == sum(
+        cycles[flag] - plain for flag in HARDENING_FLAGS
+    )
+
+    benchmark.extra_info["crossings"] = COUNT
+    benchmark.extra_info["plain_cycles_per_crossing"] = round(
+        plain / COUNT, 2
+    )
+    for name in (*HARDENING_FLAGS, "all"):
+        benchmark.extra_info[f"{name}_overhead_ratio"] = round(
+            overhead[name], 4
+        )
+
+    benchmark(lambda: None)

@@ -33,7 +33,23 @@ family                 violation attempted
 ``privileged``         execute a privileged instruction outside ring 0
 ``bounds``             read past a segment's bound through a pointer
                        register
+``auth_return_forge``  hijack an upward return through a sloppy gate
+                       that returns through a caller-controlled pointer
+                       — bracket-legal; only ``auth_return_stack``
+                       (PACStack's MAC chain) refuses it
+``domain_breach``      read another compartment's data at the same
+                       privilege level — bracket-legal; only
+                       ``ring_domains`` (LOTRx86) refuses it
+``wx_execute``         execute code in a segment that is also writable
+                       — bracket-legal; only ``nx_brackets`` (W^X)
+                       refuses it
 =====================  ====================================================
+
+The last three families are the hardening ablation probes: each one
+*succeeds* (halts normally) on the plain 1971 machine, on both ring
+profiles and every host tier, and is defeated only by its matching
+extension from :mod:`repro.hardening` — ``hardening`` on the program
+names that flag, and the harness checks both directions.
 
 Generation is deterministic: ``build_attack(family, seed, ring)`` draws
 every free parameter (victim brackets, poison rings, warmup length,
@@ -96,6 +112,16 @@ class AttackProgram:
     expect_segment: Optional[str]
     description: str
     warmup: int
+    #: hardening flag (repro.hardening.HARDENING_FLAGS) this attack is
+    #: defeated by, or None for the classic families the 1971 brackets
+    #: already stop
+    hardening: Optional[str] = None
+    #: (segment name, domain name) assignments the machine must carry
+    #: for this attack (ring_domains families)
+    domains: Tuple[Tuple[str, str], ...] = ()
+    #: what the attack does when its hardening flag is off: "halts"
+    #: (the attack runs to completion) — classic families fault instead
+    unhardened_outcome: str = "faults"
 
     def program_words(self) -> int:
         """Total assembled words across all segments (for ``dump``)."""
@@ -122,6 +148,9 @@ class AttackProgram:
             "program_words": self.program_words(),
             "warmup": self.warmup,
             "description": self.description,
+            "hardening": self.hardening,
+            "domains": [list(pair) for pair in self.domains],
+            "unhardened_outcome": self.unhardened_outcome,
         }
 
 
@@ -191,6 +220,9 @@ def _entry(
     description: str,
     extra_segments: Tuple[Segment, ...] = (),
     data_segments: Tuple[DataSegment, ...] = (),
+    hardening: Optional[str] = None,
+    domains: Tuple[Tuple[str, str], ...] = (),
+    unhardened_outcome: str = "faults",
 ) -> AttackProgram:
     atk, _, base = _names(code, seed, draw.ring)
     source = _attacker_source(atk, draw.warmup, body)
@@ -208,6 +240,9 @@ def _entry(
         expect_segment=expect_segment,
         description=description,
         warmup=draw.warmup,
+        hardening=hardening,
+        domains=domains,
+        unhardened_outcome=unhardened_outcome,
     )
 
 
@@ -683,6 +718,127 @@ l_v:    .its    {vic}
     )
 
 
+def _auth_return_forge(seed: int, ring: Optional[int]) -> AttackProgram:
+    draw = _Draw("auth_return_forge", seed, ring)
+    atk, vic, _ = _names("ar", seed, draw.ring)
+    victim_ring = draw.below(draw.ring, low=1)
+    # The victim returns through PR1 — a register the *caller* loaded.
+    # Bracket-wise this is a perfectly legal upward return; only the MAC
+    # chain knows the caller's PR4 said ``back``, not ``win``.
+    victim_source = f"""
+        .seg    {vic}
+        .gates  1
+entry:: return  pr1|0
+"""
+    victim_acl = (
+        AclEntry(
+            "*",
+            RingBracketSpec.procedure(
+                victim_ring, callable_from=MAX_ATTACK_RING
+            ),
+        ),
+    )
+    body = f"""        eap1    win
+        eap4    back
+        call    l_t,*
+back:   halt
+win:    lda     =9
+        halt
+l_t:    .its    {vic}$entry
+"""
+    return _entry(
+        draw,
+        "ar",
+        "auth_return_forge",
+        seed,
+        body,
+        FaultCode.ACV_AUTH_RETURN,
+        draw.ring,
+        atk,  # the forged target is the attacker's own segment
+        f"downward call into ring {victim_ring} whose return is steered "
+        "through an attacker-loaded pointer register; brackets allow the "
+        "hijacked upward return, the MAC chain does not",
+        extra_segments=((f">adv>{vic}", victim_source, victim_acl),),
+        hardening="auth_return_stack",
+        unhardened_outcome="halts",
+    )
+
+
+def _domain_breach(seed: int, ring: Optional[int]) -> AttackProgram:
+    draw = _Draw("domain_breach", seed, ring)
+    _, vic, _ = _names("db", seed, draw.ring)
+    secret = draw.value()
+    # Bracket-legal on purpose: the vault is readable from every attack
+    # ring, so the 1971 machine has no objection.  Only the domain wall
+    # between common code and the ``vault`` domain stops the read.
+    victim_acl = (
+        AclEntry("*", RingBracketSpec.data(MAX_ATTACK_RING)),
+    )
+    body = f"""        lda     l_v,*
+        halt
+l_v:    .its    {vic}
+"""
+    return _entry(
+        draw,
+        "db",
+        "domain_breach",
+        seed,
+        body,
+        FaultCode.ACV_DOMAIN,
+        draw.ring,
+        vic,
+        f"common (undomained) ring-{draw.ring} code reads a segment "
+        "assigned to the 'vault' domain; the read bracket permits it",
+        data_segments=((f">adv>{vic}", (secret,), victim_acl),),
+        hardening="ring_domains",
+        domains=((vic, "vault"),),
+        unhardened_outcome="halts",
+    )
+
+
+def _wx_execute(seed: int, ring: Optional[int]) -> AttackProgram:
+    draw = _Draw("wx_execute", seed, ring)
+    _, vic, _ = _names("wx", seed, draw.ring)
+    # A writable-and-executable grant: legal under the 1971 access
+    # model, which treats the flags independently.
+    victim_source = f"""
+        .seg    {vic}
+entry:: halt
+"""
+    victim_acl = (
+        AclEntry(
+            "*",
+            RingBracketSpec(
+                r1=1,
+                r2=MAX_ATTACK_RING,
+                r3=MAX_ATTACK_RING,
+                read=True,
+                write=True,
+                execute=True,
+            ),
+        ),
+    )
+    body = f"""        tra     l_t,*
+        halt
+l_t:    .its    {vic}$entry
+"""
+    return _entry(
+        draw,
+        "wx",
+        "wx_execute",
+        seed,
+        body,
+        FaultCode.ACV_NX,
+        draw.ring,
+        vic,
+        "transfer into a segment whose ACL grants both write and "
+        "execute; the brackets line up, the NX rule does not",
+        extra_segments=((f">adv>{vic}", victim_source, victim_acl),),
+        hardening="nx_brackets",
+        unhardened_outcome="halts",
+    )
+
+
 #: family name -> builder(seed, ring) — iteration order is the corpus
 #: order and is part of the reproducibility contract
 ATTACK_FAMILIES: Dict[
@@ -703,6 +859,18 @@ ATTACK_FAMILIES: Dict[
     "return_forge_gate": _return_forge_gate,
     "privileged": _privileged,
     "bounds": _bounds,
+    "auth_return_forge": _auth_return_forge,
+    "domain_breach": _domain_breach,
+    "wx_execute": _wx_execute,
+}
+
+#: the hardening ablation probes: family -> the machine flag that
+#: defeats it.  Everything else in ATTACK_FAMILIES is defeated by the
+#: plain 1971 machine.
+HARDENED_FAMILIES: Dict[str, str] = {
+    "auth_return_forge": "auth_return_stack",
+    "domain_breach": "ring_domains",
+    "wx_execute": "nx_brackets",
 }
 
 

@@ -28,6 +28,7 @@ from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
 
 from ..cpu.faults import Fault
 from ..errors import ConfigurationError, MachineHalted
+from ..hardening import HardeningConfig
 from ..sim.machine import Machine
 from ..sim.metrics import MetricsSnapshot
 from ..state.snapshot import restore_machine, snapshot_machine
@@ -83,7 +84,21 @@ SNAPSHOT_STEP = 9
 #: repeat deliberately skips re-attachment
 SECURITY_KEYS = ("faulted", "code", "fclass", "ring", "cur_ring", "segment")
 
+#: tiers swept by the flag-off ablation half of a hardened program's
+#: check — one interpreted, one compiled; enough to show the attack
+#: *succeeds* without the extension and does so bit-identically
+ABLATION_TIERS: Tuple[str, ...] = ("interp", "jit")
+
 _MAX_STEPS = 200_000
+
+
+def _program_hardening(program: AttackProgram) -> HardeningConfig:
+    """The machine flags a corpus program expects to be defeated by."""
+    if program.hardening is None:
+        return HardeningConfig()
+    return HardeningConfig.from_flags(
+        [program.hardening], domains=program.domains
+    )
 
 
 def install_attack(
@@ -95,6 +110,10 @@ def install_attack(
         machine.store_program(path, source, acl=list(acl))
     for path, values, acl in program.data_segments:
         machine.store_data(path, list(values), acl=list(acl))
+    for name, domain in program.domains:
+        # a no-op unless the machine was built with ring_domains; done
+        # before initiation so every tier validates under the binding
+        machine.assign_domain(name, domain)
     process = machine.login(account)
     for path, _, _ in program.segments:
         machine.initiate(process, path)
@@ -151,10 +170,15 @@ def _run_to_verdict(machine: Machine, process, program: AttackProgram):
 
 
 def _run_restore_tier(
-    program: AttackProgram, hardware_rings: bool
+    program: AttackProgram,
+    hardware_rings: bool,
+    hardening: HardeningConfig,
 ) -> Dict[str, Any]:
     machine = Machine(
-        services=False, hardware_rings=hardware_rings, **TIER_CONFIGS["jit"]
+        services=False,
+        hardware_rings=hardware_rings,
+        hardening=hardening,
+        **TIER_CONFIGS["jit"],
     )
     process = install_attack(machine, program)
     machine.start(process, program.entry, program.ring)
@@ -178,8 +202,15 @@ def run_entry(
     program: AttackProgram,
     tier: str,
     hardware_rings: bool = True,
+    hardening: Optional[HardeningConfig] = None,
 ) -> Dict[str, Any]:
     """Run one corpus program under one tier; returns its fault figure.
+
+    ``hardening=None`` (the default) builds the machine with whatever
+    extension the program names in ``program.hardening`` — a plain 1971
+    machine for the classic families.  Pass an explicit
+    ``HardeningConfig()`` to force the flag *off* (the ablation
+    direction) or any other config to probe mismatched flags.
 
     The result carries the figure under ``"figure"``; for the
     ``fast_gate`` tier it also carries ``"repeat"`` — the figure of a
@@ -189,14 +220,19 @@ def run_entry(
         raise ConfigurationError(
             f"unknown tier {tier!r}; expected one of {list(TIER_CONFIGS)}"
         )
+    if hardening is None:
+        hardening = _program_hardening(program)
     if tier == "restore":
         return {
             "tier": tier,
-            "figure": _run_restore_tier(program, hardware_rings),
+            "figure": _run_restore_tier(program, hardware_rings, hardening),
             "repeat": None,
         }
     machine = Machine(
-        services=False, hardware_rings=hardware_rings, **TIER_CONFIGS[tier]
+        services=False,
+        hardware_rings=hardware_rings,
+        hardening=hardening,
+        **TIER_CONFIGS[tier],
     )
     process = install_attack(machine, program)
     figure = _figure(machine, _run_to_verdict(machine, process, program))
@@ -245,7 +281,15 @@ def check_program(
     tiers: Sequence[str] = TIER_NAMES,
     hardware_rings: bool = True,
 ) -> Dict[str, Any]:
-    """Sweep one program across ``tiers``; oracle + bit-identity report."""
+    """Sweep one program across ``tiers``; oracle + bit-identity report.
+
+    For a hardened program (``program.hardening`` set) the sweep runs
+    both halves of the ablation: the tier matrix above with the named
+    flag *on* (must hit the oracle fault), then :data:`ABLATION_TIERS`
+    with the flag *off* — where the attack must come out the other way
+    (``program.unhardened_outcome``), again bit-identically, proving
+    the fault is the extension's doing and nothing else's.
+    """
     problems = []
     figures: Dict[str, Dict[str, Any]] = {}
     reference_tier: Optional[str] = None
@@ -273,11 +317,52 @@ def check_program(
                         f"{tier}: warm repeat changed {key}: "
                         f"{figure[key]!r} -> {result['repeat'][key]!r}"
                     )
+    ablation: Dict[str, Dict[str, Any]] = {}
+    if program.hardening is not None:
+        flag_off = HardeningConfig()
+        off_reference: Optional[str] = None
+        for tier in ABLATION_TIERS:
+            figure = run_entry(
+                program,
+                tier,
+                hardware_rings=hardware_rings,
+                hardening=flag_off,
+            )["figure"]
+            ablation[tier] = figure
+            if program.unhardened_outcome == "halts":
+                if figure["faulted"]:
+                    problems.append(
+                        f"{tier} (flag off): attack faulted with "
+                        f"{figure['code']}; without {program.hardening} "
+                        "it should have run to completion"
+                    )
+            elif figure["faulted"] and (
+                figure["code"] == program.expect_code.name
+            ):
+                problems.append(
+                    f"{tier} (flag off): attack still faulted with the "
+                    f"hardened code {figure['code']}; the fault is not "
+                    f"{program.hardening}'s doing"
+                )
+            if off_reference is None:
+                off_reference = tier
+            elif figure != ablation[off_reference]:
+                diverging = sorted(
+                    key
+                    for key in figure
+                    if figure[key] != ablation[off_reference][key]
+                )
+                problems.append(
+                    f"{tier} (flag off): figure diverges from "
+                    f"{off_reference} on {diverging}"
+                )
     return {
         "name": program.name,
         "family": program.family,
         "seed": program.seed,
         "ring": program.ring,
+        "hardening": program.hardening,
+        "unhardened_outcome": program.unhardened_outcome,
         "expected": {
             "code": program.expect_code.name,
             "fclass": program.expect_class.name,
@@ -285,6 +370,7 @@ def check_program(
             "segment": program.expect_segment,
         },
         "figures": figures,
+        "ablation": ablation,
         "ok": not problems,
         "problems": problems,
     }

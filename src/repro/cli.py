@@ -363,6 +363,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ack_window=args.ack_window,
             replica_endpoints=tuple(args.replica_endpoint or ()),
             machine_profile=args.machine_profile,
+            hardening=tuple(args.hardening or ()),
             default_policy=RingPolicy(
                 rate=args.rate,
                 burst=args.burst,
@@ -403,10 +404,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             if args.machine_profile != "ringed"
             else ""
         )
+        hardened = (
+            f", hardening: {'+'.join(args.hardening)}"
+            if args.hardening
+            else ""
+        )
         print(
             f"ring gateway listening on {args.host}:{gateway.port} "
             f"({gateway.pool.backend} backend, "
-            f"{args.workers} workers{durable}{paged}{replicated}{profile})",
+            f"{args.workers} workers{durable}{paged}{replicated}{profile}"
+            f"{hardened})",
             flush=True,
         )
         await wait_for_shutdown()
@@ -505,6 +512,11 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             concurrency=args.concurrency,
             expect_fault=args.expect_fault,
             expect_profile=args.expect_profile,
+            expect_hardening=(
+                None
+                if args.expect_hardening is None
+                else tuple(args.expect_hardening)
+            ),
         )
     )
     payload = report.as_dict()
@@ -603,14 +615,18 @@ def _cmd_adversary_dump(args: argparse.Namespace) -> int:
     print(f"{len(corpus)} attack program(s) (seed {args.seed})")
     header = (
         f"{'name':<16} {'family':<18} {'ring':>4}  "
-        f"{'expected fault':<24} {'victim rule violated'}"
+        f"{'expected fault':<24} {'at ring':>7}  {'at segment':<18} "
+        f"{'needs flag':<18} {'victim rule violated'}"
     )
     print(header)
     for program in corpus:
+        oracle_ring = "any" if program.expect_ring is None else program.expect_ring
+        oracle_seg = program.expect_segment or "any"
         print(
             f"{program.name:<16} {program.family:<18} "
             f"{program.ring:>4}  {program.expect_code.name:<24} "
-            f"{program.description}"
+            f"{oracle_ring:>7}  {oracle_seg:<18} "
+            f"{program.hardening or '-':<18} {program.description}"
         )
     return 0
 
@@ -785,6 +801,15 @@ def build_parser() -> argparse.ArgumentParser:
         "checks) or 'baseline645' (GE 645 software rings, identical "
         "fault verdicts, slower crossings) for live A/B comparison",
     )
+    serve.add_argument(
+        "--hardening",
+        action="append",
+        default=[],
+        choices=("auth_return_stack", "ring_domains", "nx_brackets"),
+        metavar="FLAG",
+        help="enable a hardening extension on every worker machine "
+        "(repeatable): auth_return_stack, ring_domains, nx_brackets",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     loadgen = sub.add_parser(
@@ -837,6 +862,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--expect-profile",
         choices=("ringed", "baseline645"),
         help="assert the gateway's advertised machine profile",
+    )
+    loadgen.add_argument(
+        "--expect-hardening",
+        action="append",
+        default=None,
+        choices=("auth_return_stack", "ring_domains", "nx_brackets"),
+        metavar="FLAG",
+        help="assert the gateway's advertised hardening flags "
+        "(repeatable; the set must match exactly)",
     )
     loadgen.add_argument("--json", metavar="FILE", help="write the report")
     loadgen.add_argument(

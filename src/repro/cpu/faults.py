@@ -79,6 +79,20 @@ class FaultCode(enum.Enum):
         FaultClass.ACCESS_VIOLATION,
     )
 
+    # -- access violations: hardening extensions (repro.hardening) --
+    ACV_AUTH_RETURN = (
+        "return target fails authenticated-return-stack verification",
+        FaultClass.ACCESS_VIOLATION,
+    )
+    ACV_DOMAIN = (
+        "cross-domain reference without a domain gate",
+        FaultClass.ACCESS_VIOLATION,
+    )
+    ACV_NX = (
+        "execute on a writable segment (NX bracket mode)",
+        FaultClass.ACCESS_VIOLATION,
+    )
+
     # -- software-assist traps --
     TRAP_UPWARD_CALL = ("upward call", FaultClass.SOFTWARE_ASSIST)
     TRAP_DOWNWARD_RETURN = ("downward return", FaultClass.SOFTWARE_ASSIST)

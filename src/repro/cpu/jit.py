@@ -635,6 +635,10 @@ class _Compiler:
         new_ring = decision.new_ring
         if not proc.hardware_rings and new_ring != step.ring:
             raise _Abort("software-ring CALL crossing traps")
+        if proc.auth_stack is not None and new_ring != step.ring:
+            # auth_return_stack: the crossing mutates the MAC chain;
+            # keep crossings on the interpreted path, like the 645 case.
+            raise _Abort("authenticated-return-stack CALL crossing")
         if proc.stack_rule == "simple":
             stack = str(new_ring)
         elif new_ring == step.ring:
@@ -676,6 +680,10 @@ class _Compiler:
         new_ring = decision.new_ring
         if not proc.hardware_rings and new_ring != step.ring:
             raise _Abort("software-ring RETURN crossing traps")
+        if proc.auth_stack is not None and new_ring != step.ring:
+            # auth_return_stack: the verification consumes a MAC frame;
+            # keep crossings on the interpreted path.
+            raise _Abort("authenticated-return-stack RETURN crossing")
         if new_ring > step.ring:
             self.body.append(f"regs.raise_pr_rings({new_ring})")
         self.acc[6] += 1

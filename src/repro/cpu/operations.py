@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from ..core.gates import CallOutcome, ReturnOutcome, decide_call, decide_return
 from ..errors import MachineHalted
+from ..hardening.authstack import RETURN_PTR_PR
 from ..formats.instruction import Instruction
 from ..words import WORD_MASK, add_words, sub_words
 from .access_cache import GROUP_EXECUTE, GROUP_READ, GROUP_WRITE
@@ -265,6 +266,16 @@ def op_call(proc: "Processor", inst: Instruction, tpr: TPR) -> None:
             FaultCode.TRAP_RING_CROSS_CALL, proc, tpr, "software rings"
         )
 
+    auth = proc.auth_stack
+    if auth is not None and new_ring != old_ring:
+        # Authenticated return stack: commit to the caller's return
+        # point (PR4 by the save-stack convention) under the MAC chain
+        # before the crossing is performed.  The matching verification
+        # happens in op_return.
+        proc.charge(proc.cost.auth_mac_cycles)
+        rp = regs.pr(RETURN_PTR_PR)
+        auth.push(old_ring, rp.segno, rp.wordno)
+
     # Performance: generate the stack base pointer in PR0 (carrying the
     # new ring, so the called procedure can immediately reference its
     # own stack), record the caller's ring in the program-accessible
@@ -300,6 +311,22 @@ def op_return(proc: "Processor", inst: Instruction, tpr: TPR) -> None:
 
     new_ring = decision.new_ring
     assert new_ring is not None
+
+    auth = proc.auth_stack
+    if auth is not None and new_ring > regs.ipr.ring:
+        # Authenticated return stack: the upward return must go to
+        # exactly the point the matching downward CALL committed to.
+        # Verified before the 645 software-rings trap so both ring
+        # profiles refuse a forged return identically; the pop below
+        # is safe ahead of that trap because the software assist
+        # always completes a return whose decision proceeded.  The MAC
+        # recomputation overlaps the return's crossing sequence, so the
+        # chain is charged once per frame — at the push.
+        if not auth.verify(new_ring, tpr.segno, tpr.wordno):
+            raise _operand_fault(
+                FaultCode.ACV_AUTH_RETURN, proc, tpr, "AUTH"
+            )
+        auth.pop()
 
     if not proc.hardware_rings and new_ring != regs.ipr.ring:
         raise _operand_fault(

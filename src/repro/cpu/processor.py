@@ -31,6 +31,7 @@ from typing import Callable, List, Optional, Tuple
 
 from ..errors import BracketOrderError, ConfigurationError, MachineHalted
 from ..formats.instruction import Instruction
+from ..hardening import AuthReturnStack, DomainMap, HardeningConfig
 from ..formats.sdw import SDW, SDW_WORDS
 from ..mem.descriptor import DBR
 from ..mem.paging import PageFaultSignal, translate_paged
@@ -95,6 +96,10 @@ class CostModel:
     #: paper stresses the "very small additional costs in hardware
     #: logic and processor speed", p. 39)
     ring_crossing_extra: int = 1
+    #: cycles per MAC operation of the authenticated return stack
+    #: (repro.hardening.authstack); charged once per downward CALL and
+    #: once per verified upward RETURN when ``auth_return_stack`` is on
+    auth_mac_cycles: int = 1
 
 
 @dataclass
@@ -136,6 +141,7 @@ class Processor:
         fast_path: bool = True,
         block_tier: Optional[bool] = None,
         jit_tier: Optional[bool] = None,
+        hardening: Optional[HardeningConfig] = None,
     ):
         if stack_rule not in ("simple", "dbr"):
             raise ConfigurationError(f"unknown stack rule {stack_rule!r}")
@@ -182,6 +188,19 @@ class Processor:
         self.stack_rule = stack_rule
         self.hardware_rings = hardware_rings
         self.nrings = nrings
+        #: hardening extensions (repro.hardening): each off by default
+        self.hardening = hardening or HardeningConfig()
+        self.auth_stack: Optional[AuthReturnStack] = (
+            AuthReturnStack(self.hardening.auth_key_seed)
+            if self.hardening.auth_return_stack
+            else None
+        )
+        self.domains: Optional[DomainMap] = (
+            DomainMap(self.hardening.domains)
+            if self.hardening.ring_domains
+            else None
+        )
+        self.nx_brackets = self.hardening.nx_brackets
         self.registers = RegisterFile()
         self.cycles = 0
         self.stats = ProcessorStats()
@@ -348,7 +367,35 @@ class Processor:
         have bumped (an SDW-cache hit) are mirrored and no cycles are
         charged — exactly what the slow path does when the SDW is in
         the associative memory, which the identity check guarantees.
+
+        With ``ring_domains`` on, the domain check runs *before* the
+        PTLB consult on every reference: the PTLB key carries no
+        executing segment, so a validation cached for code in one
+        domain must not be honoured for code in another.  Ring 0 is
+        outside the domain system — domains compartmentalize the
+        non-privileged rings the way LOTRx86's domains partition user
+        mode, and the supervisor must reach every compartment to
+        service it.  With ``nx_brackets`` on, an execute validation of
+        a segment that is also writable fails with ``ACV_NX`` (W^X);
+        the check lives on the slow path only, which is sound because
+        failed validations are never cached.
         """
+        domains = self.domains
+        if domains is not None:
+            ipr = self.registers.ipr
+            if ipr.ring != 0:
+                target_domain = domains.by_segno.get(segno)
+                if target_domain is not None and target_domain != (
+                    domains.by_segno.get(ipr.segno)
+                ):
+                    raise Fault(
+                        FaultCode.ACV_DOMAIN,
+                        segno=segno,
+                        wordno=wordno,
+                        ring=ring,
+                        cur_ring=ipr.ring,
+                        detail=f"target domain {target_domain!r}",
+                    )
         cache = self.access_cache
         if cache.enabled:
             sdw = cache._entries.get((segno, ring, group))
@@ -362,6 +409,13 @@ class Processor:
                 return sdw, None
             cache.misses += 1
         sdw = self.fetch_sdw(segno, wordno)
+        if (
+            self.nx_brackets
+            and group is GROUP_EXECUTE
+            and sdw.execute
+            and sdw.write
+        ):
+            return sdw, FaultCode.ACV_NX
         code = _VALIDATORS[group](sdw, ring, wordno)
         if code is None and cache.enabled:
             cache._entries[(segno, ring, group)] = sdw

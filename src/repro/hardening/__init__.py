@@ -1,0 +1,33 @@
+"""Hardening extensions: what modern hardware added to the 1971 rings.
+
+Three individually ablatable machine-config extensions, each closing a
+gap the paper's mechanism leaves open and each traceable to a modern
+hardware cousin:
+
+- :class:`~repro.hardening.authstack.AuthReturnStack`
+  (``auth_return_stack``) — PACStack-style MAC chain over downward-call
+  return points, verified on every upward return;
+- :class:`~repro.hardening.domains.DomainMap` (``ring_domains``) —
+  LOTRx86-style intra-ring privilege domains on the unused middle
+  rings;
+- ``nx_brackets`` — W^X for segments: writable+executable overlap and
+  data-segment execution become hard faults.
+
+See :class:`~repro.hardening.config.HardeningConfig` for the flag
+surface and ``docs/architecture.md`` for the ablation table.
+"""
+
+from .authstack import AuthReturnStack, GENESIS_MAC, MAC_BITS, RETURN_PTR_PR
+from .config import DEFAULT_AUTH_KEY_SEED, HARDENING_FLAGS, HardeningConfig
+from .domains import DomainMap
+
+__all__ = [
+    "AuthReturnStack",
+    "DomainMap",
+    "HardeningConfig",
+    "HARDENING_FLAGS",
+    "DEFAULT_AUTH_KEY_SEED",
+    "GENESIS_MAC",
+    "MAC_BITS",
+    "RETURN_PTR_PR",
+]

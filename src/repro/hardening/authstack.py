@@ -1,0 +1,108 @@
+"""Authenticated return stack: a MAC chain over downward-call returns.
+
+The paper's gate discipline checks *where* control enters a ring, but
+an upward RETURN trusts whatever pointer the returning procedure
+presents — PR4 by the save-stack convention.  A callee (or anything
+that can influence the caller-supplied return pointer) can therefore
+redirect an upward return to an arbitrary word in the caller's ring
+without violating a single bracket rule.  PACStack (Liljestrand et
+al.) closes this on ARM by chaining pointer-authentication MACs so
+each return address is authenticated against the whole stack below it.
+
+This module models that as machine state: on every downward CALL the
+processor pushes ``mac(key, prev_mac, ring, segno, wordno)`` over the
+return point it is committing to; on every upward RETURN it recomputes
+the MAC for the point actually being returned to and compares.  A
+mismatch — forged pointer, skipped frame, replayed frame — raises
+``ACV_AUTH_RETURN`` before any architectural state changes.
+
+The chain is architectural when the flag is on: it snapshots and
+restores bit-identically (``snapshot``/``restore``), and the key is
+derived from a deterministic per-machine seed so a restored machine
+verifies exactly the frames the snapshotted one pushed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Tuple
+
+#: MACs are truncated to 64 bits, mirroring the pointer-sized
+#: authentication codes of the modeled hardware.
+MAC_BITS = 64
+_MAC_MASK = (1 << MAC_BITS) - 1
+
+#: MAC of the empty chain (no frames pushed).
+GENESIS_MAC = 0
+
+#: The save-stack convention's return-pointer register: a caller loads
+#: PR4 with its return point before CALL, and RETURN goes through it.
+#: The MAC chain authenticates exactly that commitment.
+RETURN_PTR_PR = 4
+
+
+def _derive_key(seed: int) -> bytes:
+    """Per-machine MAC key from the deterministic seed."""
+    return hashlib.sha256(f"repro-auth-return-stack:{seed}".encode()).digest()
+
+
+class AuthReturnStack:
+    """The chained-MAC return stack for one machine."""
+
+    def __init__(self, seed: int):
+        self._key = _derive_key(seed)
+        #: chain[i] authenticates frame i against all frames below it
+        self._chain: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._chain)
+
+    def _mac(self, prev: int, ring: int, segno: int, wordno: int) -> int:
+        digest = hashlib.sha256(
+            self._key
+            + prev.to_bytes(8, "big")
+            + ring.to_bytes(2, "big")
+            + segno.to_bytes(4, "big")
+            + wordno.to_bytes(4, "big")
+        ).digest()
+        return int.from_bytes(digest[:8], "big") & _MAC_MASK
+
+    def push(self, ring: int, segno: int, wordno: int) -> int:
+        """Record the return point a downward CALL commits to."""
+        prev = self._chain[-1] if self._chain else GENESIS_MAC
+        mac = self._mac(prev, ring, segno, wordno)
+        self._chain.append(mac)
+        return mac
+
+    def verify(self, ring: int, segno: int, wordno: int) -> bool:
+        """Check an upward return target against the top frame.
+
+        Returns False on an empty chain (an upward return with no
+        matching downward call is itself a forgery) or when the
+        recomputed MAC disagrees with the pushed one.  Does not pop:
+        the caller pops only after deciding the return may proceed.
+        """
+        if not self._chain:
+            return False
+        prev = self._chain[-2] if len(self._chain) > 1 else GENESIS_MAC
+        return self._mac(prev, ring, segno, wordno) == self._chain[-1]
+
+    def pop(self) -> int:
+        """Drop the top frame (after a verified upward return)."""
+        return self._chain.pop()
+
+    def clear(self) -> None:
+        """Reset the chain (machine start / process attach)."""
+        self._chain.clear()
+
+    def snapshot(self) -> List[int]:
+        """The chain as snapshot-serializable state."""
+        return list(self._chain)
+
+    def restore(self, chain: List[int]) -> None:
+        """Replace the chain with snapshotted state."""
+        self._chain = [int(mac) & _MAC_MASK for mac in chain]
+
+    def peek(self) -> Tuple[int, ...]:
+        """Read-only view of the chain (tests, diagnostics)."""
+        return tuple(self._chain)

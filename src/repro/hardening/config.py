@@ -1,0 +1,139 @@
+"""Configuration for the hardening extensions.
+
+The three extensions are the modern descendants of the paper's rings,
+each off by default and individually ablatable:
+
+``auth_return_stack``
+    a PACStack-style MAC chain over the return points the supervisor
+    save-stack convention records on downward calls, verified on every
+    upward return (:mod:`repro.hardening.authstack`);
+``ring_domains``
+    LOTRx86-style intra-ring privilege domains layered on the bracket
+    checks (:mod:`repro.hardening.domains`);
+``nx_brackets``
+    an execute-bracket NX mode: a segment that is both writable and
+    executable hard-faults on execution (W^X, enforced in
+    ``Processor.validate_access``).
+
+A :class:`HardeningConfig` is immutable and travels with the machine:
+it is serialized into snapshots and restored bit-identically, so a
+restored machine enforces exactly what the snapshotted one did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Tuple
+
+from ..errors import ConfigurationError
+
+#: the three ablatable extension flags, in canonical order
+HARDENING_FLAGS = ("auth_return_stack", "ring_domains", "nx_brackets")
+
+#: default seed for the per-machine MAC key (deterministic on purpose:
+#: snapshots must restore to the same chain, and the adversary harness
+#: compares machines bit-for-bit — a random key would break both)
+DEFAULT_AUTH_KEY_SEED = 1971
+
+
+@dataclass(frozen=True)
+class HardeningConfig:
+    """Which hardening extensions a machine runs, and their parameters.
+
+    ``domains`` maps segment *names* to domain names; segments acquire
+    their domain when the supervisor initiates them (name-based so the
+    table can be written before any segment numbers exist).  A
+    non-empty table requires ``ring_domains`` — a silently ignored
+    table is exactly the misconfiguration this class exists to reject.
+    """
+
+    auth_return_stack: bool = False
+    ring_domains: bool = False
+    nx_brackets: bool = False
+    auth_key_seed: int = DEFAULT_AUTH_KEY_SEED
+    domains: Tuple[Tuple[str, str], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.auth_key_seed, int) or self.auth_key_seed < 0:
+            raise ConfigurationError(
+                "auth_key_seed must be a non-negative integer"
+            )
+        if self.domains and not self.ring_domains:
+            raise ConfigurationError(
+                "a domain table requires ring_domains=True — a table on "
+                "a machine that never checks it would silently protect "
+                "nothing"
+            )
+        for entry in self.domains:
+            if (
+                not isinstance(entry, tuple)
+                or len(entry) != 2
+                or not all(isinstance(part, str) and part for part in entry)
+            ):
+                raise ConfigurationError(
+                    "domains must be (segment_name, domain_name) string "
+                    f"pairs, got {entry!r}"
+                )
+
+    @property
+    def enabled(self) -> bool:
+        """True when any extension is on."""
+        return self.auth_return_stack or self.ring_domains or self.nx_brackets
+
+    def enabled_flags(self) -> Tuple[str, ...]:
+        """The names of the enabled extensions, in canonical order."""
+        return tuple(
+            flag for flag in HARDENING_FLAGS if getattr(self, flag)
+        )
+
+    def domain_table(self) -> Dict[str, str]:
+        """The segment-name -> domain-name table as a dict."""
+        return dict(self.domains)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-shaped form for machine snapshots."""
+        return {
+            "auth_return_stack": self.auth_return_stack,
+            "ring_domains": self.ring_domains,
+            "nx_brackets": self.nx_brackets,
+            "auth_key_seed": self.auth_key_seed,
+            "domains": [list(pair) for pair in self.domains],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "HardeningConfig":
+        """The inverse of :meth:`as_dict` (snapshot restore)."""
+        return cls(
+            auth_return_stack=bool(data.get("auth_return_stack", False)),
+            ring_domains=bool(data.get("ring_domains", False)),
+            nx_brackets=bool(data.get("nx_brackets", False)),
+            auth_key_seed=int(data.get("auth_key_seed", DEFAULT_AUTH_KEY_SEED)),
+            domains=tuple(
+                (str(name), str(domain))
+                for name, domain in data.get("domains", [])
+            ),
+        )
+
+    @classmethod
+    def from_flags(
+        cls,
+        flags: Iterable[str],
+        domains: Tuple[Tuple[str, str], ...] = (),
+        auth_key_seed: int = DEFAULT_AUTH_KEY_SEED,
+    ) -> "HardeningConfig":
+        """Build a config from flag names (CLI / gateway surface)."""
+        chosen = []
+        for flag in flags:
+            if flag not in HARDENING_FLAGS:
+                raise ConfigurationError(
+                    f"unknown hardening flag {flag!r}; expected one of "
+                    f"{HARDENING_FLAGS}"
+                )
+            chosen.append(flag)
+        return cls(
+            auth_return_stack="auth_return_stack" in chosen,
+            ring_domains="ring_domains" in chosen,
+            nx_brackets="nx_brackets" in chosen,
+            auth_key_seed=auth_key_seed,
+            domains=tuple(domains),
+        )

@@ -1,0 +1,69 @@
+"""Intra-ring privilege domains layered on the ring brackets.
+
+Rings order privilege totally: everything in ring 3 can read anything
+ring 3 can read.  Lord of the x86 Rings (Lee et al.) shows the unused
+middle rings can host *domains* — mutually distrusting compartments at
+the same privilege level.  We model the domain table as machine
+configuration: segment names map to domain names, segments acquire
+their domain when the supervisor initiates them, and the processor
+refuses any operand reference from a procedure in one domain to a
+segment in another.  Transfers of control between domains must go
+through CALL — and every inter-segment CALL already requires a gate
+word (Figure 8), so the existing gate descriptors double as the
+domain-gate descriptors: a domain exposes exactly its gate list.
+
+Segments with no assigned domain are *common*: reachable from every
+domain, like the shared supervisor and library segments.  The check is
+therefore purely additive — a machine whose table is empty behaves
+exactly like one with the flag off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class DomainMap:
+    """Segment-to-domain assignments for one machine.
+
+    ``by_name`` holds the configured (and runtime-assigned) table keyed
+    by segment name; ``by_segno`` is the processor-facing projection,
+    populated as the supervisor initiates segments.
+    """
+
+    def __init__(self, table: Iterable[Tuple[str, str]] = ()):
+        self.by_name: Dict[str, str] = dict(table)
+        self.by_segno: Dict[int, str] = {}
+
+    def assign(self, name: str, domain: str) -> None:
+        """Bind a segment name to a domain (before or after initiation).
+
+        Late assignment matters for serving: program images declare
+        their domains and the worker assigns them as it installs the
+        image, possibly after some segments are already known.
+        """
+        self.by_name[name] = domain
+
+    def register(self, segno: int, name: str) -> None:
+        """Called by the supervisor when a segment becomes known."""
+        domain = self.by_name.get(name)
+        if domain is not None:
+            self.by_segno[segno] = domain
+
+    def domain_of(self, segno: int) -> Optional[str]:
+        """The domain of a segment number, or None for common segments."""
+        return self.by_segno.get(segno)
+
+    def snapshot(self) -> Dict[str, List]:
+        """Snapshot-serializable form of the runtime state."""
+        return {
+            "by_name": [[name, dom] for name, dom in sorted(self.by_name.items())],
+            "by_segno": [
+                [segno, dom] for segno, dom in sorted(self.by_segno.items())
+            ],
+        }
+
+    def restore(self, data: Dict[str, List]) -> None:
+        """Replace runtime state with snapshotted state."""
+        self.by_name = {str(n): str(d) for n, d in data.get("by_name", [])}
+        self.by_segno = {int(s): str(d) for s, d in data.get("by_segno", [])}

@@ -29,6 +29,7 @@ from ..core.gates import decide_call, decide_return
 from ..cpu.faults import Fault, FaultCode
 from ..cpu.registers import STACK_BASE_PR
 from ..cpu.validate import brackets_of
+from ..hardening.authstack import RETURN_PTR_PR
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..cpu.processor import Processor
@@ -77,6 +78,16 @@ class SoftwareRingAssist:
                 return "abort"
             old_ring = fault.cur_ring
             assert old_ring is not None
+            auth = proc.auth_stack
+            if auth is not None and decision.new_ring != old_ring:
+                # The 645-path push site: with hardware rings the push
+                # happens inside op_call's performance half, which this
+                # profile never reaches.  The matching verification
+                # runs in op_return *before* the crossing trap, so no
+                # pop is needed here on the RETURN branch.
+                proc.charge(proc.cost.auth_mac_cycles)
+                rp = regs.pr(RETURN_PTR_PR)
+                auth.push(old_ring, rp.segno, rp.wordno)
             stack_segno = proc.stack_segno_for_call(decision.new_ring, old_ring)
             regs.pr(STACK_BASE_PR).load(stack_segno, 0, decision.new_ring)
             regs.crr = old_ring

@@ -124,6 +124,10 @@ class Supervisor:
         #: the process most recently attached to a processor (what a
         #: machine snapshot must re-attach so fault/io handlers exist)
         self.attached_process: Optional[Process] = None
+        #: the processor's DomainMap when ring_domains is on (set by
+        #: Machine): initiation binds segment numbers to their
+        #: configured domains as segments become known
+        self.domains = None
         from .linkage import LinkageManager
 
         self.linkage = LinkageManager(self.loader)
@@ -274,14 +278,19 @@ class Supervisor:
             execute=spec.execute,
             gate=gate,
         )
+        known_name = name or active.image.name
         process.make_known(
-            name or active.image.name,
+            known_name,
             active.segno,
             sdw,
             entries=active.image.entries,
             path=path,
             gate_count=gate,
         )
+        if self.domains is not None:
+            # ring_domains: the segment acquires its configured domain
+            # the moment it becomes known (demand initiation included).
+            self.domains.register(active.segno, known_name)
         return active.segno
 
     def deactivate(

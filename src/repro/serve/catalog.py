@@ -92,7 +92,9 @@ class ProgramImage:
     store; ``data_segments`` is a tuple of ``(path, values, acl)`` raw
     data segments (the ring stories bracket secrets and scratch areas
     below or beside the caller); ``entry`` is the ``segment$symbol``
-    reference to run.
+    reference to run.  ``domains`` lists ``(segment name, domain)``
+    bindings the worker applies before initiation — no-ops unless the
+    serving machine runs the ``ring_domains`` extension.
     """
 
     key: str
@@ -101,6 +103,7 @@ class ProgramImage:
     data_segments: Tuple[
         Tuple[str, Tuple[int, ...], Tuple[AclEntry, ...]], ...
     ] = field(default=())
+    domains: Tuple[Tuple[str, str], ...] = field(default=())
 
 
 def _int_arg(args: Dict[str, Any], name: str, default: int, lo: int, hi: int) -> int:
@@ -457,6 +460,7 @@ def _build_attack(args: Dict[str, Any]) -> ProgramImage:
         segments=program.segments,
         entry=program.entry,
         data_segments=program.data_segments,
+        domains=program.domains,
     )
 
 
@@ -502,6 +506,8 @@ def install_image(machine, process, image: ProgramImage) -> str:
     for path, values, acl in image.data_segments:
         if not machine.fs.exists(path):
             machine.store_data(path, list(values), acl=list(acl))
+    for name, domain in image.domains:
+        machine.assign_domain(name, domain)
     for path, _, _ in image.segments + image.data_segments:
         if path.split(">")[-1] not in process.known:
             machine.initiate(process, path)

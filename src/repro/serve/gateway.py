@@ -46,6 +46,7 @@ from math import ceil
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import ConfigurationError
+from ..hardening import HARDENING_FLAGS
 from ..sim.fleet import stable_shard
 from ..sim.metrics import MetricsSnapshot
 from . import catalog
@@ -141,6 +142,11 @@ class GatewayConfig:
     #: protection verdicts are identical, crossing cost is not — the
     #: knob behind the live hardware-vs-software A/B
     machine_profile: str = "ringed"
+    #: hardening extensions enabled on every worker machine, as a tuple
+    #: of flag names from :data:`~repro.hardening.HARDENING_FLAGS`;
+    #: advertised in ``stats`` and in every call result so clients can
+    #: tell which machine answered them
+    hardening: Tuple[str, ...] = ()
 
     def durability(self) -> Optional[DurabilityConfig]:
         """The worker-side durability config, or ``None`` if disabled."""
@@ -278,6 +284,21 @@ class RingGateway:
                 "classic worker pool; it does not compose with session "
                 "mode or replication"
             )
+        for flag in self.config.hardening:
+            if flag not in HARDENING_FLAGS:
+                raise ConfigurationError(
+                    f"unknown hardening flag {flag!r}; expected a subset "
+                    f"of {HARDENING_FLAGS}"
+                )
+        if self.config.hardening and (
+            self.config.max_sessions or self.config.replicas
+            or self.config.replica_endpoints
+        ):
+            raise ConfigurationError(
+                "hardening is an ablation knob for the classic worker "
+                "pool; it does not compose with session mode or "
+                "replication"
+            )
         self._sessions = self.config.sessions()
         #: validated eagerly so a bad replication setup fails at
         #: construction, not mid-failover
@@ -333,6 +354,7 @@ class RingGateway:
             backend=self.config.backend,
             durability=self.config.durability(),
             machine_profile=self.config.machine_profile,
+            hardening=self.config.hardening,
         )
 
     async def start(self) -> None:
@@ -847,6 +869,7 @@ class RingGateway:
             "pid": result.get("pid"),
             "slot": result.get("slot"),
             "machine_profile": result.get("machine_profile"),
+            "hardening": result.get("hardening", []),
         }
         generation = result.get("generation", 0)
         if self._worker_generation.get(worker) != generation:
@@ -1042,6 +1065,7 @@ class RingGateway:
                 "backend": self.pool.backend if self.pool else "stopped",
                 "configured": self.config.workers,
                 "machine_profile": self.config.machine_profile,
+                "hardening": list(self.config.hardening),
                 "pool_epoch": self._pool_epoch,
                 "durability": {
                     "enabled": bool(self.config.durability_dir),

@@ -77,6 +77,9 @@ class LoadReport:
     #: machine profile the gateway is REQUIRED to be serving with
     #: (``None`` = don't check)
     expect_profile: Optional[str] = None
+    #: hardening flags the gateway is REQUIRED to be serving with, in
+    #: any order (``None`` = don't check; ``()`` = require none)
+    expect_hardening: Optional[Sequence[str]] = None
 
     @property
     def throughput(self) -> float:
@@ -128,6 +131,13 @@ class LoadReport:
                 problems.append(
                     f"gateway serves machine profile {served!r}, "
                     f"expected {self.expect_profile!r}"
+                )
+        if self.expect_hardening is not None:
+            served_flags = self.stats.get("workers", {}).get("hardening")
+            if sorted(served_flags or []) != sorted(self.expect_hardening):
+                problems.append(
+                    f"gateway serves hardening {served_flags!r}, "
+                    f"expected {sorted(self.expect_hardening)!r}"
                 )
         routed = "router" in self.stats
         if routed:
@@ -206,6 +216,11 @@ class LoadReport:
             "expect_fault": self.expect_fault,
             "expected_faults": self.expected_faults,
             "unexpected_ok": self.unexpected_ok,
+            "expect_hardening": (
+                None
+                if self.expect_hardening is None
+                else sorted(self.expect_hardening)
+            ),
             "client_metrics": dict(self.client_metrics),
             "error_details": list(self.error_details),
             "stats": self.stats,
@@ -357,6 +372,7 @@ async def run_load(
     concurrency: Optional[int] = None,
     expect_fault: Optional[str] = None,
     expect_profile: Optional[str] = None,
+    expect_hardening: Optional[Sequence[str]] = None,
 ) -> LoadReport:
     """Drive ``sessions`` concurrent sessions of ``calls`` calls each.
 
@@ -374,7 +390,9 @@ async def run_load(
     with that fault-code name — matching faults count as
     ``expected_faults``, an OK response is a protection failure.
     ``expect_profile`` asserts the gateway's worker machine profile
-    (``ringed`` / ``baseline645``) in the final stats.
+    (``ringed`` / ``baseline645``) in the final stats;
+    ``expect_hardening`` likewise asserts the exact set of hardening
+    flags the workers were built with (order-insensitive).
     """
     if sessions <= 0 or calls <= 0:
         raise ConfigurationError("sessions and calls must be positive")
@@ -388,6 +406,7 @@ async def run_load(
         calls_per_session=calls,
         expect_fault=expect_fault,
         expect_profile=expect_profile,
+        expect_hardening=expect_hardening,
     )
     started = time.perf_counter()
 

@@ -51,6 +51,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..cpu.faults import Fault
 from ..errors import ConfigurationError, ReproError
+from ..hardening import HARDENING_FLAGS, HardeningConfig
 from ..sim.machine import Machine
 from ..sim.metrics import MetricsSnapshot
 from ..state.journal import JournalWriter
@@ -70,6 +71,10 @@ BACKENDS = ("process", "thread")
 MACHINE_PROFILES = ("ringed", "baseline645")
 
 _MACHINE_PROFILE = "ringed"
+
+#: hardening extensions enabled for engines built in this process, as a
+#: tuple of flag names from :data:`~repro.hardening.HARDENING_FLAGS`
+_HARDENING: Tuple[str, ...] = ()
 
 #: per-call step cap: generous for any catalog program, small enough
 #: that a runaway variant cannot wedge a worker for long
@@ -111,6 +116,30 @@ def hardware_rings_enabled() -> bool:
     return _MACHINE_PROFILE != "baseline645"
 
 
+def configure_hardening(flags: Tuple[str, ...]) -> None:
+    """Select the hardening extensions for engines built in this process.
+
+    Process-level state like the machine profile: the thread backend
+    calls it directly, process-pool children get it via
+    :func:`_init_worker`.  Restored engines keep the hardening of the
+    machine that was snapshotted (the config is serialized).
+    """
+    global _HARDENING
+    flags = tuple(flags)
+    for flag in flags:
+        if flag not in HARDENING_FLAGS:
+            raise ConfigurationError(
+                f"unknown hardening flag {flag!r}; expected a subset of "
+                f"{HARDENING_FLAGS}"
+            )
+    _HARDENING = flags
+
+
+def hardening_flags() -> Tuple[str, ...]:
+    """The hardening flags engines in this process are built with."""
+    return _HARDENING
+
+
 class GateCallEngine:
     """One machine plus its call caches and cumulative counters.
 
@@ -133,6 +162,7 @@ class GateCallEngine:
                 jit_tier_enabled=True,
                 fast_gate=True,
                 hardware_rings=hardware_rings_enabled(),
+                hardening=HardeningConfig.from_flags(hardening_flags()),
             )
         )
         self.processes: Dict[str, Any] = {}  # username -> Process
@@ -179,6 +209,11 @@ class GateCallEngine:
                 if path not in self.stored_paths:
                     self.machine.store_data(path, list(values), acl=list(acl))
                     self.stored_paths.add(path)
+            for name, domain in image.domains:
+                # no-op unless this machine runs ring_domains; done
+                # before any initiation so the binding is in force the
+                # first time a tier validates the segment
+                self.machine.assign_domain(name, domain)
             self.installed[image.key] = image.entry
         for path, _, _ in image.segments + image.data_segments:
             if (user, path) not in self.initiated:
@@ -312,7 +347,9 @@ def configure_durability(config: Optional[DurabilityConfig]) -> None:
 
 
 def _init_worker(
-    config: Optional[DurabilityConfig], profile: str = "ringed"
+    config: Optional[DurabilityConfig],
+    profile: str = "ringed",
+    hardening: Tuple[str, ...] = (),
 ) -> None:
     """Process-pool child initializer.
 
@@ -330,6 +367,7 @@ def _init_worker(
         _LIVE_SLOTS.clear()
     configure_durability(config)
     configure_machine_profile(profile)
+    configure_hardening(hardening)
 
 
 def release_live_slots() -> None:
@@ -537,6 +575,7 @@ class _WorkerState:
             if self.engine.machine.processor.hardware_rings
             else "baseline645"
         )
+        out["hardening"] = list(self.engine.machine.hardening.enabled_flags())
         if self.slot is not None:
             out["slot"] = self.slot
         out["worker_calls"] = self.engine.calls
@@ -598,6 +637,7 @@ class WorkerPool:
         backend: str = "process",
         durability: Optional[DurabilityConfig] = None,
         machine_profile: str = "ringed",
+        hardening: Tuple[str, ...] = (),
     ):
         if workers <= 0:
             raise ConfigurationError("workers must be positive")
@@ -611,6 +651,13 @@ class WorkerPool:
                 f"unknown machine profile {machine_profile!r}; expected "
                 f"one of {MACHINE_PROFILES}"
             )
+        hardening = tuple(hardening)
+        for flag in hardening:
+            if flag not in HARDENING_FLAGS:
+                raise ConfigurationError(
+                    f"unknown hardening flag {flag!r}; expected a subset "
+                    f"of {HARDENING_FLAGS}"
+                )
         if durability is not None and durability.slots < workers:
             raise ConfigurationError(
                 "durability needs at least one slot per worker"
@@ -619,6 +666,7 @@ class WorkerPool:
         self.backend = backend
         self.durability = durability
         self.machine_profile = machine_profile
+        self.hardening = hardening
         self.executor = self._build_executor()
 
     def _build_executor(self) -> Executor:
@@ -627,7 +675,11 @@ class WorkerPool:
                 executor = ProcessPoolExecutor(
                     max_workers=self.workers,
                     initializer=_init_worker,
-                    initargs=(self.durability, self.machine_profile),
+                    initargs=(
+                        self.durability,
+                        self.machine_profile,
+                        self.hardening,
+                    ),
                 )
                 # Probe one task end to end: pool creation succeeds on
                 # some hosts where the first real submit then dies.
@@ -637,6 +689,7 @@ class WorkerPool:
                 self.backend = "thread (process pool unavailable)"
         configure_durability(self.durability)
         configure_machine_profile(self.machine_profile)
+        configure_hardening(self.hardening)
         return ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="ringworker"
         )

@@ -1,0 +1,117 @@
+"""Validated machine configuration.
+
+``Machine.__init__`` accepts a dozen knobs whose legal combinations
+are constrained by the tier stack (the trace tier records through the
+superblock tier, which rides the fast-path PTLB) and by the hardening
+extensions.  Some of those constraints were historically enforced deep
+inside ``Processor`` and others not at all; :class:`MachineConfig`
+makes the whole matrix explicit, rejects contradictory combinations
+with a clear error *before* any machine state is built, and gives the
+serving and snapshot layers a single serializable description of a
+machine's shape.
+
+Use ``Machine.from_config(MachineConfig(...))`` or call
+:meth:`MachineConfig.validate` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..cpu.processor import CostModel
+from ..errors import ConfigurationError
+from ..hardening import HardeningConfig
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Every construction knob of :class:`~repro.sim.machine.Machine`.
+
+    Defaults match ``Machine.__init__`` exactly; ``None`` for the tier
+    knobs means "follow the tier below", as documented there.
+    """
+
+    memory_words: int = 1 << 18
+    hardware_rings: bool = True
+    stack_rule: str = "dbr"
+    paged: bool = False
+    lazy_linking: bool = False
+    cost: Optional[CostModel] = None
+    sdw_cache_slots: int = 16
+    sdw_cache_enabled: bool = True
+    fast_path_enabled: bool = True
+    block_tier_enabled: Optional[bool] = None
+    jit_tier_enabled: Optional[bool] = None
+    fast_gate: bool = False
+    services: bool = True
+    hardening: HardeningConfig = field(default_factory=HardeningConfig)
+
+    def validate(self) -> "MachineConfig":
+        """Reject contradictory knob combinations; returns self.
+
+        The tier constraints mirror the hardware metaphor: each host
+        tier is built on the one below it, so enabling a tier whose
+        foundation is explicitly disabled is a contradiction, not a
+        preference.
+        """
+        if self.memory_words <= 0:
+            raise ConfigurationError(
+                f"memory_words must be positive, got {self.memory_words}"
+            )
+        if self.sdw_cache_slots <= 0:
+            raise ConfigurationError(
+                f"sdw_cache_slots must be positive, got {self.sdw_cache_slots}"
+            )
+        if self.stack_rule not in ("simple", "dbr"):
+            raise ConfigurationError(
+                f"unknown stack rule {self.stack_rule!r}; "
+                "expected 'simple' or 'dbr'"
+            )
+        block = (
+            self.fast_path_enabled
+            if self.block_tier_enabled is None
+            else self.block_tier_enabled
+        )
+        if block and not self.fast_path_enabled:
+            raise ConfigurationError(
+                "block_tier_enabled=True requires fast_path_enabled=True: "
+                "the superblock tier rides the fast-path PTLB"
+            )
+        if self.jit_tier_enabled:
+            if not self.fast_path_enabled:
+                raise ConfigurationError(
+                    "jit_tier_enabled=True requires fast_path_enabled=True: "
+                    "the trace tier records through superblock dispatch, "
+                    "which rides the fast-path PTLB"
+                )
+            if not block:
+                raise ConfigurationError(
+                    "jit_tier_enabled=True requires the superblock tier: "
+                    "block_tier_enabled must not be False"
+                )
+        if not isinstance(self.hardening, HardeningConfig):
+            raise ConfigurationError(
+                "hardening must be a HardeningConfig, got "
+                f"{type(self.hardening).__name__}"
+            )
+        return self
+
+    def machine_kwargs(self) -> Dict[str, object]:
+        """Keyword arguments for ``Machine(**...)``."""
+        return {
+            "memory_words": self.memory_words,
+            "hardware_rings": self.hardware_rings,
+            "stack_rule": self.stack_rule,
+            "paged": self.paged,
+            "lazy_linking": self.lazy_linking,
+            "cost": self.cost,
+            "sdw_cache_slots": self.sdw_cache_slots,
+            "sdw_cache_enabled": self.sdw_cache_enabled,
+            "fast_path_enabled": self.fast_path_enabled,
+            "block_tier_enabled": self.block_tier_enabled,
+            "jit_tier_enabled": self.jit_tier_enabled,
+            "fast_gate": self.fast_gate,
+            "services": self.services,
+            "hardening": self.hardening,
+        }

@@ -57,6 +57,7 @@ from ..asm import assemble
 from ..core.acl import AclEntry
 from ..cpu.processor import CostModel, Processor
 from ..cpu.sdwcache import SDWCache
+from ..hardening import HardeningConfig
 from ..krnl.process import Process
 from ..krnl.services import install_services
 from ..krnl.supervisor import Supervisor
@@ -108,12 +109,14 @@ class Machine:
         jit_tier_enabled: Optional[bool] = None,
         fast_gate: bool = False,
         services: bool = True,
+        hardening: Optional[HardeningConfig] = None,
     ):
         self.fast_gate = fast_gate
         self.memory = PhysicalMemory(memory_words)
         self.supervisor = Supervisor(self.memory)
         self.supervisor.paged = paged
         self.supervisor.lazy_linking = lazy_linking
+        self.hardening = hardening or HardeningConfig()
         self.processor = Processor(
             self.memory,
             cost=cost,
@@ -123,12 +126,26 @@ class Machine:
             fast_path=fast_path_enabled,
             block_tier=block_tier_enabled,
             jit_tier=jit_tier_enabled,
+            hardening=self.hardening,
         )
+        # ring_domains: the supervisor binds segment numbers to domains
+        # as it initiates segments.
+        self.supervisor.domains = self.processor.domains
         self.system_user = self.supervisor.users.register(
             "system", administrator=True
         )
         if services:
             install_services(self.fs, self.system_user)
+
+    @classmethod
+    def from_config(cls, config) -> "Machine":
+        """Build a machine from a validated :class:`MachineConfig`."""
+        from .config import MachineConfig
+
+        if not isinstance(config, MachineConfig):
+            raise TypeError(f"expected MachineConfig, got {type(config)!r}")
+        config.validate()
+        return cls(**config.machine_kwargs())
 
     # -- delegates ---------------------------------------------------------
 
@@ -198,6 +215,25 @@ class Machine:
         """Add a stored segment to a process's virtual memory."""
         return self.supervisor.initiate(process, path, name=name)
 
+    def assign_domain(self, name: str, domain: str) -> bool:
+        """Bind segment ``name`` to a ring domain (``ring_domains`` only).
+
+        Returns False (a no-op) when the extension is off, so callers
+        can assign unconditionally.  Assignments should precede the
+        segment's initiation; a late assignment is honoured for
+        already-known segments, with the host caches of that segment
+        dropped so compiled tiers revalidate under the new domain.
+        """
+        domains = self.processor.domains
+        if domains is None:
+            return False
+        domains.assign(name, domain)
+        active = self.supervisor.active_by_name.get(name)
+        if active is not None:
+            domains.register(active.segno, name)
+            self.processor.invalidate_sdw(active.segno)
+        return True
+
     def make_scheduler(self, quantum: int = 50):
         """A round-robin scheduler multiplexing this machine's processor."""
         from ..krnl.scheduler import RoundRobinScheduler
@@ -247,6 +283,12 @@ class Machine:
                 self.processor.set_timer(sup.timer_quantum)
         else:
             sup.attach(self.processor, process)
+        if self.processor.auth_stack is not None:
+            # Each start is a fresh call chain: leftover MAC frames from
+            # an aborted previous run must not vouch for this one.  Done
+            # in both attach branches so fast_gate repeats stay
+            # bit-identical with cold starts.
+            self.processor.auth_stack.clear()
         segno, wordno = process.entry_of(ref)
         regs = self.processor.registers
         stack_segno = process.stack_segno(ring)

@@ -54,6 +54,7 @@ from ..cpu.faults import Fault, FaultCode
 from ..cpu.processor import CostModel, ProcessorStats
 from ..cpu.registers import IPR, PointerRegister, RegisterFile
 from ..errors import SnapshotError
+from ..hardening import HardeningConfig
 from ..krnl.baseline645 import SoftwareRingAssist
 from ..krnl.callret import ReturnGateRecord, UpwardCallAssist
 from ..krnl.filesystem import SegmentNode, split_path
@@ -302,11 +303,13 @@ def snapshot_machine(
             "block_tier_enabled": proc.block_cache.enabled,
             "jit_tier_enabled": proc.jit_cache.enabled,
             "fast_gate": machine.fast_gate,
+            "hardening": proc.hardening.as_dict(),
             "cost": {
                 "memory_reference": proc.cost.memory_reference,
                 "instruction_base": proc.cost.instruction_base,
                 "trap_overhead": proc.cost.trap_overhead,
                 "ring_crossing_extra": proc.cost.ring_crossing_extra,
+                "auth_mac_cycles": proc.cost.auth_mac_cycles,
             },
         },
         "memory": {
@@ -331,6 +334,22 @@ def snapshot_machine(
             "cache_invalidations": {
                 "ptlb": proc.access_cache.invalidations,
                 "icache": proc.inst_cache.invalidations,
+            },
+            # hardening runtime state: the MAC chain is architectural
+            # (a restored machine must verify exactly the frames the
+            # snapshotted one pushed) and so are the segno->domain
+            # bindings built up at initiation time
+            "hardening": {
+                "auth_chain": (
+                    proc.auth_stack.snapshot()
+                    if proc.auth_stack is not None
+                    else []
+                ),
+                "domains": (
+                    proc.domains.snapshot()
+                    if proc.domains is not None
+                    else None
+                ),
             },
         },
         "supervisor": {
@@ -418,6 +437,9 @@ def restore_machine(
     else:
         jit = jit_tier_enabled
     gate = cfg.get("fast_gate", False) if fast_gate is None else fast_gate
+    # Snapshots written before the hardening extensions existed carry
+    # no section: everything defaults to off.
+    hardening = HardeningConfig.from_dict(cfg.get("hardening", {}))
     machine = Machine(
         memory_words=cfg["memory_words"],
         hardware_rings=cfg["hardware_rings"],
@@ -432,6 +454,7 @@ def restore_machine(
         jit_tier_enabled=jit,
         fast_gate=gate,
         services=False,
+        hardening=hardening,
     )
     proc = machine.processor
     sup = machine.supervisor
@@ -575,6 +598,11 @@ def restore_machine(
         [countdown, FaultCode[code], detail]
         for countdown, code, detail in procd["events"]
     ]
+    hardd = procd.get("hardening", {})
+    if proc.auth_stack is not None:
+        proc.auth_stack.restore(hardd.get("auth_chain", []))
+    if proc.domains is not None and hardd.get("domains") is not None:
+        proc.domains.restore(hardd["domains"])
 
     # -- counters, then cache state (attach invalidated the caches and
     #    bumped their counters; the snapshot's figures win) --

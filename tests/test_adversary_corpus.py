@@ -22,12 +22,14 @@ processor's fault save-stack does not grow across aborted runs, and
 """
 
 import asyncio
+import json
 
 import pytest
 
 from repro.adversary.corpus import (
     ATTACK_FAMILIES,
     DEFAULT_SEED,
+    HARDENED_FAMILIES,
     build_attack,
     generate_corpus,
 )
@@ -378,3 +380,202 @@ class TestServingAB:
                     machine_profile="ge635",
                 )
             )
+
+
+class TestHardenedFamilies:
+    """The three hardening-gated families and their ablation reports."""
+
+    def test_registry_names_real_families_and_flags(self):
+        for family, flag in HARDENED_FAMILIES.items():
+            assert family in ATTACK_FAMILIES
+            program = build_attack(family, DEFAULT_SEED, 4)
+            assert program.hardening == flag
+            assert program.unhardened_outcome == "halts"
+
+    def test_classic_families_carry_no_hardening(self):
+        for family in SLICE:
+            program = build_attack(family, DEFAULT_SEED, 4)
+            assert program.hardening is None
+            assert program.summary()["hardening"] is None
+
+    def test_harness_report_carries_both_ablation_halves(self):
+        report = run_corpus(
+            per_family=1,
+            families=tuple(HARDENED_FAMILIES),
+            tiers=("interp", "jit"),
+        )
+        assert report["ok"], [
+            p["problems"] for p in report["programs"] if not p["ok"]
+        ]
+        for entry in report["programs"]:
+            assert entry["hardening"] == HARDENED_FAMILIES[entry["family"]]
+            assert entry["unhardened_outcome"] == "halts"
+            # flag-on half hit the oracle fault on every tier...
+            for figure in entry["figures"].values():
+                assert figure["faulted"]
+                assert figure["code"] == entry["expected"]["code"]
+            # ...and the flag-off half ran each attack to completion
+            assert set(entry["ablation"]) == {"interp", "jit"}
+            for figure in entry["ablation"].values():
+                assert not figure["faulted"]
+
+    def test_hardened_families_on_baseline645(self):
+        report = run_corpus(
+            per_family=1,
+            families=tuple(HARDENED_FAMILIES),
+            tiers=("interp", "jit"),
+            hardware_rings=False,
+        )
+        assert report["ok"], [
+            p["problems"] for p in report["programs"] if not p["ok"]
+        ]
+
+
+class TestServingHardened:
+    """Hardening as a serving knob: ``--hardening`` on the gateway."""
+
+    @staticmethod
+    def _config(hardening, **kwargs):
+        return GatewayConfig(
+            port=0,
+            workers=1,
+            backend="thread",
+            call_timeout=30.0,
+            drain_timeout=30.0,
+            hardening=hardening,
+            **kwargs,
+        )
+
+    def test_hardened_gateway_defeats_its_family(self):
+        async def body():
+            gateway = RingGateway(self._config(("auth_return_stack",)))
+            await gateway.start()
+            try:
+                attack = await run_load(
+                    "127.0.0.1",
+                    gateway.port,
+                    sessions=2,
+                    calls=2,
+                    program="attack",
+                    args={"family": "auth_return_forge", "seed": 5},
+                    expect_fault="ACV_AUTH_RETURN",
+                    expect_hardening=["auth_return_stack"],
+                )
+                legal = await run_load(
+                    "127.0.0.1",
+                    gateway.port,
+                    sessions=2,
+                    calls=2,
+                    program="call_loop",
+                    args={"count": 2},
+                    expect_hardening=["auth_return_stack"],
+                )
+            finally:
+                await gateway.stop()
+            return attack, legal
+
+        attack, legal = asyncio.run(body())
+        assert attack.check() == []
+        assert attack.expected_faults == attack.sent
+        assert attack.unexpected_ok == 0
+        assert legal.check() == []
+        assert legal.ok == legal.sent
+
+    def test_unhardened_gateway_lets_the_family_through(self):
+        """The same attack served without the flag runs to completion —
+        the live half of the ablation story."""
+
+        async def body():
+            gateway = RingGateway(self._config(()))
+            await gateway.start()
+            try:
+                return await run_load(
+                    "127.0.0.1",
+                    gateway.port,
+                    sessions=1,
+                    calls=2,
+                    program="attack",
+                    args={"family": "auth_return_forge", "seed": 5},
+                    expect_hardening=[],
+                )
+            finally:
+                await gateway.stop()
+
+        report = asyncio.run(body())
+        assert report.check() == []
+        assert report.ok == report.sent
+        assert report.expected_faults == 0
+
+    def test_wrong_expected_hardening_is_a_problem(self):
+        async def body():
+            gateway = RingGateway(self._config(("nx_brackets",)))
+            await gateway.start()
+            try:
+                return await run_load(
+                    "127.0.0.1",
+                    gateway.port,
+                    sessions=1,
+                    calls=1,
+                    program="echo",
+                    args={},
+                    expect_hardening=["auth_return_stack"],
+                )
+            finally:
+                await gateway.stop()
+
+        report = asyncio.run(body())
+        assert any("hardening" in p for p in report.check())
+
+    def test_hardening_does_not_compose_with_sessions(self):
+        with pytest.raises(ConfigurationError):
+            RingGateway(
+                self._config(("ring_domains",), max_sessions=4)
+            )
+
+    def test_unknown_hardening_flag_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RingGateway(self._config(("shadow_stack",)))
+
+
+class TestAdversaryDumpCLI:
+    """``repro adversary dump``: the oracle is visible without running."""
+
+    def test_json_carries_the_full_oracle(self, capsys):
+        from repro.cli import main
+
+        assert main(["adversary", "dump", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == len(ATTACK_FAMILIES)
+        by_family = {p["family"]: p for p in payload["programs"]}
+        assert set(by_family) == set(ATTACK_FAMILIES)
+        for summary in by_family.values():
+            for key in (
+                "expect_ring",
+                "expect_segment",
+                "hardening",
+                "unhardened_outcome",
+                "domains",
+            ):
+                assert key in summary, (summary["family"], key)
+        forge = by_family["auth_return_forge"]
+        assert forge["hardening"] == "auth_return_stack"
+        assert forge["expect_code"] == "ACV_AUTH_RETURN"
+        assert isinstance(forge["expect_ring"], int)
+        assert isinstance(forge["expect_segment"], str)
+        breach = by_family["domain_breach"]
+        assert breach["hardening"] == "ring_domains"
+        assert len(breach["domains"]) == 1
+        # classic families: oracle fields present, hardening absent
+        assert by_family["read_bracket"]["hardening"] is None
+
+    def test_table_shows_oracle_columns(self, capsys):
+        from repro.cli import main
+
+        assert main(["adversary", "dump"]) == 0
+        out = capsys.readouterr().out
+        header = out.splitlines()[1]
+        for column in ("at ring", "at segment", "needs flag"):
+            assert column in header
+        assert "auth_return_stack" in out
+        assert "ring_domains" in out
+        assert "nx_brackets" in out

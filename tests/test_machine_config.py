@@ -1,0 +1,128 @@
+"""MachineConfig: the validated description of a machine's shape.
+
+``Machine.__init__`` accepts a dozen knobs whose legal combinations are
+constrained by the tier stack; ``MachineConfig.validate`` makes the
+matrix explicit and rejects contradictions with a clear error before
+any machine state is built.  Pinned here:
+
+* defaults mirror ``Machine.__init__`` exactly (a default config builds
+  a machine identical to ``Machine()``);
+* every contradictory knob combination is rejected, and every legal
+  combination passes;
+* ``Machine.from_config`` validates and builds.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardening import HardeningConfig
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+
+
+class TestDefaults:
+    def test_default_config_is_valid(self):
+        MachineConfig().validate()
+
+    def test_default_config_builds_a_default_machine(self):
+        built = Machine.from_config(MachineConfig())
+        plain = Machine()
+        assert built.fast_gate == plain.fast_gate
+        assert built.processor.hardware_rings == plain.processor.hardware_rings
+        assert (
+            built.processor.access_cache.enabled
+            is plain.processor.access_cache.enabled
+        )
+        assert built.hardening == plain.hardening
+
+    def test_machine_kwargs_cover_every_machine_knob(self):
+        import inspect
+
+        knobs = set(inspect.signature(Machine.__init__).parameters) - {
+            "self"
+        }
+        assert set(MachineConfig().machine_kwargs()) == knobs
+
+
+class TestRejections:
+    @pytest.mark.parametrize(
+        "kwargs,fragment",
+        [
+            ({"memory_words": 0}, "memory_words"),
+            ({"memory_words": -5}, "memory_words"),
+            ({"sdw_cache_slots": 0}, "sdw_cache_slots"),
+            ({"stack_rule": "tower"}, "stack rule"),
+            (
+                {"block_tier_enabled": True, "fast_path_enabled": False},
+                "block_tier_enabled",
+            ),
+            (
+                {"jit_tier_enabled": True, "fast_path_enabled": False},
+                "jit_tier_enabled",
+            ),
+            (
+                {"jit_tier_enabled": True, "block_tier_enabled": False},
+                "superblock",
+            ),
+            ({"hardening": "auth_return_stack"}, "HardeningConfig"),
+        ],
+    )
+    def test_contradiction_rejected_with_clear_error(self, kwargs, fragment):
+        with pytest.raises(ConfigurationError) as excinfo:
+            MachineConfig(**kwargs).validate()
+        assert fragment in str(excinfo.value)
+
+    def test_from_config_validates(self):
+        with pytest.raises(ConfigurationError):
+            Machine.from_config(
+                MachineConfig(
+                    jit_tier_enabled=True, fast_path_enabled=False
+                )
+            )
+
+    def test_from_config_rejects_non_config(self):
+        with pytest.raises(TypeError):
+            Machine.from_config({"memory_words": 1024})
+
+
+class TestLegalMatrix:
+    #: every legal (fast_path, block, jit) combination; None follows
+    #: the tier below
+    LEGAL = [
+        (False, None, None),
+        (False, False, False),
+        (False, False, None),
+        (True, None, None),
+        (True, False, False),
+        (True, True, None),
+        (True, True, True),
+        (True, None, True),
+    ]
+
+    @pytest.mark.parametrize("fast_path,block,jit", LEGAL)
+    def test_legal_tier_combinations_build(self, fast_path, block, jit):
+        config = MachineConfig(
+            fast_path_enabled=fast_path,
+            block_tier_enabled=block,
+            jit_tier_enabled=jit,
+        )
+        machine = Machine.from_config(config)
+        assert machine.processor.access_cache.enabled is fast_path
+
+    def test_hardened_config_builds_hardened_machine(self):
+        config = MachineConfig(
+            hardening=HardeningConfig.from_flags(
+                ["auth_return_stack", "nx_brackets"]
+            )
+        )
+        machine = Machine.from_config(config)
+        assert machine.processor.auth_stack is not None
+        assert machine.processor.nx_brackets
+        assert machine.processor.domains is None
+
+    def test_jit_none_with_fast_path_off_is_legal(self):
+        """None means 'follow the tier below' — never a contradiction."""
+        machine = Machine.from_config(
+            MachineConfig(fast_path_enabled=False)
+        )
+        assert machine.processor.access_cache.enabled is False

@@ -20,6 +20,7 @@ import pytest
 
 from repro.core.acl import AclEntry, RingBracketSpec
 from repro.errors import MachineHalted
+from repro.hardening import HARDENING_FLAGS, HardeningConfig
 from repro.serve.workers import GateCallEngine
 from repro.sim.machine import Machine
 from repro.sim.metrics import MetricsSnapshot
@@ -111,6 +112,90 @@ class TestMidStreamEquivalence:
         hop2 = restore_machine(snapshot_machine(hop1))
         run_to_halt(hop2)
         assert figures(hop2) == expected
+
+
+class TestHardenedRestoreEquivalence:
+    """Snapshot/restore is invisible to the hardening extensions too:
+    the flags, the key seed, the domain bindings, and — hardest — a
+    MAC chain captured mid-call all survive the hop bit-identically."""
+
+    @staticmethod
+    def _start(hardening):
+        machine = Machine(hardening=hardening)
+        user = machine.add_user("operator")
+        machine.store_program(">t>sample", GATE_PROGRAM, acl=USER_ACL)
+        process = machine.login(user)
+        machine.initiate(process, ">t>sample")
+        machine.start(process, "sample$main", 4)
+        return machine
+
+    @pytest.mark.parametrize("flag", HARDENING_FLAGS)
+    def test_each_flag_survives_the_hop(self, flag):
+        hardening = HardeningConfig.from_flags([flag], auth_key_seed=77)
+        baseline = self._start(hardening)
+        run_to_halt(baseline)
+        expected = figures(baseline)
+
+        interrupted = self._start(hardening)
+        for _ in range(4):
+            interrupted.processor.step()
+        restored = restore_machine(snapshot_machine(interrupted))
+        assert restored.hardening == hardening
+        run_to_halt(restored)
+        assert figures(restored) == expected
+
+    def test_mid_mac_chain_checkpoint_continues_bit_identically(self):
+        """Snapshot inside a downward call — chain depth 1 — restore,
+        and the upward return must verify against the restored chain."""
+        hardening = HardeningConfig.from_flags(["auth_return_stack"])
+        baseline = self._start(hardening)
+        run_to_halt(baseline)
+        expected = figures(baseline)
+
+        interrupted = self._start(hardening)
+        while len(interrupted.processor.auth_stack) == 0:
+            interrupted.processor.step()
+        # mid-chain: the CALL pushed its MAC frame, the RETURN has not
+        # verified it yet
+        chain = interrupted.processor.auth_stack.snapshot()
+        assert chain
+        restored = restore_machine(snapshot_machine(interrupted))
+        assert restored.processor.auth_stack.snapshot() == chain
+        run_to_halt(restored)
+        assert figures(restored) == expected
+
+    def test_restored_chain_rejects_tampering(self):
+        """A snapshot with a doctored MAC chain fails the return."""
+        from repro.cpu.faults import Fault, FaultCode
+
+        interrupted = self._start(
+            HardeningConfig.from_flags(["auth_return_stack"])
+        )
+        while len(interrupted.processor.auth_stack) == 0:
+            interrupted.processor.step()
+        snap = snapshot_machine(interrupted)
+        snap["processor"]["hardening"]["auth_chain"][-1] ^= 1
+        restored = restore_machine(snap)
+        with pytest.raises(Fault) as excinfo:
+            run_to_halt(restored)
+        assert excinfo.value.code is FaultCode.ACV_AUTH_RETURN
+
+    def test_domain_bindings_survive_the_hop(self):
+        hardening = HardeningConfig.from_flags(["ring_domains"])
+        machine = Machine(hardening=hardening)
+        user = machine.add_user("operator")
+        machine.store_program(">t>sample", GATE_PROGRAM, acl=USER_ACL)
+        machine.assign_domain("sample", "appdomain")
+        process = machine.login(user)
+        machine.initiate(process, ">t>sample")
+        segno = machine.supervisor.active_by_name["sample"].segno
+        assert machine.processor.domains.domain_of(segno) == "appdomain"
+        restored = restore_machine(snapshot_machine(machine))
+        assert restored.processor.domains.domain_of(segno) == "appdomain"
+        assert (
+            restored.processor.domains.by_name
+            == machine.processor.domains.by_name
+        )
 
 
 JOBS = [
